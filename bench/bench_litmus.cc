@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Reproduces every litmus-test verdict printed in the paper
+ * (Figures 2, 5, 13a-d and 14a-d) plus the classical suite, under both
+ * the axiomatic checker and the operational explorer, and checks each
+ * against the paper's claim.
+ */
+
+#include <cstdio>
+
+#include "harness/litmus_runner.hh"
+#include "litmus/suite.hh"
+
+int
+main()
+{
+    using namespace gam;
+
+    std::printf("==============================================\n");
+    std::printf("Litmus-test verdicts (paper Figures 2, 5, 13, 14)\n");
+    std::printf("==============================================\n\n");
+
+    std::printf("--- paper suite ---\n");
+    auto paper = harness::runLitmusMatrix(litmus::paperSuite());
+    std::printf("%s\n", harness::formatLitmusMatrix(paper).c_str());
+
+    std::printf("--- classical suite ---\n");
+    auto classics = harness::runLitmusMatrix(litmus::classicSuite());
+    std::printf("%s\n", harness::formatLitmusMatrix(classics).c_str());
+
+    int mismatches = 0;
+    for (const auto &v : paper)
+        mismatches += !v.matchesPaper();
+    for (const auto &v : classics)
+        mismatches += !v.matchesPaper();
+    return mismatches == 0 ? 0 : 1;
+}

@@ -1,0 +1,18 @@
+/**
+ * @file
+ * Prints the simulated processor configuration (paper Table I).
+ */
+
+#include <cstdio>
+
+#include "harness/experiments.hh"
+
+int
+main()
+{
+    gam::sim::CoreParams core;
+    gam::mem::MemSystemParams mem;
+    std::printf("%s\n",
+                gam::harness::formatTable1(core, mem).c_str());
+    return 0;
+}

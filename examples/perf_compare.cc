@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Pipeline deep-dive: run one workload under the four evaluated memory
+ * models and print the full statistics of each run.
+ *
+ * Usage:
+ *   ./perf_compare                # default workload (histogram)
+ *   ./perf_compare late_addr      # any suite workload
+ */
+
+#include <cstdio>
+
+#include "base/table.hh"
+#include "harness/experiments.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace gam;
+    using model::ModelKind;
+
+    const std::string name = argc > 1 ? argv[1] : "histogram";
+    const auto &spec = workload::workloadByName(name);
+    std::printf("workload: %s -- %s\n\n", spec.name.c_str(),
+                spec.description.c_str());
+
+    const ModelKind models[] = {ModelKind::GAM, ModelKind::ARM,
+                                ModelKind::GAM0, ModelKind::AlphaStar};
+
+    std::vector<harness::RunResult> results;
+    for (ModelKind kind : models)
+        results.push_back(harness::runOne(spec, kind));
+
+    Table t;
+    t.header({"statistic", "GAM", "ARM", "GAM0", "Alpha*"});
+    auto row = [&](const char *label, auto get, int precision) {
+        std::vector<std::string> cells{label};
+        for (const auto &r : results)
+            cells.push_back(Table::num(get(r.stats), precision));
+        t.row(std::move(cells));
+    };
+    using S = sim::SimStats;
+    row("uPC", [](const S &s) { return s.upc(); }, 4);
+    row("cycles", [](const S &s) { return double(s.cycles); }, 0);
+    row("committed uops",
+        [](const S &s) { return double(s.committedUops); }, 0);
+    row("branch mispredicts",
+        [](const S &s) { return double(s.branchMispredicts); }, 0);
+    row("mem-order squashes",
+        [](const S &s) { return double(s.memOrderSquashes); }, 0);
+    row("SALdLd kills", [](const S &s) { return double(s.saLdLdKills); },
+        0);
+    row("SALdLd stalls",
+        [](const S &s) { return double(s.saLdLdStalls); }, 0);
+    row("store forwards",
+        [](const S &s) { return double(s.storeForwards); }, 0);
+    row("LL forwards", [](const S &s) { return double(s.llForwards); },
+        0);
+    row("L1D load misses",
+        [](const S &s) { return double(s.l1dLoadMisses); }, 0);
+    std::printf("%s", t.render().c_str());
+
+    std::printf("\nThe four models share the whole pipeline; they "
+                "differ only in the\nsame-address load-load policy "
+                "(kills/stalls) and load-load forwarding\n(Section "
+                "V-A).  uPC differences stay within a few percent -- "
+                "the paper's\nFigure 18 result.\n");
+    return 0;
+}

@@ -1,0 +1,657 @@
+#include "axiomatic/checker.hh"
+
+#include <algorithm>
+#include <array>
+#include <functional>
+#include <map>
+#include <set>
+
+#include "base/logging.hh"
+#include "isa/semantics.hh"
+#include "model/ppo.hh"
+
+namespace gam::axiomatic
+{
+
+using isa::Addr;
+using isa::Instruction;
+using isa::Value;
+using model::InitStore;
+using model::StoreId;
+
+/** Per-thread symbolic execution state for one rf candidate. */
+struct Checker::ThreadExec
+{
+    /** Reached the end of the program (no value-blocked branch). */
+    bool complete = false;
+    /** Static indices of executed instructions, in order. */
+    std::vector<int> executedIdx;
+    /** Committed trace (parallel to executedIdx). */
+    model::Trace trace;
+    /** rf per trace entry (loads only; InitStore elsewhere). */
+    model::RfMap rfTrace;
+    /** Final register values (all known when complete). */
+    std::array<std::optional<Value>, isa::NUM_REGS> regs;
+};
+
+namespace
+{
+
+/** Alignment-tolerant initial-memory read (bogus rf guesses may compute
+ *  unaligned addresses; those candidates are discarded later). */
+Value
+initRead(const isa::MemImage &mem, Addr addr)
+{
+    if (addr & 7)
+        return 0;
+    return mem.load(addr);
+}
+
+/** Per static site: resolved address / data where known. */
+struct SiteVals
+{
+    bool executed = false;
+    std::optional<Value> addr;  // memory instructions
+    std::optional<Value> data;  // store data or load(ed) value
+    std::optional<Value> data2; // RMWs: the value written to memory
+};
+
+} // anonymous namespace
+
+Checker::Checker(const litmus::LitmusTest &test, model::ModelKind model,
+                 Options options)
+    : test(test), model(model), options(std::move(options))
+{
+    for (size_t tid = 0; tid < test.threads.size(); ++tid) {
+        const auto &prog = test.threads[tid];
+        GAM_ASSERT(prog.size() < 1024, "thread too long for StoreId");
+        for (size_t idx = 0; idx < prog.size(); ++idx) {
+            const Instruction &instr = prog[idx];
+            if (instr.isBranch() && instr.imm <= static_cast<int64_t>(idx))
+                fatal("axiomatic checker requires forward branches "
+                      "(thread %zu instr %zu)", tid, idx);
+            if (instr.isLoad())
+                loadSites.emplace_back(static_cast<int>(tid),
+                                       static_cast<int>(idx));
+            if (instr.isStore())
+                storeSites.push_back(storeId(static_cast<int>(tid),
+                                             static_cast<int>(idx)));
+        }
+    }
+}
+
+bool
+Checker::computeExecution(const std::vector<StoreId> &rf,
+                          const std::vector<Value> &seeds,
+                          std::vector<ThreadExec> &out) const
+{
+    const size_t nthreads = test.threads.size();
+
+    // rf lookup: (tid, idx) -> ordinal in loadSites.
+    auto load_ordinal = [&](int tid, int idx) -> int {
+        for (size_t i = 0; i < loadSites.size(); ++i)
+            if (loadSites[i].first == tid && loadSites[i].second == idx)
+                return static_cast<int>(i);
+        panic("load site (%d, %d) not found", tid, idx);
+    };
+
+    // Site tables, keyed by (tid, static idx).
+    std::vector<std::vector<SiteVals>> sites(nthreads);
+    for (size_t tid = 0; tid < nthreads; ++tid)
+        sites[tid].resize(test.threads[tid].size());
+
+    // The value a store site supplies to readers: an RMW supplies what
+    // it wrote, not what it loaded.
+    auto supplied_value = [&](StoreId src) -> std::optional<Value> {
+        auto [stid, sidx] = storeIdParts(src);
+        const SiteVals &sv = sites[size_t(stid)][size_t(sidx)];
+        return test.threads[size_t(stid)][size_t(sidx)].isRmw()
+            ? sv.data2 : sv.data;
+    };
+
+    // Seed overrides for value-cycle recovery: load site -> value.
+    std::map<std::pair<int, int>, Value> seedOverride;
+
+    auto run_fixpoint = [&]() -> bool {
+        // Iterate thread executions until site values stabilise.
+        size_t total_instrs = 0;
+        for (const auto &prog : test.threads)
+            total_instrs += prog.size();
+        for (size_t round = 0; round <= total_instrs + 1; ++round) {
+            bool changed = false;
+            for (size_t tid = 0; tid < nthreads; ++tid) {
+                const auto &prog = test.threads[tid];
+                std::array<std::optional<Value>, isa::NUM_REGS> regs;
+                regs.fill(Value{0});
+                std::vector<SiteVals> next(prog.size());
+
+                auto get = [&](isa::Reg r) { return regs[size_t(r)]; };
+                auto set = [&](isa::Reg r, std::optional<Value> v) {
+                    if (r != isa::REG_ZERO)
+                        regs[size_t(r)] = v;
+                };
+
+                size_t idx = 0;
+                while (idx < prog.size()) {
+                    const Instruction &in = prog[idx];
+                    SiteVals &sv = next[idx];
+                    sv.executed = true;
+                    if (in.isRegToReg()) {
+                        auto a = get(in.src1), b = get(in.src2);
+                        if (a && b)
+                            set(in.dst, isa::evalRegToReg(in, *a, *b));
+                        else
+                            set(in.dst, std::nullopt);
+                    } else if (in.isRmw()) {
+                        auto base = get(in.src1);
+                        if (base)
+                            sv.addr = isa::effectiveAddr(in, *base);
+                        StoreId src =
+                            rf[load_ordinal(int(tid), int(idx))];
+                        std::optional<Value> old;
+                        auto seeded = seedOverride.find({int(tid),
+                                                         int(idx)});
+                        if (seeded != seedOverride.end()) {
+                            old = seeded->second;
+                        } else if (src == InitStore) {
+                            if (sv.addr)
+                                old = initRead(test.initialMem, *sv.addr);
+                        } else {
+                            old = supplied_value(src);
+                        }
+                        sv.data = old; // the loaded value
+                        auto operand = get(in.src2);
+                        if (old && operand) {
+                            sv.data2 =
+                                isa::evalRmwStored(in, *old, *operand);
+                        }
+                        set(in.dst, old);
+                    } else if (in.isLoad()) {
+                        auto base = get(in.src1);
+                        if (base)
+                            sv.addr = isa::effectiveAddr(in, *base);
+                        StoreId src =
+                            rf[load_ordinal(int(tid), int(idx))];
+                        std::optional<Value> v;
+                        auto seeded = seedOverride.find({int(tid),
+                                                         int(idx)});
+                        if (seeded != seedOverride.end()) {
+                            v = seeded->second;
+                        } else if (src == InitStore) {
+                            if (sv.addr)
+                                v = initRead(test.initialMem, *sv.addr);
+                        } else {
+                            v = supplied_value(src);
+                        }
+                        sv.data = v;
+                        set(in.dst, v);
+                    } else if (in.isStore()) {
+                        auto base = get(in.src1);
+                        if (base)
+                            sv.addr = isa::effectiveAddr(in, *base);
+                        sv.data = get(in.src2);
+                    } else if (in.isBranch()) {
+                        auto a = get(in.src1), b = get(in.src2);
+                        if (in.op != isa::Opcode::JMP && !(a && b)) {
+                            // Direction unknown: stop here this round.
+                            sv.executed = true;
+                            break;
+                        }
+                        Value va = a ? *a : 0, vb = b ? *b : 0;
+                        if (isa::evalBranchTaken(in, va, vb)) {
+                            idx = size_t(in.imm);
+                            continue;
+                        }
+                    } else if (in.op == isa::Opcode::HALT) {
+                        break;
+                    }
+                    ++idx;
+                }
+
+                for (size_t i = 0; i < prog.size(); ++i) {
+                    if (next[i].executed != sites[tid][i].executed
+                        || next[i].addr != sites[tid][i].addr
+                        || next[i].data != sites[tid][i].data
+                        || next[i].data2 != sites[tid][i].data2) {
+                        changed = true;
+                    }
+                }
+                sites[tid] = std::move(next);
+            }
+            if (!changed)
+                return true;
+        }
+        return true; // stabilised by instruction-count bound
+    };
+
+    run_fixpoint();
+
+    // Identify executed loads whose value is still undetermined.
+    auto undetermined_loads = [&]() {
+        std::vector<std::pair<int, int>> blocked;
+        for (auto [tid, idx] : loadSites) {
+            const SiteVals &sv = sites[size_t(tid)][size_t(idx)];
+            if (sv.executed && !sv.data)
+                blocked.emplace_back(tid, idx);
+        }
+        return blocked;
+    };
+
+    if (!undetermined_loads().empty() && !seeds.empty()) {
+        // Try each seed value for the whole undetermined set; keep the
+        // first consistent assignment.
+        for (Value seed : seeds) {
+            seedOverride.clear();
+            for (auto [tid, idx] : undetermined_loads())
+                seedOverride[{tid, idx}] = seed;
+            run_fixpoint();
+            // Consistency: every seeded load's rf source must actually
+            // supply the seeded value.
+            bool ok = true;
+            for (auto [tid, idx] : loadSites) {
+                const SiteVals &sv = sites[size_t(tid)][size_t(idx)];
+                if (!sv.executed)
+                    continue;
+                StoreId src = rf[load_ordinal(tid, idx)];
+                if (!sv.addr || !sv.data) {
+                    ok = false;
+                    break;
+                }
+                std::optional<Value> expect;
+                if (src == InitStore) {
+                    expect = initRead(test.initialMem, *sv.addr);
+                } else {
+                    expect = supplied_value(src);
+                }
+                if (!expect || *expect != *sv.data) {
+                    ok = false;
+                    break;
+                }
+            }
+            if (ok)
+                break;
+            seedOverride.clear();
+        }
+    }
+
+    // Final validation and trace construction.
+    out.clear();
+    out.resize(nthreads);
+    for (size_t tid = 0; tid < nthreads; ++tid) {
+        const auto &prog = test.threads[tid];
+        ThreadExec &te = out[tid];
+        te.regs.fill(Value{0});
+
+        size_t idx = 0;
+        bool complete = false;
+        while (true) {
+            if (idx >= prog.size()) {
+                complete = true;
+                break;
+            }
+            const Instruction &in = prog[idx];
+            const SiteVals &sv = sites[tid][idx];
+            if (!sv.executed)
+                break;
+
+            model::TraceInstr ti;
+            ti.instr = in;
+            StoreId rf_src = InitStore;
+            size_t next_idx = idx + 1;
+
+            if (in.isRegToReg()) {
+                auto a = te.regs[size_t(in.src1)];
+                auto b = te.regs[size_t(in.src2)];
+                if (!(a && b))
+                    return false;
+                if (in.dst != isa::REG_ZERO)
+                    te.regs[size_t(in.dst)] =
+                        isa::evalRegToReg(in, *a, *b);
+            } else if (in.isMem()) {
+                if (!sv.addr || !sv.data)
+                    return false; // undetermined value cycle remains
+                if (in.isRmw() && !sv.data2)
+                    return false;
+                if (*sv.addr & 7)
+                    return false; // bogus rf guess computed a bad address
+                ti.addr = *sv.addr;
+                ti.value = *sv.data;
+                if (in.isRmw())
+                    ti.rmwStored = *sv.data2;
+                if (in.isLoad()) {
+                    rf_src = rf[load_ordinal(int(tid), int(idx))];
+                    if (in.dst != isa::REG_ZERO)
+                        te.regs[size_t(in.dst)] = *sv.data;
+                }
+            } else if (in.isBranch()) {
+                auto a = te.regs[size_t(in.src1)];
+                auto b = te.regs[size_t(in.src2)];
+                if (in.op != isa::Opcode::JMP && !(a && b))
+                    return false;
+                if (isa::evalBranchTaken(in, a ? *a : 0, b ? *b : 0))
+                    next_idx = size_t(in.imm);
+            } else if (in.op == isa::Opcode::HALT) {
+                te.executedIdx.push_back(int(idx));
+                te.trace.push_back(ti);
+                te.rfTrace.push_back(InitStore);
+                complete = true;
+                break;
+            }
+
+            te.executedIdx.push_back(int(idx));
+            te.trace.push_back(ti);
+            te.rfTrace.push_back(rf_src);
+            idx = next_idx;
+        }
+        if (!complete)
+            return false;
+        te.complete = true;
+    }
+
+    // rf validity: executed loads read executed same-address stores;
+    // unexecuted loads must use the canonical InitStore choice.
+    for (size_t i = 0; i < loadSites.size(); ++i) {
+        auto [tid, idx] = loadSites[i];
+        const SiteVals &sv = sites[size_t(tid)][size_t(idx)];
+        if (!sv.executed) {
+            if (rf[i] != InitStore)
+                return false; // canonical duplicate
+            continue;
+        }
+        if (rf[i] == InitStore) {
+            // (Relevant after seeding:) the load's value must really be
+            // the initial memory value of its address.
+            if (*sv.data != initRead(test.initialMem, *sv.addr))
+                return false;
+            continue;
+        }
+        auto [stid, sidx] = storeIdParts(rf[i]);
+        const SiteVals &ss = sites[size_t(stid)][size_t(sidx)];
+        if (!ss.executed || !ss.addr || *ss.addr != *sv.addr)
+            return false;
+        auto supplied = supplied_value(rf[i]);
+        if (!supplied || *supplied != *sv.data)
+            return false;
+    }
+    return true;
+}
+
+void
+Checker::checkCandidate(const std::vector<ThreadExec> &exec,
+                        const std::vector<StoreId> &rf,
+                        litmus::OutcomeSet &outcomes)
+{
+    // ---- Collect memory events and per-thread ppo. ----
+    struct Event
+    {
+        int tid;
+        int traceIdx;
+        bool isStore;
+        bool isLoad;          // RMWs are both
+        Addr addr;
+        Value value;          // the value supplied to memory/readers
+        StoreId sid;          // store side: own id
+        StoreId rf;           // load side: source of the read
+    };
+    std::vector<Event> events;
+    std::map<std::pair<int, int>, int> nodeOf; // (tid, traceIdx) -> node
+
+    for (size_t tid = 0; tid < exec.size(); ++tid) {
+        const auto &te = exec[tid];
+        for (size_t k = 0; k < te.trace.size(); ++k) {
+            const auto &ti = te.trace[k];
+            if (!ti.isMem())
+                continue;
+            Event ev;
+            ev.tid = int(tid);
+            ev.traceIdx = int(k);
+            ev.isStore = ti.isStore();
+            ev.isLoad = ti.isLoad();
+            ev.addr = ti.addr;
+            ev.value = ti.instr.isRmw() ? ti.rmwStored : ti.value;
+            ev.sid = ti.isStore()
+                ? storeId(int(tid), te.executedIdx[k]) : InitStore;
+            ev.rf = ti.isLoad() ? te.rfTrace[k] : InitStore;
+            nodeOf[{int(tid), int(k)}] = int(events.size());
+            events.push_back(ev);
+        }
+    }
+    const size_t n = events.size();
+
+    // ppo projected onto memory events.
+    std::vector<std::pair<int, int>> ppoEdges;
+    if (options.enforceInstOrder) {
+        for (size_t tid = 0; tid < exec.size(); ++tid) {
+            const auto &te = exec[tid];
+            model::Relation ppo = model::preservedProgramOrder(
+                te.trace, model, &te.rfTrace);
+            for (auto [i, j] : ppo.pairs()) {
+                auto it1 = nodeOf.find({int(tid), int(i)});
+                auto it2 = nodeOf.find({int(tid), int(j)});
+                if (it1 != nodeOf.end() && it2 != nodeOf.end())
+                    ppoEdges.emplace_back(it1->second, it2->second);
+            }
+        }
+    }
+
+    // Group stores by address for coherence-order enumeration.
+    std::map<Addr, std::vector<int>> storesByAddr;
+    for (size_t v = 0; v < n; ++v)
+        if (events[v].isStore)
+            storesByAddr[events[v].addr].push_back(int(v));
+
+    // Map store id -> node.
+    std::map<StoreId, int> nodeOfStore;
+    for (size_t v = 0; v < n; ++v)
+        if (events[v].isStore)
+            nodeOfStore[events[v].sid] = int(v);
+
+    auto po_before = [&](int s, int l) {
+        return events[s].tid == events[l].tid
+            && events[s].traceIdx < events[l].traceIdx;
+    };
+
+    // ---- Enumerate coherence orders (one permutation per address). ----
+    std::vector<Addr> addrs;
+    for (auto &[a, v] : storesByAddr)
+        addrs.push_back(a);
+
+    std::map<Addr, std::vector<int>> perm = storesByAddr;
+
+    auto try_combo = [&]() {
+        ++_stats.coCandidates;
+
+        std::vector<std::vector<int>> adj(n);
+        auto edge = [&](int u, int v) { adj[size_t(u)].push_back(v); };
+
+        for (auto [u, v] : ppoEdges)
+            edge(u, v);
+        // Coherence edges (consecutive).
+        for (const auto &a : addrs) {
+            const auto &p = perm[a];
+            for (size_t i = 0; i + 1 < p.size(); ++i)
+                edge(p[i], p[i + 1]);
+        }
+        // Atomicity (Section III-C): an RMW's read source must be its
+        // immediate coherence predecessor -- no store may slip between
+        // the read and the write.
+        for (size_t v = 0; v < n; ++v) {
+            const Event &ev = events[v];
+            if (!(ev.isLoad && ev.isStore))
+                continue;
+            const auto &p = perm[ev.addr];
+            size_t pos = 0;
+            while (pos < p.size() && p[pos] != int(v))
+                ++pos;
+            GAM_ASSERT(pos < p.size(), "RMW missing from its co");
+            if (ev.rf == InitStore) {
+                if (pos != 0)
+                    return; // something intervened before the write
+            } else {
+                auto sit = nodeOfStore.find(ev.rf);
+                GAM_ASSERT(sit != nodeOfStore.end(), "rf store missing");
+                if (pos == 0 || p[pos - 1] != sit->second)
+                    return; // read and write are not co-adjacent
+            }
+        }
+
+        // rf and fr edges per the LoadValue axiom (the load side of
+        // every event, including RMWs; an RMW's own store side is
+        // always coherence-after its read and is skipped).
+        for (size_t v = 0; v < n; ++v) {
+            const Event &ld = events[v];
+            if (!ld.isLoad)
+                continue;
+            const auto &p = perm[ld.addr];
+            if (ld.rf == InitStore) {
+                // No store may be mo-before or po-before this load.
+                for (int s : p) {
+                    if (s == int(v))
+                        continue; // an RMW's own write
+                    if (po_before(s, int(v)))
+                        return; // rejected: C(L) nonempty
+                    edge(int(v), s);
+                }
+            } else {
+                auto sit = nodeOfStore.find(ld.rf);
+                GAM_ASSERT(sit != nodeOfStore.end(), "rf store missing");
+                int s = sit->second;
+                if (!po_before(s, int(v)))
+                    edge(s, int(v));
+                // Stores coherence-after the source must be outside C(L).
+                bool after = false;
+                for (int s2 : p) {
+                    if (s2 == s) {
+                        after = true;
+                        continue;
+                    }
+                    if (!after || s2 == int(v))
+                        continue;
+                    if (po_before(s2, int(v)))
+                        return; // rejected: a newer po-before store exists
+                    edge(int(v), s2);
+                }
+            }
+        }
+
+        // Acyclicity via iterative DFS.
+        std::vector<int> state(n, 0);
+        std::vector<int> stack;
+        for (size_t root = 0; root < n; ++root) {
+            if (state[root])
+                continue;
+            stack.push_back(int(root));
+            while (!stack.empty()) {
+                int u = stack.back();
+                if (state[u] == 0) {
+                    state[u] = 1;
+                    for (int w : adj[size_t(u)]) {
+                        if (state[w] == 1)
+                            return; // cycle: candidate rejected
+                        if (state[w] == 0)
+                            stack.push_back(w);
+                    }
+                } else {
+                    if (state[u] == 1)
+                        state[u] = 2;
+                    stack.pop_back();
+                }
+            }
+        }
+
+        // ---- Accepted: record the outcome. ----
+        ++_stats.accepted;
+        litmus::Outcome outcome;
+        for (auto [tid, reg] : test.observedRegs) {
+            auto v = exec[size_t(tid)].regs[size_t(reg)];
+            GAM_ASSERT(v.has_value(), "unresolved observed register");
+            outcome.regs.push_back({tid, reg, *v});
+        }
+        for (Addr a : test.addressUniverse) {
+            Value v = initRead(test.initialMem, a);
+            auto it = perm.find(a);
+            if (it != perm.end() && !it->second.empty())
+                v = events[size_t(it->second.back())].value;
+            outcome.mem.push_back({a, v});
+        }
+        outcome.canonicalize();
+        outcomes.insert(outcome);
+    };
+
+    // Recursive product of per-address permutations.
+    std::function<void(size_t)> rec = [&](size_t ai) {
+        if (ai == addrs.size()) {
+            try_combo();
+            return;
+        }
+        auto &p = perm[addrs[ai]];
+        std::sort(p.begin(), p.end());
+        do {
+            rec(ai + 1);
+        } while (std::next_permutation(p.begin(), p.end()));
+    };
+    rec(0);
+}
+
+litmus::OutcomeSet
+Checker::enumerate()
+{
+    _stats = CheckerStats{};
+    litmus::OutcomeSet outcomes;
+
+    const size_t nloads = loadSites.size();
+    std::vector<StoreId> rf(nloads, InitStore);
+    // Choice list per load: InitStore plus every store site.
+    std::vector<StoreId> choices;
+    choices.push_back(InitStore);
+    choices.insert(choices.end(), storeSites.begin(), storeSites.end());
+
+    std::vector<size_t> odo(nloads, 0);
+    for (;;) {
+        for (size_t i = 0; i < nloads; ++i)
+            rf[i] = choices[odo[i]];
+
+        ++_stats.rfCandidates;
+        std::vector<ThreadExec> exec;
+        if (computeExecution(rf, options.seedValues, exec)) {
+            ++_stats.valueConsistent;
+            checkCandidate(exec, rf, outcomes);
+        } else {
+            ++_stats.valueCycles;
+        }
+
+        // Advance the odometer.
+        size_t pos = 0;
+        while (pos < nloads) {
+            if (++odo[pos] < choices.size())
+                break;
+            odo[pos] = 0;
+            ++pos;
+        }
+        if (pos == nloads || nloads == 0)
+            break;
+    }
+    return outcomes;
+}
+
+bool
+Checker::isAllowed()
+{
+    // Seed undetermined-value candidates with the condition's constants
+    // so OOTA-style conditions are decided by the axioms.
+    if (options.seedValues.empty()) {
+        std::set<Value> seeds;
+        for (const auto &rc : test.regCond)
+            seeds.insert(rc.value);
+        for (const auto &mc : test.memCond)
+            seeds.insert(mc.value);
+        options.seedValues.assign(seeds.begin(), seeds.end());
+    }
+    litmus::OutcomeSet outcomes = enumerate();
+    for (const auto &o : outcomes)
+        if (test.conditionMatches(o))
+            return true;
+    return false;
+}
+
+} // namespace gam::axiomatic

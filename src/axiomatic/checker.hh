@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Axiomatic checker for GAM-family models (paper Section IV-A), SC,
+ * TSO and the per-location-SC reference model.
+ *
+ * A program behavior <po, mo, rf> is legal when it satisfies the two
+ * axioms of Figure 15:
+ *
+ *   InstOrder: I1 <ppo I2  =>  I1 <mo I2
+ *   LoadValue: St[a]v -rf-> Ld[a]  =>  St[a]v =
+ *       max_mo { St[a]v' | St[a]v' <mo Ld[a]  \/  St[a]v' <po Ld[a] }
+ *
+ * Instead of enumerating total memory orders (factorial), the checker
+ * enumerates read-from maps and per-address coherence orders, derives
+ * the ordering constraints the axioms impose, and accepts a candidate
+ * iff the constraint graph is acyclic (any topological order is then a
+ * witness mo; conversely every legal mo linearises the constraints), an
+ * exact and standard reduction.
+ *
+ * Load values are computed from rf by a cross-thread fixpoint, so
+ * dependencies through registers *and* memory (Figure 13c) resolve
+ * naturally.  Candidates whose values stay undetermined encode
+ * out-of-thin-air cycles; they are provably mo-cyclic under every model
+ * here (all include full syntactic data dependencies in ppo), and can
+ * optionally be value-seeded to demonstrate the rejection explicitly.
+ *
+ * Thread programs must be loop-free (forward branches only): then every
+ * static instruction executes at most once and rf can be indexed
+ * statically.
+ */
+
+#ifndef GAM_AXIOMATIC_CHECKER_HH
+#define GAM_AXIOMATIC_CHECKER_HH
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "litmus/outcome.hh"
+#include "litmus/test.hh"
+#include "model/kind.hh"
+#include "model/trace.hh"
+
+namespace gam::axiomatic
+{
+
+/** Checker knobs. */
+struct Options
+{
+    /**
+     * Drop the InstOrder axiom (keep LoadValue only).  Used to
+     * demonstrate that LoadValue alone admits out-of-thin-air behaviors
+     * (Section II-C): "allowing all load/store reorderings [by] simply
+     * removing the InstOrderSC axiom ... would [make OOTA] legal".
+     */
+    bool enforceInstOrder = true;
+
+    /**
+     * Values to try for loads whose value stays undetermined because of
+     * a cyclic rf (out-of-thin-air candidates).  Empty: such candidates
+     * are discarded, which is sound for every supported model.
+     */
+    std::vector<isa::Value> seedValues;
+};
+
+/** Counters describing one enumeration run. */
+struct CheckerStats
+{
+    uint64_t rfCandidates = 0;      ///< read-from maps tried
+    uint64_t valueConsistent = 0;   ///< ... passing the value fixpoint
+    uint64_t coCandidates = 0;      ///< (rf, co) combinations checked
+    uint64_t accepted = 0;          ///< ... that were acyclic (legal)
+    uint64_t valueCycles = 0;       ///< rf maps with undetermined values
+};
+
+/** Axiomatic enumeration for one litmus test under one model. */
+class Checker
+{
+  public:
+    Checker(const litmus::LitmusTest &test, model::ModelKind model,
+            Options options = {});
+
+    /** All outcomes the axioms accept. */
+    litmus::OutcomeSet enumerate();
+
+    /**
+     * Is the test's asked-about condition reachable?  Seeds
+     * undetermined-value candidates with the condition's constants so
+     * OOTA-style queries are decided by the axioms, not by omission.
+     */
+    bool isAllowed();
+
+    const CheckerStats &stats() const { return _stats; }
+
+  private:
+    struct ThreadExec;
+
+    /** Execute all threads to a value fixpoint under rf; see .cc. */
+    bool computeExecution(const std::vector<model::StoreId> &rf,
+                          const std::vector<isa::Value> &seeds,
+                          std::vector<ThreadExec> &out) const;
+
+    /** Check axioms for one (rf, co) candidate; record outcomes. */
+    void checkCandidate(const std::vector<ThreadExec> &exec,
+                        const std::vector<model::StoreId> &rf,
+                        litmus::OutcomeSet &outcomes);
+
+    const litmus::LitmusTest &test;
+    model::ModelKind model;
+    Options options;
+    CheckerStats _stats;
+
+    /** Static load sites (tid, index), in enumeration order. */
+    std::vector<std::pair<int, int>> loadSites;
+    /** Static store sites as global StoreIds. */
+    std::vector<model::StoreId> storeSites;
+};
+
+/** Encode (tid, static index) as a StoreId. */
+constexpr model::StoreId
+storeId(int tid, int idx)
+{
+    return static_cast<model::StoreId>(tid * 1024 + idx);
+}
+
+/** Decode a StoreId. */
+constexpr std::pair<int, int>
+storeIdParts(model::StoreId id)
+{
+    return {id / 1024, id % 1024};
+}
+
+} // namespace gam::axiomatic
+
+#endif // GAM_AXIOMATIC_CHECKER_HH

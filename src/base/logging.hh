@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Status and error reporting helpers, in the spirit of gem5's
+ * base/logging.hh.
+ *
+ * panic()  - an internal invariant was violated (a bug in this library);
+ *            aborts so a debugger or core dump can capture the state.
+ * fatal()  - the simulation cannot continue because of a user error
+ *            (bad configuration, malformed program); exits with code 1.
+ * warn()   - something suspicious happened but execution continues.
+ * inform() - plain status output.
+ */
+
+#ifndef GAM_BASE_LOGGING_HH
+#define GAM_BASE_LOGGING_HH
+
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace gam
+{
+
+/** Render a printf-style format string into a std::string. */
+std::string vformatString(const char *fmt, va_list ap);
+
+/** Render a printf-style format string into a std::string. */
+std::string formatString(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Report an internal bug and abort. */
+[[noreturn]] void panic(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Report an unrecoverable user error and exit(1). */
+[[noreturn]] void fatal(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Report a suspicious condition; execution continues. */
+void warn(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Report normal operating status. */
+void inform(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/**
+ * Assert-like helper carrying a formatted message.  Unlike assert() this
+ * is active in all build types: memory-model checkers must not silently
+ * accept corrupted state in release builds.
+ */
+#define GAM_ASSERT(cond, ...)                                               \
+    do {                                                                    \
+        if (!(cond)) {                                                      \
+            ::gam::panic("assertion '%s' failed at %s:%d: %s", #cond,       \
+                         __FILE__, __LINE__,                                \
+                         ::gam::formatString(__VA_ARGS__).c_str());         \
+        }                                                                   \
+    } while (0)
+
+} // namespace gam
+
+#endif // GAM_BASE_LOGGING_HH

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation.
+ *
+ * Every stochastic element of this library (random litmus programs,
+ * synthetic workload data, branch noise) draws from this generator so that
+ * all experiments and property tests are exactly reproducible from a seed.
+ * The implementation is splitmix64 feeding xoshiro256**, both public
+ * domain algorithms.
+ */
+
+#ifndef GAM_BASE_RNG_HH
+#define GAM_BASE_RNG_HH
+
+#include <cstdint>
+
+namespace gam
+{
+
+/** Deterministic 64-bit PRNG (xoshiro256** seeded via splitmix64). */
+class Rng
+{
+  public:
+    explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ull) { reseed(seed); }
+
+    /** Re-initialise the state from a 64-bit seed. */
+    void
+    reseed(uint64_t seed)
+    {
+        uint64_t x = seed;
+        for (auto &word : state)
+            word = splitmix64(x);
+    }
+
+    /** Next raw 64-bit value. */
+    uint64_t
+    next()
+    {
+        const uint64_t result = rotl(state[1] * 5, 7) * 9;
+        const uint64_t t = state[1] << 17;
+        state[2] ^= state[0];
+        state[3] ^= state[1];
+        state[1] ^= state[2];
+        state[0] ^= state[3];
+        state[2] ^= t;
+        state[3] = rotl(state[3], 45);
+        return result;
+    }
+
+    /** Uniform value in [0, bound). bound must be nonzero. */
+    uint64_t
+    range(uint64_t bound)
+    {
+        // Bounded rejection sampling to avoid modulo bias.
+        const uint64_t threshold = (-bound) % bound;
+        for (;;) {
+            uint64_t r = next();
+            if (r >= threshold)
+                return r % bound;
+        }
+    }
+
+    /** Uniform value in [lo, hi] inclusive. */
+    int64_t
+    rangeInclusive(int64_t lo, int64_t hi)
+    {
+        return lo + static_cast<int64_t>(
+            range(static_cast<uint64_t>(hi - lo + 1)));
+    }
+
+    /** Bernoulli draw: true with probability num/den. */
+    bool
+    chance(uint64_t num, uint64_t den)
+    {
+        return range(den) < num;
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    uniform()
+    {
+        return (next() >> 11) * (1.0 / 9007199254740992.0);
+    }
+
+  private:
+    static uint64_t
+    rotl(uint64_t x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    static uint64_t
+    splitmix64(uint64_t &x)
+    {
+        uint64_t z = (x += 0x9e3779b97f4a7c15ull);
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+        return z ^ (z >> 31);
+    }
+
+    uint64_t state[4];
+};
+
+} // namespace gam
+
+#endif // GAM_BASE_RNG_HH

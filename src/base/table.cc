@@ -1,0 +1,84 @@
+#include "base/table.hh"
+
+#include <cstdio>
+#include <sstream>
+
+namespace gam
+{
+
+void
+Table::header(std::vector<std::string> cells)
+{
+    headerCells = std::move(cells);
+}
+
+void
+Table::row(std::vector<std::string> cells)
+{
+    rows.push_back(Row{std::move(cells), false});
+}
+
+void
+Table::separator()
+{
+    rows.push_back(Row{{}, true});
+}
+
+std::string
+Table::num(double v, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+    return buf;
+}
+
+std::string
+Table::render() const
+{
+    // Determine column count and widths.
+    size_t cols = headerCells.size();
+    for (const auto &r : rows)
+        cols = std::max(cols, r.cells.size());
+    std::vector<size_t> width(cols, 0);
+    auto fit = [&](const std::vector<std::string> &cells) {
+        for (size_t c = 0; c < cells.size(); ++c)
+            width[c] = std::max(width[c], cells[c].size());
+    };
+    fit(headerCells);
+    for (const auto &r : rows)
+        if (!r.isSeparator)
+            fit(r.cells);
+
+    size_t total = 0;
+    for (size_t c = 0; c < cols; ++c)
+        total += width[c] + (c ? 2 : 0);
+
+    std::ostringstream os;
+    auto emit = [&](const std::vector<std::string> &cells) {
+        for (size_t c = 0; c < cols; ++c) {
+            std::string cell = c < cells.size() ? cells[c] : "";
+            if (c)
+                os << "  ";
+            if (c == 0) {
+                os << cell << std::string(width[c] - cell.size(), ' ');
+            } else {
+                os << std::string(width[c] - cell.size(), ' ') << cell;
+            }
+        }
+        os << "\n";
+    };
+
+    if (!headerCells.empty()) {
+        emit(headerCells);
+        os << std::string(total, '-') << "\n";
+    }
+    for (const auto &r : rows) {
+        if (r.isSeparator)
+            os << std::string(total, '-') << "\n";
+        else
+            emit(r.cells);
+    }
+    return os.str();
+}
+
+} // namespace gam

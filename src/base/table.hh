@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Fixed-width ASCII table rendering used by the benchmark harness to
+ * print the paper's tables and figure series.
+ */
+
+#ifndef GAM_BASE_TABLE_HH
+#define GAM_BASE_TABLE_HH
+
+#include <string>
+#include <vector>
+
+namespace gam
+{
+
+/** A simple left/right aligned text table. */
+class Table
+{
+  public:
+    /** Set the header row. */
+    void header(std::vector<std::string> cells);
+
+    /** Append a data row. Rows may be ragged; missing cells are blank. */
+    void row(std::vector<std::string> cells);
+
+    /** Append a horizontal separator line. */
+    void separator();
+
+    /** Format a double with the given precision. */
+    static std::string num(double v, int precision = 3);
+
+    /** Render the table; first column left aligned, rest right aligned. */
+    std::string render() const;
+
+  private:
+    struct Row
+    {
+        std::vector<std::string> cells;
+        bool isSeparator = false;
+    };
+
+    std::vector<std::string> headerCells;
+    std::vector<Row> rows;
+};
+
+} // namespace gam
+
+#endif // GAM_BASE_TABLE_HH

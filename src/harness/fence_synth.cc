@@ -1,0 +1,113 @@
+#include "harness/fence_synth.hh"
+
+#include <algorithm>
+
+#include "axiomatic/checker.hh"
+#include "base/logging.hh"
+
+namespace gam::harness
+{
+
+std::string
+FenceInsertion::toString() const
+{
+    return formatString("P%d: %s before instruction %d", tid,
+                        isa::fenceName(kind).c_str(), index);
+}
+
+litmus::LitmusTest
+applyFences(const litmus::LitmusTest &test,
+            const std::vector<FenceInsertion> &fences)
+{
+    litmus::LitmusTest out = test;
+    out.name = test.name + "+fences";
+
+    // Insert back-to-front per thread so indices stay valid, fixing up
+    // branch targets that jump past an insertion point.
+    std::vector<FenceInsertion> sorted = fences;
+    std::sort(sorted.begin(), sorted.end(),
+              [](const FenceInsertion &a, const FenceInsertion &b) {
+                  return a.tid != b.tid ? a.tid < b.tid
+                                        : a.index > b.index;
+              });
+    for (const FenceInsertion &f : sorted) {
+        auto &code = out.threads[size_t(f.tid)].code;
+        GAM_ASSERT(f.index >= 0 && f.index <= int(code.size()),
+                   "fence insertion out of range");
+        for (auto &instr : code) {
+            if (instr.isBranch() && instr.imm >= f.index)
+                ++instr.imm;
+        }
+        code.insert(code.begin() + f.index, isa::makeFence(f.kind));
+    }
+    return out;
+}
+
+SynthResult
+synthesizeFences(const litmus::LitmusTest &test, model::ModelKind model,
+                 int max_fences)
+{
+    SynthResult result;
+
+    auto allowed = [&](const litmus::LitmusTest &t) {
+        ++result.queriesIssued;
+        axiomatic::Checker checker(t, model);
+        return checker.isAllowed();
+    };
+
+    if (!allowed(test)) {
+        result.solved = true; // nothing to do
+        return result;
+    }
+
+    // Candidate gaps: between consecutive memory instructions of each
+    // thread (a fence anywhere else in the gap is equivalent).
+    std::vector<std::pair<int, int>> gaps;
+    for (size_t tid = 0; tid < test.threads.size(); ++tid) {
+        const auto &code = test.threads[tid].code;
+        int last_mem = -1;
+        for (size_t i = 0; i < code.size(); ++i) {
+            if (!code[i].isMem())
+                continue;
+            if (last_mem >= 0)
+                gaps.emplace_back(int(tid), int(i));
+            last_mem = int(i);
+        }
+    }
+
+    constexpr isa::FenceKind kinds[] = {
+        isa::FenceKind::LL, isa::FenceKind::LS, isa::FenceKind::SL,
+        isa::FenceKind::SS,
+    };
+
+    // Breadth-first over insertion-set size: the first hit is minimal.
+    std::vector<std::vector<FenceInsertion>> frontier{{}};
+    for (int size = 1; size <= max_fences; ++size) {
+        std::vector<std::vector<FenceInsertion>> next;
+        for (const auto &base : frontier) {
+            for (const auto &[tid, index] : gaps) {
+                // Grow canonically: only at positions after the last.
+                if (!base.empty()
+                    && (tid < base.back().tid
+                        || (tid == base.back().tid
+                            && index <= base.back().index))) {
+                    continue;
+                }
+                for (isa::FenceKind kind : kinds) {
+                    auto candidate = base;
+                    candidate.push_back({tid, index, kind});
+                    if (!allowed(applyFences(test, candidate))) {
+                        result.fences = candidate;
+                        result.solved = true;
+                        return result;
+                    }
+                    next.push_back(std::move(candidate));
+                }
+            }
+        }
+        frontier = std::move(next);
+    }
+    return result; // unsolved within the bound
+}
+
+} // namespace gam::harness

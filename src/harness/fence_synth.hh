@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Fence synthesis: find a smallest set of basic-fence insertions that
+ * makes a weak behavior impossible under a target model.
+ *
+ * This automates the reasoning of paper Section III-D ("Fences to
+ * Control Orderings"): given a litmus test whose asked-about condition
+ * is allowed under, say, GAM, the synthesizer searches the space of
+ * FenceLL/LS/SL/SS insertions (one candidate gap between every
+ * adjacent pair of memory instructions) for a minimal set whose
+ * insertion makes the condition forbidden, using the axiomatic checker
+ * as the oracle.
+ */
+
+#ifndef GAM_HARNESS_FENCE_SYNTH_HH
+#define GAM_HARNESS_FENCE_SYNTH_HH
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "litmus/test.hh"
+#include "model/kind.hh"
+
+namespace gam::harness
+{
+
+/** One synthesized insertion: a fence before threads[tid].code[index]. */
+struct FenceInsertion
+{
+    int tid;
+    /** Static instruction index the fence is inserted before. */
+    int index;
+    isa::FenceKind kind;
+
+    std::string toString() const;
+};
+
+/** Result of a synthesis run. */
+struct SynthResult
+{
+    /** Empty when the condition was already forbidden. */
+    std::vector<FenceInsertion> fences;
+    /** False when no solution exists within the size bound. */
+    bool solved = false;
+    /** Candidates evaluated (axiomatic checker invocations). */
+    uint64_t queriesIssued = 0;
+};
+
+/** Return @p test with the given fences inserted. */
+litmus::LitmusTest applyFences(const litmus::LitmusTest &test,
+                               const std::vector<FenceInsertion> &fences);
+
+/**
+ * Search for a minimum-cardinality fence insertion (up to
+ * @p max_fences) that forbids @p test's condition under @p model.
+ * Candidate positions are the gaps between consecutive memory
+ * instructions of each thread (where fences can order anything).
+ */
+SynthResult synthesizeFences(const litmus::LitmusTest &test,
+                             model::ModelKind model, int max_fences = 2);
+
+} // namespace gam::harness
+
+#endif // GAM_HARNESS_FENCE_SYNTH_HH

@@ -1,0 +1,87 @@
+#include "harness/litmus_runner.hh"
+
+#include "axiomatic/checker.hh"
+#include "base/table.hh"
+#include "operational/explorer.hh"
+#include "operational/gam_machine.hh"
+#include "operational/sc_machine.hh"
+#include "operational/tso_machine.hh"
+
+namespace gam::harness
+{
+
+using model::ModelKind;
+
+bool
+axiomaticAllowed(const litmus::LitmusTest &test, ModelKind model)
+{
+    axiomatic::Checker checker(test, model);
+    return checker.isAllowed();
+}
+
+bool
+operationalAllowed(const litmus::LitmusTest &test, ModelKind model)
+{
+    litmus::OutcomeSet outcomes;
+    if (model == ModelKind::SC) {
+        outcomes = operational::exploreAll(
+            operational::ScMachine(test)).outcomes;
+    } else if (model == ModelKind::TSO) {
+        outcomes = operational::exploreAll(
+            operational::TsoMachine(test)).outcomes;
+    } else {
+        operational::GamOptions opts;
+        opts.kind = model;
+        outcomes = operational::exploreAll(
+            operational::GamMachine(test, opts)).outcomes;
+    }
+    for (const auto &o : outcomes)
+        if (test.conditionMatches(o))
+            return true;
+    return false;
+}
+
+std::vector<LitmusVerdict>
+runLitmusMatrix(const std::vector<litmus::LitmusTest> &tests)
+{
+    std::vector<LitmusVerdict> verdicts;
+    for (const auto &test : tests) {
+        for (const auto &[model, expected] : test.expected) {
+            if (model != ModelKind::AlphaStar) {
+                verdicts.push_back({test.name, model, Engine::Axiomatic,
+                                    axiomaticAllowed(test, model),
+                                    expected});
+            }
+            if (model != ModelKind::PerLocSC) {
+                verdicts.push_back({test.name, model, Engine::Operational,
+                                    operationalAllowed(test, model),
+                                    expected});
+            }
+        }
+    }
+    return verdicts;
+}
+
+std::string
+formatLitmusMatrix(const std::vector<LitmusVerdict> &verdicts)
+{
+    Table t;
+    t.header({"test", "model", "engine", "verdict", "paper", "match"});
+    int mismatches = 0;
+    for (const auto &v : verdicts) {
+        const bool ok = v.matchesPaper();
+        if (!ok)
+            ++mismatches;
+        t.row({v.test, model::modelName(v.model),
+               v.engine == Engine::Axiomatic ? "axiomatic" : "operational",
+               v.allowed ? "allowed" : "forbidden",
+               v.expected ? (*v.expected ? "allowed" : "forbidden") : "-",
+               ok ? "yes" : "MISMATCH"});
+    }
+    std::string out = t.render();
+    out += formatString("\n%d verdicts, %d mismatches with the paper\n",
+                        int(verdicts.size()), mismatches);
+    return out;
+}
+
+} // namespace gam::harness

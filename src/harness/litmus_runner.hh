@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Litmus-test driver: runs a test under a model with the appropriate
+ * engine (axiomatic checker, operational explorer, or both) and
+ * compares against the paper's verdicts.
+ */
+
+#ifndef GAM_HARNESS_LITMUS_RUNNER_HH
+#define GAM_HARNESS_LITMUS_RUNNER_HH
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "litmus/test.hh"
+#include "model/kind.hh"
+
+namespace gam::harness
+{
+
+/** Which engine decided a verdict. */
+enum class Engine { Axiomatic, Operational };
+
+/** One (test, model, engine) verdict. */
+struct LitmusVerdict
+{
+    std::string test;
+    model::ModelKind model;
+    Engine engine;
+    bool allowed;
+    /** The paper's verdict, when the test records one. */
+    std::optional<bool> expected;
+
+    bool matchesPaper() const
+    {
+        return !expected.has_value() || *expected == allowed;
+    }
+};
+
+/** Decide @p test under @p model with the axiomatic checker. */
+bool axiomaticAllowed(const litmus::LitmusTest &test,
+                      model::ModelKind model);
+
+/**
+ * Decide @p test under @p model by exhaustive operational exploration.
+ * Supported models: SC, TSO and the GAM family (incl. Alpha*).
+ */
+bool operationalAllowed(const litmus::LitmusTest &test,
+                        model::ModelKind model);
+
+/**
+ * Run every expected verdict of every test in @p tests on the engines
+ * that support the model (axiomatic for all models but Alpha*;
+ * operational for all but PerLocSC).
+ */
+std::vector<LitmusVerdict>
+runLitmusMatrix(const std::vector<litmus::LitmusTest> &tests);
+
+/** Render the verdict matrix, flagging mismatches with the paper. */
+std::string formatLitmusMatrix(const std::vector<LitmusVerdict> &verdicts);
+
+} // namespace gam::harness
+
+#endif // GAM_HARNESS_LITMUS_RUNNER_HH

@@ -1,0 +1,286 @@
+#include "isa/assembler.hh"
+
+#include <cctype>
+#include <map>
+#include <optional>
+#include <sstream>
+#include <vector>
+
+#include "base/logging.hh"
+
+namespace gam::isa
+{
+
+namespace
+{
+
+/** Tokenizer state for one source line. */
+struct LineParser
+{
+    LineParser(const std::string &text, int line_no)
+        : text(text), lineNo(line_no)
+    {}
+
+    [[noreturn]] void
+    error(const std::string &msg) const
+    {
+        fatal("asm line %d: %s (in '%s')", lineNo, msg.c_str(),
+              text.c_str());
+    }
+
+    void
+    skipSpace()
+    {
+        while (pos < text.size()
+               && std::isspace(static_cast<unsigned char>(text[pos]))) {
+            ++pos;
+        }
+    }
+
+    bool
+    atEnd()
+    {
+        skipSpace();
+        return pos >= text.size();
+    }
+
+    bool
+    consume(char c)
+    {
+        skipSpace();
+        if (pos < text.size() && text[pos] == c) {
+            ++pos;
+            return true;
+        }
+        return false;
+    }
+
+    void
+    expect(char c)
+    {
+        if (!consume(c))
+            error(std::string("expected '") + c + "'");
+    }
+
+    /** Read an identifier-like token ([A-Za-z0-9_.]+). */
+    std::string
+    ident()
+    {
+        skipSpace();
+        size_t start = pos;
+        while (pos < text.size()
+               && (std::isalnum(static_cast<unsigned char>(text[pos]))
+                   || text[pos] == '_' || text[pos] == '.')) {
+            ++pos;
+        }
+        if (pos == start)
+            error("expected identifier");
+        return text.substr(start, pos - start);
+    }
+
+    int64_t
+    number()
+    {
+        skipSpace();
+        size_t start = pos;
+        if (pos < text.size() && (text[pos] == '-' || text[pos] == '+'))
+            ++pos;
+        if (pos + 1 < text.size() && text[pos] == '0'
+            && (text[pos + 1] == 'x' || text[pos + 1] == 'X')) {
+            pos += 2;
+            while (pos < text.size()
+                   && std::isxdigit(static_cast<unsigned char>(text[pos]))) {
+                ++pos;
+            }
+        } else {
+            while (pos < text.size()
+                   && std::isdigit(static_cast<unsigned char>(text[pos]))) {
+                ++pos;
+            }
+        }
+        if (pos == start)
+            error("expected number");
+        return std::stoll(text.substr(start, pos - start), nullptr, 0);
+    }
+
+    Reg
+    reg()
+    {
+        std::string name = ident();
+        if (name.size() < 2 || (name[0] != 'r' && name[0] != 'f'))
+            error("expected register, got '" + name + "'");
+        int n = 0;
+        for (size_t i = 1; i < name.size(); ++i) {
+            if (!std::isdigit(static_cast<unsigned char>(name[i])))
+                error("expected register, got '" + name + "'");
+            n = n * 10 + (name[i] - '0');
+        }
+        if (name[0] == 'r') {
+            if (n >= NUM_INT_REGS)
+                error("integer register out of range: " + name);
+            return R(n);
+        }
+        if (n >= NUM_FP_REGS)
+            error("fp register out of range: " + name);
+        return F(n);
+    }
+
+    /** Parse "[rN]" or "[rN+off]" or "[rN-off]". */
+    std::pair<Reg, int64_t>
+    memOperand()
+    {
+        expect('[');
+        Reg base = reg();
+        int64_t offset = 0;
+        skipSpace();
+        if (pos < text.size() && (text[pos] == '+' || text[pos] == '-'))
+            offset = number();
+        expect(']');
+        return {base, offset};
+    }
+
+    const std::string &text;
+    int lineNo;
+    size_t pos = 0;
+};
+
+const std::map<std::string, Opcode> threeRegOps = {
+    {"add", Opcode::ADD},   {"sub", Opcode::SUB},   {"mul", Opcode::MUL},
+    {"div", Opcode::DIV},   {"divu", Opcode::DIVU}, {"rem", Opcode::REM},
+    {"remu", Opcode::REMU}, {"and", Opcode::AND},   {"or", Opcode::OR},
+    {"xor", Opcode::XOR},   {"sll", Opcode::SLL},   {"srl", Opcode::SRL},
+    {"sra", Opcode::SRA},   {"slt", Opcode::SLT},   {"sltu", Opcode::SLTU},
+    {"fadd", Opcode::FADD}, {"fsub", Opcode::FSUB}, {"fmul", Opcode::FMUL},
+    {"fdiv", Opcode::FDIV}, {"fmin", Opcode::FMIN}, {"fmax", Opcode::FMAX},
+};
+
+const std::map<std::string, Opcode> immOps = {
+    {"addi", Opcode::ADDI}, {"andi", Opcode::ANDI}, {"ori", Opcode::ORI},
+    {"xori", Opcode::XORI}, {"slli", Opcode::SLLI}, {"srli", Opcode::SRLI},
+    {"srai", Opcode::SRAI}, {"slti", Opcode::SLTI},
+};
+
+const std::map<std::string, Opcode> unaryOps = {
+    {"fsqrt", Opcode::FSQRT},       {"fmov", Opcode::FMOV},
+    {"fcvt.i2f", Opcode::FCVT_I2F}, {"fcvt.f2i", Opcode::FCVT_F2I},
+};
+
+const std::map<std::string, Opcode> branchOps = {
+    {"beq", Opcode::BEQ}, {"bne", Opcode::BNE},
+    {"blt", Opcode::BLT}, {"bge", Opcode::BGE},
+};
+
+} // anonymous namespace
+
+Program
+assemble(const std::string &source)
+{
+    ProgramBuilder builder;
+    std::istringstream stream(source);
+    std::string line;
+    int line_no = 0;
+
+    while (std::getline(stream, line)) {
+        ++line_no;
+        // Strip comments.
+        for (char marker : {'#', ';'}) {
+            size_t at = line.find(marker);
+            if (at != std::string::npos)
+                line = line.substr(0, at);
+        }
+        LineParser p(line, line_no);
+        if (p.atEnd())
+            continue;
+
+        std::string word = p.ident();
+
+        // Label definition?
+        if (p.consume(':')) {
+            builder.label(word);
+            if (p.atEnd())
+                continue;
+            word = p.ident();
+        }
+
+        if (word == "nop") {
+            builder.nop();
+        } else if (word == "halt") {
+            builder.halt();
+        } else if (word == "li") {
+            Reg d = p.reg();
+            p.expect(',');
+            builder.li(d, p.number());
+        } else if (word == "ld") {
+            Reg d = p.reg();
+            p.expect(',');
+            auto [base, off] = p.memOperand();
+            builder.ld(d, base, off);
+        } else if (word == "st") {
+            auto [base, off] = p.memOperand();
+            p.expect(',');
+            builder.st(base, p.reg(), off);
+        } else if (word == "amoswap" || word == "amoadd") {
+            Opcode op = word == "amoswap" ? Opcode::AMOSWAP
+                                          : Opcode::AMOADD;
+            Reg d = p.reg();
+            p.expect(',');
+            auto [base, off] = p.memOperand();
+            p.expect(',');
+            builder.raw(makeRmw(op, d, base, p.reg(), off));
+        } else if (word == "jmp") {
+            builder.jmp(p.ident());
+        } else if (word == "fence.ll") {
+            builder.fenceLL();
+        } else if (word == "fence.ls") {
+            builder.fenceLS();
+        } else if (word == "fence.sl") {
+            builder.fenceSL();
+        } else if (word == "fence.ss") {
+            builder.fenceSS();
+        } else if (word == "fence.acq") {
+            builder.fenceAcquire();
+        } else if (word == "fence.rel") {
+            builder.fenceRelease();
+        } else if (word == "fence.full") {
+            builder.fenceFull();
+        } else if (auto it = branchOps.find(word); it != branchOps.end()) {
+            Reg a = p.reg();
+            p.expect(',');
+            Reg b = p.reg();
+            p.expect(',');
+            std::string target = p.ident();
+            switch (it->second) {
+              case Opcode::BEQ: builder.beq(a, b, target); break;
+              case Opcode::BNE: builder.bne(a, b, target); break;
+              case Opcode::BLT: builder.blt(a, b, target); break;
+              default: builder.bge(a, b, target); break;
+            }
+        } else if (auto it3 = threeRegOps.find(word);
+                   it3 != threeRegOps.end()) {
+            Reg d = p.reg();
+            p.expect(',');
+            Reg a = p.reg();
+            p.expect(',');
+            Reg b = p.reg();
+            builder.alu(it3->second, d, a, b);
+        } else if (auto iti = immOps.find(word); iti != immOps.end()) {
+            Reg d = p.reg();
+            p.expect(',');
+            Reg a = p.reg();
+            p.expect(',');
+            builder.aluImm(iti->second, d, a, p.number());
+        } else if (auto itu = unaryOps.find(word); itu != unaryOps.end()) {
+            Reg d = p.reg();
+            p.expect(',');
+            builder.aluImm(itu->second, d, p.reg(), 0);
+        } else {
+            p.error("unknown mnemonic '" + word + "'");
+        }
+
+        if (!p.atEnd())
+            p.error("trailing characters");
+    }
+    return builder.build();
+}
+
+} // namespace gam::isa

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * A small text assembler for the mini-ISA.
+ *
+ * Syntax (one instruction per line, '#' or ';' to end of line comments):
+ *
+ *     start:                      # label
+ *         li   r1, 42
+ *         add  r2, r1, r1
+ *         addi r3, r2, -8
+ *         ld   r4, [r3+16]
+ *         st   [r3], r4
+ *         beq  r1, r2, start
+ *         fence.ss                # basic fence
+ *         fence.acq               # expands to fence.ll; fence.ls
+ *         fence.rel               # expands to fence.ls; fence.ss
+ *         fence.full              # expands to all four basic fences
+ *         halt
+ */
+
+#ifndef GAM_ISA_ASSEMBLER_HH
+#define GAM_ISA_ASSEMBLER_HH
+
+#include <string>
+
+#include "isa/program.hh"
+
+namespace gam::isa
+{
+
+/**
+ * Assemble @p source into a Program.
+ * Calls fatal() with a line-numbered message on syntax errors.
+ */
+Program assemble(const std::string &source);
+
+} // namespace gam::isa
+
+#endif // GAM_ISA_ASSEMBLER_HH

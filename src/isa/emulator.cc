@@ -1,0 +1,74 @@
+#include "isa/emulator.hh"
+
+#include "base/logging.hh"
+#include "isa/semantics.hh"
+
+namespace gam::isa
+{
+
+Emulator::Emulator(const Program &program, MemImage initial_mem)
+    : program(program)
+{
+    state.mem = std::move(initial_mem);
+}
+
+void
+Emulator::setReg(Reg r, Value v)
+{
+    if (r != REG_ZERO)
+        state.regs[static_cast<size_t>(r)] = v;
+}
+
+bool
+Emulator::step()
+{
+    if (_halted || _pc >= program.size()) {
+        _halted = true;
+        return false;
+    }
+
+    const Instruction &instr = program[_pc];
+    uint64_t next_pc = _pc + 1;
+
+    if (instr.isRegToReg()) {
+        setReg(instr.dst,
+               evalRegToReg(instr, reg(instr.src1), reg(instr.src2)));
+    } else if (instr.isRmw()) {
+        const Addr a = effectiveAddr(instr, reg(instr.src1));
+        const Value old_value = state.mem.load(a);
+        state.mem.store(a,
+                        evalRmwStored(instr, old_value, reg(instr.src2)));
+        setReg(instr.dst, old_value);
+    } else if (instr.isLoad()) {
+        setReg(instr.dst,
+               state.mem.load(effectiveAddr(instr, reg(instr.src1))));
+    } else if (instr.isStore()) {
+        state.mem.store(effectiveAddr(instr, reg(instr.src1)),
+                        reg(instr.src2));
+    } else if (instr.isBranch()) {
+        if (evalBranchTaken(instr, reg(instr.src1), reg(instr.src2)))
+            next_pc = static_cast<uint64_t>(instr.imm);
+    } else if (instr.op == Opcode::HALT) {
+        _halted = true;
+        ++retired;
+        return false;
+    }
+    // NOP and FENCE have no architectural effect in a uniprocessor.
+
+    _pc = next_pc;
+    ++retired;
+    return true;
+}
+
+uint64_t
+Emulator::run(uint64_t max_steps)
+{
+    const uint64_t start = retired;
+    while (retired - start < max_steps && !_halted && _pc < program.size())
+        step();
+    if (_pc >= program.size())
+        _halted = true;
+    return retired - start;
+}
+
+} // namespace gam::isa

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * In-order functional emulator.
+ *
+ * Executes a single thread's program against a memory image with simple
+ * sequential semantics.  It is the golden reference for single-thread
+ * correctness: every workload run on the cycle-level simulator must
+ * produce exactly this emulator's final register file and memory.
+ */
+
+#ifndef GAM_ISA_EMULATOR_HH
+#define GAM_ISA_EMULATOR_HH
+
+#include <array>
+#include <cstdint>
+
+#include "isa/mem_image.hh"
+#include "isa/program.hh"
+
+namespace gam::isa
+{
+
+/** Architectural state snapshot. */
+struct ArchState
+{
+    std::array<Value, NUM_REGS> regs{};
+    MemImage mem;
+
+    Value reg(Reg r) const { return regs[static_cast<size_t>(r)]; }
+
+    bool operator==(const ArchState &other) const = default;
+};
+
+/** Single-thread in-order functional emulator. */
+class Emulator
+{
+  public:
+    /** @param program the code; @param initial_mem starting memory. */
+    Emulator(const Program &program, MemImage initial_mem = {});
+
+    /** Execute one instruction. Returns false once halted. */
+    bool step();
+
+    /**
+     * Run until HALT / end of code or @p max_steps instructions.
+     * @return number of instructions retired by this call.
+     */
+    uint64_t run(uint64_t max_steps = UINT64_MAX);
+
+    bool halted() const { return _halted; }
+    uint64_t pc() const { return _pc; }
+    uint64_t instRetired() const { return retired; }
+
+    Value reg(Reg r) const { return state.regs[static_cast<size_t>(r)]; }
+    void setReg(Reg r, Value v);
+    const MemImage &mem() const { return state.mem; }
+    MemImage &mem() { return state.mem; }
+    const ArchState &archState() const { return state; }
+
+  private:
+    const Program &program;
+    ArchState state;
+    uint64_t _pc = 0;
+    bool _halted = false;
+    uint64_t retired = 0;
+};
+
+} // namespace gam::isa
+
+#endif // GAM_ISA_EMULATOR_HH

@@ -1,0 +1,358 @@
+#include "isa/instruction.hh"
+
+#include <array>
+
+#include "base/logging.hh"
+
+namespace gam::isa
+{
+
+std::string
+regName(Reg r)
+{
+    if (r < NUM_INT_REGS)
+        return "r" + std::to_string(r);
+    return "f" + std::to_string(r - NUM_INT_REGS);
+}
+
+std::string
+fenceName(FenceKind k)
+{
+    switch (k) {
+      case FenceKind::LL: return "FenceLL";
+      case FenceKind::LS: return "FenceLS";
+      case FenceKind::SL: return "FenceSL";
+      case FenceKind::SS: return "FenceSS";
+    }
+    return "Fence??";
+}
+
+std::string
+opcodeName(Opcode op)
+{
+    switch (op) {
+      case Opcode::NOP: return "nop";
+      case Opcode::ADD: return "add";
+      case Opcode::SUB: return "sub";
+      case Opcode::MUL: return "mul";
+      case Opcode::DIV: return "div";
+      case Opcode::DIVU: return "divu";
+      case Opcode::REM: return "rem";
+      case Opcode::REMU: return "remu";
+      case Opcode::AND: return "and";
+      case Opcode::OR: return "or";
+      case Opcode::XOR: return "xor";
+      case Opcode::SLL: return "sll";
+      case Opcode::SRL: return "srl";
+      case Opcode::SRA: return "sra";
+      case Opcode::SLT: return "slt";
+      case Opcode::SLTU: return "sltu";
+      case Opcode::ADDI: return "addi";
+      case Opcode::ANDI: return "andi";
+      case Opcode::ORI: return "ori";
+      case Opcode::XORI: return "xori";
+      case Opcode::SLLI: return "slli";
+      case Opcode::SRLI: return "srli";
+      case Opcode::SRAI: return "srai";
+      case Opcode::SLTI: return "slti";
+      case Opcode::LI: return "li";
+      case Opcode::FADD: return "fadd";
+      case Opcode::FSUB: return "fsub";
+      case Opcode::FMUL: return "fmul";
+      case Opcode::FDIV: return "fdiv";
+      case Opcode::FSQRT: return "fsqrt";
+      case Opcode::FMIN: return "fmin";
+      case Opcode::FMAX: return "fmax";
+      case Opcode::FMOV: return "fmov";
+      case Opcode::FCVT_I2F: return "fcvt.i2f";
+      case Opcode::FCVT_F2I: return "fcvt.f2i";
+      case Opcode::LD: return "ld";
+      case Opcode::ST: return "st";
+      case Opcode::AMOSWAP: return "amoswap";
+      case Opcode::AMOADD: return "amoadd";
+      case Opcode::BEQ: return "beq";
+      case Opcode::BNE: return "bne";
+      case Opcode::BLT: return "blt";
+      case Opcode::BGE: return "bge";
+      case Opcode::JMP: return "jmp";
+      case Opcode::FENCE: return "fence";
+      case Opcode::HALT: return "halt";
+      default: return "???";
+    }
+}
+
+namespace
+{
+
+/** Append r to the set unless it is the hard-wired zero register. */
+void
+addReg(std::vector<Reg> &set, Reg r)
+{
+    if (r == REG_ZERO)
+        return;
+    for (Reg x : set)
+        if (x == r)
+            return;
+    set.push_back(r);
+}
+
+/** True for opcodes of the form op dst, src1, src2. */
+bool
+isThreeReg(Opcode op)
+{
+    switch (op) {
+      case Opcode::ADD: case Opcode::SUB: case Opcode::MUL:
+      case Opcode::DIV: case Opcode::DIVU: case Opcode::REM:
+      case Opcode::REMU: case Opcode::AND: case Opcode::OR:
+      case Opcode::XOR: case Opcode::SLL: case Opcode::SRL:
+      case Opcode::SRA: case Opcode::SLT: case Opcode::SLTU:
+      case Opcode::FADD: case Opcode::FSUB: case Opcode::FMUL:
+      case Opcode::FDIV: case Opcode::FMIN: case Opcode::FMAX:
+        return true;
+      default:
+        return false;
+    }
+}
+
+/** True for opcodes of the form op dst, src1, imm. */
+bool
+isImmOp(Opcode op)
+{
+    switch (op) {
+      case Opcode::ADDI: case Opcode::ANDI: case Opcode::ORI:
+      case Opcode::XORI: case Opcode::SLLI: case Opcode::SRLI:
+      case Opcode::SRAI: case Opcode::SLTI:
+        return true;
+      default:
+        return false;
+    }
+}
+
+/** True for single-source unary register ops. */
+bool
+isUnaryOp(Opcode op)
+{
+    switch (op) {
+      case Opcode::FSQRT: case Opcode::FMOV:
+      case Opcode::FCVT_I2F: case Opcode::FCVT_F2I:
+        return true;
+      default:
+        return false;
+    }
+}
+
+} // anonymous namespace
+
+std::vector<Reg>
+Instruction::readSet() const
+{
+    std::vector<Reg> rs;
+    if (isThreeReg(op)) {
+        addReg(rs, src1);
+        addReg(rs, src2);
+    } else if (isImmOp(op) || isUnaryOp(op)) {
+        addReg(rs, src1);
+    } else if (op == Opcode::LD) {
+        addReg(rs, src1);
+    } else if (op == Opcode::ST || isRmw()) {
+        addReg(rs, src1);
+        addReg(rs, src2);
+    } else if (isCondBranch()) {
+        addReg(rs, src1);
+        addReg(rs, src2);
+    }
+    return rs;
+}
+
+std::vector<Reg>
+Instruction::writeSet() const
+{
+    std::vector<Reg> ws;
+    if (isThreeReg(op) || isImmOp(op) || isUnaryOp(op)
+        || op == Opcode::LI || op == Opcode::LD || isRmw()) {
+        addReg(ws, dst);
+    }
+    return ws;
+}
+
+std::vector<Reg>
+Instruction::addrReadSet() const
+{
+    std::vector<Reg> ars;
+    if (isMem())
+        addReg(ars, src1);
+    return ars;
+}
+
+std::vector<Reg>
+Instruction::dataReadSet() const
+{
+    std::vector<Reg> drs;
+    if (isStore()) // includes RMWs: src2 is the operand they store with
+        addReg(drs, src2);
+    return drs;
+}
+
+std::string
+Instruction::toString() const
+{
+    const std::string name = opcodeName(op);
+    switch (op) {
+      case Opcode::NOP:
+      case Opcode::HALT:
+        return name;
+      case Opcode::FENCE:
+        return fenceName(fence);
+      case Opcode::LI:
+        return name + " " + regName(dst) + ", " + std::to_string(imm);
+      case Opcode::LD:
+        return name + " " + regName(dst) + ", [" + regName(src1)
+            + (imm ? ("+" + std::to_string(imm)) : "") + "]";
+      case Opcode::ST:
+        return name + " [" + regName(src1)
+            + (imm ? ("+" + std::to_string(imm)) : "") + "], "
+            + regName(src2);
+      case Opcode::AMOSWAP: case Opcode::AMOADD:
+        return name + " " + regName(dst) + ", [" + regName(src1)
+            + (imm ? ("+" + std::to_string(imm)) : "") + "], "
+            + regName(src2);
+      case Opcode::JMP:
+        return name + " @" + std::to_string(imm);
+      case Opcode::BEQ: case Opcode::BNE:
+      case Opcode::BLT: case Opcode::BGE:
+        return name + " " + regName(src1) + ", " + regName(src2) + ", @"
+            + std::to_string(imm);
+      default:
+        if (isThreeReg(op)) {
+            return name + " " + regName(dst) + ", " + regName(src1) + ", "
+                + regName(src2);
+        }
+        if (isImmOp(op)) {
+            return name + " " + regName(dst) + ", " + regName(src1) + ", "
+                + std::to_string(imm);
+        }
+        if (isUnaryOp(op))
+            return name + " " + regName(dst) + ", " + regName(src1);
+        return name;
+    }
+}
+
+Instruction
+makeNop()
+{
+    return Instruction{};
+}
+
+Instruction
+makeAlu(Opcode op, Reg dst, Reg src1, Reg src2)
+{
+    GAM_ASSERT(isThreeReg(op), "makeAlu: %s is not a 3-register op",
+               opcodeName(op).c_str());
+    Instruction i;
+    i.op = op;
+    i.dst = dst;
+    i.src1 = src1;
+    i.src2 = src2;
+    return i;
+}
+
+Instruction
+makeAluImm(Opcode op, Reg dst, Reg src1, int64_t imm)
+{
+    GAM_ASSERT(isImmOp(op) || isUnaryOp(op),
+               "makeAluImm: %s is not an immediate/unary op",
+               opcodeName(op).c_str());
+    Instruction i;
+    i.op = op;
+    i.dst = dst;
+    i.src1 = src1;
+    i.imm = imm;
+    return i;
+}
+
+Instruction
+makeLi(Reg dst, int64_t imm)
+{
+    Instruction i;
+    i.op = Opcode::LI;
+    i.dst = dst;
+    i.imm = imm;
+    return i;
+}
+
+Instruction
+makeLoad(Reg dst, Reg addr, int64_t offset)
+{
+    Instruction i;
+    i.op = Opcode::LD;
+    i.dst = dst;
+    i.src1 = addr;
+    i.imm = offset;
+    return i;
+}
+
+Instruction
+makeStore(Reg addr, Reg data, int64_t offset)
+{
+    Instruction i;
+    i.op = Opcode::ST;
+    i.src1 = addr;
+    i.src2 = data;
+    i.imm = offset;
+    return i;
+}
+
+Instruction
+makeRmw(Opcode op, Reg dst, Reg addr, Reg data, int64_t offset)
+{
+    Instruction i;
+    i.op = op;
+    i.dst = dst;
+    i.src1 = addr;
+    i.src2 = data;
+    i.imm = offset;
+    GAM_ASSERT(i.isRmw(), "makeRmw: %s is not an RMW",
+               opcodeName(op).c_str());
+    return i;
+}
+
+Instruction
+makeBranch(Opcode op, Reg src1, Reg src2, int64_t target)
+{
+    Instruction i;
+    i.op = op;
+    i.src1 = src1;
+    i.src2 = src2;
+    i.imm = target;
+    GAM_ASSERT(i.isCondBranch(), "makeBranch: %s is not a branch",
+               opcodeName(op).c_str());
+    return i;
+}
+
+Instruction
+makeJmp(int64_t target)
+{
+    Instruction i;
+    i.op = Opcode::JMP;
+    i.imm = target;
+    return i;
+}
+
+Instruction
+makeFence(FenceKind k)
+{
+    Instruction i;
+    i.op = Opcode::FENCE;
+    i.fence = k;
+    return i;
+}
+
+Instruction
+makeHalt()
+{
+    Instruction i;
+    i.op = Opcode::HALT;
+    return i;
+}
+
+} // namespace gam::isa

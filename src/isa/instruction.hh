@@ -1,0 +1,209 @@
+/**
+ * @file
+ * The mini-ISA used throughout this library.
+ *
+ * The paper's constructions (Sections III and IV) are phrased over an
+ * abstract RISC instruction set with reg-to-reg computation, loads,
+ * stores, branches and the four basic fences (FenceLL/LS/SL/SS).  This
+ * header defines exactly that instruction set: one instruction is one
+ * micro-op (the paper reports uPC; our uOP == instruction), all memory
+ * accesses are 8-byte words, and branch targets are absolute instruction
+ * indices resolved by the program builder or assembler.
+ *
+ * Combined fences (Acquire = FenceLL;FenceLS, Release = FenceLS;FenceSS,
+ * Full = all four) are deliberately *not* single opcodes: the paper
+ * defines them as sequences of basic fences, and the distinction is
+ * semantically visible (two fences are never ordered directly with each
+ * other), so the builder/assembler expand them into sequences.
+ */
+
+#ifndef GAM_ISA_INSTRUCTION_HH
+#define GAM_ISA_INSTRUCTION_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace gam::isa
+{
+
+/**
+ * Architectural register name.  r0..r31 are integer registers with r0
+ * hard-wired to zero; f0..f15 are floating-point registers holding IEEE
+ * double bit patterns.
+ */
+using Reg = int16_t;
+
+constexpr Reg REG_ZERO = 0;
+constexpr int NUM_INT_REGS = 32;
+constexpr int NUM_FP_REGS = 16;
+constexpr int NUM_REGS = NUM_INT_REGS + NUM_FP_REGS;
+
+/** Integer register rN. */
+constexpr Reg R(int n) { return static_cast<Reg>(n); }
+/** Floating-point register fN. */
+constexpr Reg F(int n) { return static_cast<Reg>(NUM_INT_REGS + n); }
+
+/** True for f0..f15. */
+constexpr bool isFpReg(Reg r) { return r >= NUM_INT_REGS; }
+
+/** Human-readable register name ("r3", "f2"). */
+std::string regName(Reg r);
+
+/**
+ * The four basic fences of Section III-D1.  FenceXY orders all older
+ * memory instructions of type X before all younger memory instructions
+ * of type Y in the execution order.
+ */
+enum class FenceKind : uint8_t { LL, LS, SL, SS };
+
+/** Memory-instruction type used by fence ordering rules. */
+enum class MemType : uint8_t { Load, Store };
+
+/** The X (older side) type of a FenceXY. */
+constexpr MemType
+fencePre(FenceKind k)
+{
+    return (k == FenceKind::LL || k == FenceKind::LS) ? MemType::Load
+                                                      : MemType::Store;
+}
+
+/** The Y (younger side) type of a FenceXY. */
+constexpr MemType
+fencePost(FenceKind k)
+{
+    return (k == FenceKind::LL || k == FenceKind::SL) ? MemType::Load
+                                                      : MemType::Store;
+}
+
+/** Fence mnemonic ("FenceLS"). */
+std::string fenceName(FenceKind k);
+
+/** Operations of the mini-ISA. */
+enum class Opcode : uint8_t {
+    NOP,
+    // Reg-to-reg integer computation.
+    ADD, SUB, MUL, DIV, DIVU, REM, REMU,
+    AND, OR, XOR, SLL, SRL, SRA, SLT, SLTU,
+    // Integer computation with an immediate operand.
+    ADDI, ANDI, ORI, XORI, SLLI, SRLI, SRAI, SLTI,
+    // Load immediate: dst = imm.
+    LI,
+    // Reg-to-reg floating point (IEEE double).
+    FADD, FSUB, FMUL, FDIV, FSQRT, FMIN, FMAX, FMOV,
+    FCVT_I2F,  // dst(fp) = (double)src1(int)
+    FCVT_F2I,  // dst(int) = (int64)src1(fp)
+    // Memory: 8-byte word accesses, address = src1 + imm.
+    LD,        // dst = mem[src1 + imm]
+    ST,        // mem[src1 + imm] = src2
+    // Atomic read-modify-write (paper Section III-C): obeys every
+    // constraint that applies to a load *and* a store at its address,
+    // and always executes by accessing the memory system.
+    AMOSWAP,   // dst = mem[a]; mem[a] = src2
+    AMOADD,    // dst = mem[a]; mem[a] = dst + src2
+    // Control: branch to absolute instruction index imm.
+    BEQ, BNE, BLT, BGE,
+    JMP,
+    // Ordering.
+    FENCE,
+    // Stop this hardware thread.
+    HALT,
+
+    NUM_OPCODES,
+};
+
+/** Opcode mnemonic ("add", "fence.ls", ...). */
+std::string opcodeName(Opcode op);
+
+/** One decoded instruction. */
+struct Instruction
+{
+    Opcode op = Opcode::NOP;
+    Reg dst = REG_ZERO;
+    Reg src1 = REG_ZERO;
+    Reg src2 = REG_ZERO;
+    /** Immediate operand / address offset / branch target index. */
+    int64_t imm = 0;
+    /** Which FenceXY this is; valid only when op == FENCE. */
+    FenceKind fence = FenceKind::LL;
+
+    bool operator==(const Instruction &other) const = default;
+
+    /** @name Classification (Section III terminology) */
+    /// @{
+    /** Atomic read-modify-write: classified as both load and store. */
+    bool
+    isRmw() const
+    {
+        return op == Opcode::AMOSWAP || op == Opcode::AMOADD;
+    }
+    bool isLoad() const { return op == Opcode::LD || isRmw(); }
+    bool isStore() const { return op == Opcode::ST || isRmw(); }
+    bool isMem() const { return isLoad() || isStore(); }
+    bool
+    isBranch() const
+    {
+        return op == Opcode::BEQ || op == Opcode::BNE || op == Opcode::BLT
+            || op == Opcode::BGE || op == Opcode::JMP;
+    }
+    bool isCondBranch() const { return isBranch() && op != Opcode::JMP; }
+    bool isFence() const { return op == Opcode::FENCE; }
+    bool
+    isRegToReg() const
+    {
+        return !isMem() && !isBranch() && !isFence() && op != Opcode::NOP
+            && op != Opcode::HALT;
+    }
+    /**
+     * Does this memory instruction act as type @p t when matching
+     * FenceXY constraints?  An RMW matches both types.
+     */
+    bool
+    isMemType(MemType t) const
+    {
+        return t == MemType::Load ? isLoad() : isStore();
+    }
+    /// @}
+
+    /**
+     * @name Register sets (paper Definitions 1-3)
+     * All sets exclude the hard-wired zero register and, per the paper,
+     * ignore the PC.
+     */
+    /// @{
+    /** RS(I): registers this instruction reads. */
+    std::vector<Reg> readSet() const;
+    /** WS(I): registers this instruction can write. */
+    std::vector<Reg> writeSet() const;
+    /** ARS(I): registers read to compute the memory address. */
+    std::vector<Reg> addrReadSet() const;
+    /** Registers read to produce the store data (subset of RS). */
+    std::vector<Reg> dataReadSet() const;
+    /// @}
+
+    /** Disassemble to text. */
+    std::string toString() const;
+};
+
+/**
+ * @name Instruction factories
+ * Convenience constructors used by tests and programmatic workloads.
+ */
+/// @{
+Instruction makeNop();
+Instruction makeAlu(Opcode op, Reg dst, Reg src1, Reg src2);
+Instruction makeAluImm(Opcode op, Reg dst, Reg src1, int64_t imm);
+Instruction makeLi(Reg dst, int64_t imm);
+Instruction makeLoad(Reg dst, Reg addr, int64_t offset = 0);
+Instruction makeStore(Reg addr, Reg data, int64_t offset = 0);
+Instruction makeRmw(Opcode op, Reg dst, Reg addr, Reg data,
+                    int64_t offset = 0);
+Instruction makeBranch(Opcode op, Reg src1, Reg src2, int64_t target);
+Instruction makeJmp(int64_t target);
+Instruction makeFence(FenceKind k);
+Instruction makeHalt();
+/// @}
+
+} // namespace gam::isa
+
+#endif // GAM_ISA_INSTRUCTION_HH

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * A sparse 64-bit word-addressable memory image.
+ *
+ * This is the "monolithic memory" of the paper's abstract machines and
+ * the backing store of the cycle simulator.  Addresses are byte
+ * addresses; all accesses are 8-byte aligned words; unwritten locations
+ * read as zero.
+ */
+
+#ifndef GAM_ISA_MEM_IMAGE_HH
+#define GAM_ISA_MEM_IMAGE_HH
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "base/logging.hh"
+
+namespace gam::isa
+{
+
+/** Byte address of an 8-byte aligned word. */
+using Addr = int64_t;
+/** Architectural value (int registers and memory words). */
+using Value = int64_t;
+
+/** Sparse word-addressable memory, zero initialised. */
+class MemImage
+{
+  public:
+    /** Read the aligned word at @p addr (0 when never written). */
+    Value
+    load(Addr addr) const
+    {
+        checkAligned(addr);
+        auto it = words.find(addr);
+        return it == words.end() ? 0 : it->second;
+    }
+
+    /** Write the aligned word at @p addr. */
+    void
+    store(Addr addr, Value value)
+    {
+        checkAligned(addr);
+        words[addr] = value;
+    }
+
+    /** Number of distinct words ever written. */
+    size_t footprint() const { return words.size(); }
+
+    bool operator==(const MemImage &other) const = default;
+
+    const std::unordered_map<Addr, Value> &raw() const { return words; }
+
+  private:
+    static void
+    checkAligned(Addr addr)
+    {
+        GAM_ASSERT((addr & 7) == 0, "misaligned 8-byte access at %lld",
+                   static_cast<long long>(addr));
+    }
+
+    std::unordered_map<Addr, Value> words;
+};
+
+} // namespace gam::isa
+
+#endif // GAM_ISA_MEM_IMAGE_HH

@@ -1,0 +1,45 @@
+#include "litmus/outcome.hh"
+
+#include <algorithm>
+#include <sstream>
+
+namespace gam::litmus
+{
+
+void
+Outcome::canonicalize()
+{
+    std::sort(regs.begin(), regs.end());
+    std::sort(mem.begin(), mem.end());
+}
+
+std::string
+Outcome::toString() const
+{
+    std::ostringstream os;
+    bool first = true;
+    for (const auto &r : regs) {
+        if (!first)
+            os << " ";
+        first = false;
+        os << r.tid << ":" << isa::regName(r.reg) << "=" << r.value;
+    }
+    if (!mem.empty()) {
+        os << " |";
+        for (const auto &m : mem)
+            os << " [0x" << std::hex << m.addr << std::dec << "]="
+               << m.value;
+    }
+    return os.str();
+}
+
+std::string
+toString(const OutcomeSet &outcomes)
+{
+    std::ostringstream os;
+    for (const auto &o : outcomes)
+        os << o.toString() << "\n";
+    return os.str();
+}
+
+} // namespace gam::litmus

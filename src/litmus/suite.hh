@@ -1,0 +1,42 @@
+/**
+ * @file
+ * The litmus-test registry.
+ *
+ * paperSuite() returns exactly the litmus tests printed in the paper
+ * (Figures 2, 5, 13a-d, 14a-d) with the paper's verdicts attached;
+ * classicSuite() adds the classical differentiating tests (MP, LB, SB,
+ * WRC, IRIW, 2+2W, coherence tests, control-dependency tests) with
+ * verdicts derived from the models' definitions.
+ */
+
+#ifndef GAM_LITMUS_SUITE_HH
+#define GAM_LITMUS_SUITE_HH
+
+#include <vector>
+
+#include "litmus/test.hh"
+
+namespace gam::litmus
+{
+
+/** Shared-location addresses used by all suite tests. */
+constexpr isa::Addr LOC_A = 0x1000;
+constexpr isa::Addr LOC_B = 0x1008;
+constexpr isa::Addr LOC_C = 0x1010;
+constexpr isa::Addr LOC_D = 0x1018;
+
+/** The litmus tests printed in the paper, in order of appearance. */
+const std::vector<LitmusTest> &paperSuite();
+
+/** Classical tests covering each ordering constraint. */
+const std::vector<LitmusTest> &classicSuite();
+
+/** paperSuite() + classicSuite(). */
+std::vector<LitmusTest> allTests();
+
+/** Look up a test by name across both suites; fatal() if unknown. */
+const LitmusTest &testByName(const std::string &name);
+
+} // namespace gam::litmus
+
+#endif // GAM_LITMUS_SUITE_HH

@@ -1,0 +1,148 @@
+#include "litmus/test.hh"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+
+#include "base/logging.hh"
+
+namespace gam::litmus
+{
+
+void
+LitmusTest::finalize()
+{
+    if (observedRegs.empty()) {
+        std::set<std::pair<int, isa::Reg>> regs;
+        for (size_t tid = 0; tid < threads.size(); ++tid) {
+            for (const auto &instr : threads[tid].code) {
+                for (isa::Reg r : instr.writeSet())
+                    regs.insert({static_cast<int>(tid), r});
+            }
+        }
+        observedRegs.assign(regs.begin(), regs.end());
+    }
+    if (addressUniverse.empty()) {
+        for (const auto &[name, addr] : locations)
+            addressUniverse.push_back(addr);
+        std::sort(addressUniverse.begin(), addressUniverse.end());
+        addressUniverse.erase(
+            std::unique(addressUniverse.begin(), addressUniverse.end()),
+            addressUniverse.end());
+    }
+}
+
+bool
+LitmusTest::conditionMatches(const Outcome &outcome) const
+{
+    for (const auto &rc : regCond) {
+        bool found = false;
+        for (const auto &obs : outcome.regs) {
+            if (obs.tid == rc.tid && obs.reg == rc.reg) {
+                if (obs.value != rc.value)
+                    return false;
+                found = true;
+                break;
+            }
+        }
+        if (!found)
+            return false;
+    }
+    for (const auto &mc : memCond) {
+        bool found = false;
+        for (const auto &obs : outcome.mem) {
+            if (obs.addr == mc.addr) {
+                if (obs.value != mc.value)
+                    return false;
+                found = true;
+                break;
+            }
+        }
+        if (!found)
+            return false;
+    }
+    return true;
+}
+
+std::string
+LitmusTest::toString() const
+{
+    std::ostringstream os;
+    os << name << " (" << paperRef << ")\n";
+    if (!description.empty())
+        os << description << "\n";
+    for (size_t tid = 0; tid < threads.size(); ++tid) {
+        os << "--- thread " << tid << " ---\n";
+        os << threads[tid].toString();
+    }
+    os << "condition:";
+    for (const auto &rc : regCond)
+        os << " " << rc.tid << ":" << isa::regName(rc.reg) << "="
+           << rc.value;
+    for (const auto &mc : memCond)
+        os << " [0x" << std::hex << mc.addr << std::dec << "]="
+           << mc.value;
+    os << "\n";
+    return os.str();
+}
+
+LitmusBuilder::LitmusBuilder(std::string name, std::string paper_ref,
+                             std::string description)
+{
+    test.name = std::move(name);
+    test.paperRef = std::move(paper_ref);
+    test.description = std::move(description);
+}
+
+LitmusBuilder &
+LitmusBuilder::location(const std::string &name, isa::Addr addr)
+{
+    test.locations.emplace_back(name, addr);
+    return *this;
+}
+
+LitmusBuilder &
+LitmusBuilder::initMem(isa::Addr addr, isa::Value value)
+{
+    test.initialMem.store(addr, value);
+    return *this;
+}
+
+LitmusBuilder &
+LitmusBuilder::thread(isa::Program program)
+{
+    test.threads.push_back(std::move(program));
+    return *this;
+}
+
+LitmusBuilder &
+LitmusBuilder::requireReg(int tid, isa::Reg reg, isa::Value value)
+{
+    test.regCond.push_back(RegConstraint{tid, reg, value});
+    return *this;
+}
+
+LitmusBuilder &
+LitmusBuilder::requireMem(isa::Addr addr, isa::Value value)
+{
+    test.memCond.push_back(MemConstraint{addr, value});
+    return *this;
+}
+
+LitmusBuilder &
+LitmusBuilder::expect(model::ModelKind kind, bool allowed)
+{
+    test.expected[kind] = allowed;
+    return *this;
+}
+
+LitmusTest
+LitmusBuilder::done()
+{
+    GAM_ASSERT(!test.threads.empty(), "litmus test '%s' has no threads",
+               test.name.c_str());
+    test.finalize();
+    return test;
+}
+
+} // namespace gam::litmus

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * LitmusTest: a small multi-threaded program plus an asked-about final
+ * condition and the paper's expected verdict per memory model.
+ */
+
+#ifndef GAM_LITMUS_TEST_HH
+#define GAM_LITMUS_TEST_HH
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "isa/mem_image.hh"
+#include "isa/program.hh"
+#include "litmus/outcome.hh"
+#include "model/kind.hh"
+
+namespace gam::litmus
+{
+
+/** A required final register value (conjunct of the test condition). */
+struct RegConstraint
+{
+    int tid;
+    isa::Reg reg;
+    isa::Value value;
+};
+
+/** A required final memory value (conjunct of the test condition). */
+struct MemConstraint
+{
+    isa::Addr addr;
+    isa::Value value;
+};
+
+/** A litmus test with its paper-documented verdicts. */
+struct LitmusTest
+{
+    std::string name;
+    /** Where in the paper this test appears (e.g. "Figure 13a"). */
+    std::string paperRef;
+    std::string description;
+
+    std::vector<isa::Program> threads;
+    isa::MemImage initialMem;
+    /** Named shared locations, for pretty printing. */
+    std::vector<std::pair<std::string, isa::Addr>> locations;
+
+    /** The asked-about behavior (conjunction of all constraints). */
+    std::vector<RegConstraint> regCond;
+    std::vector<MemConstraint> memCond;
+
+    /**
+     * Paper verdict per model: true = the behavior is allowed.
+     * Models not listed make no claim for this test.
+     */
+    std::map<model::ModelKind, bool> expected;
+
+    /**
+     * Registers whose final value an engine must report.  finalize()
+     * defaults this to every register any thread writes.
+     */
+    std::vector<std::pair<int, isa::Reg>> observedRegs;
+    /**
+     * Memory addresses whose final value an engine must report.
+     * finalize() defaults this to all named locations.
+     */
+    std::vector<isa::Addr> addressUniverse;
+
+    /** Fill in defaulted fields; must be called after construction. */
+    void finalize();
+
+    /** Does @p outcome satisfy the test's condition? */
+    bool conditionMatches(const Outcome &outcome) const;
+
+    /** Render the test (threads side by side) for display. */
+    std::string toString() const;
+};
+
+/**
+ * Convenience builder used by the suite and by tests/examples.
+ *
+ *     LitmusTest t = LitmusBuilder("mp", "Figure x")
+ *         .location("a", 0x1000).location("b", 0x1008)
+ *         .thread(p1).thread(p2)
+ *         .requireReg(1, R(1), 1)
+ *         .expect(ModelKind::GAM, false)
+ *         .done();
+ */
+class LitmusBuilder
+{
+  public:
+    LitmusBuilder(std::string name, std::string paper_ref,
+                  std::string description = "");
+
+    LitmusBuilder &location(const std::string &name, isa::Addr addr);
+    LitmusBuilder &initMem(isa::Addr addr, isa::Value value);
+    LitmusBuilder &thread(isa::Program program);
+    LitmusBuilder &requireReg(int tid, isa::Reg reg, isa::Value value);
+    LitmusBuilder &requireMem(isa::Addr addr, isa::Value value);
+    LitmusBuilder &expect(model::ModelKind kind, bool allowed);
+    LitmusTest done();
+
+  private:
+    LitmusTest test;
+};
+
+} // namespace gam::litmus
+
+#endif // GAM_LITMUS_TEST_HH

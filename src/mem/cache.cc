@@ -1,0 +1,163 @@
+#include "mem/cache.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "base/logging.hh"
+
+namespace gam::mem
+{
+
+Cache::Cache(const CacheParams &params, MemLevel *parent)
+    : _params(params), parent(parent)
+{
+    GAM_ASSERT(parent != nullptr, "cache '%s' has no parent level",
+               params.name.c_str());
+    GAM_ASSERT(params.sizeBytes % (params.lineBytes * params.assoc) == 0,
+               "cache '%s': size not divisible by way size",
+               params.name.c_str());
+    numSets = params.sizeBytes / (params.lineBytes * params.assoc);
+    lines.resize(numSets * params.assoc);
+}
+
+void
+Cache::retireMshrs(Cycle now)
+{
+    for (auto it = mshr.begin(); it != mshr.end();) {
+        if (it->second <= now)
+            it = mshr.erase(it);
+        else
+            ++it;
+    }
+}
+
+Cycle
+Cache::access(isa::Addr addr, bool is_write, Cycle now, AccessKind kind)
+{
+    ++_stats.accesses;
+    const bool demand_load = kind == AccessKind::DemandLoad;
+    if (demand_load)
+        ++_stats.demandLoadAccesses;
+
+    const uint64_t line = lineAddr(addr);
+    const uint64_t set = setIndex(line);
+    const uint64_t tag = tagOf(line);
+    Line *way = nullptr;
+    for (uint64_t w = 0; w < _params.assoc; ++w) {
+        Line &cand = lines[set * _params.assoc + w];
+        if (cand.valid && cand.tag == tag) {
+            way = &cand;
+            break;
+        }
+    }
+
+    if (way != nullptr) {
+        ++_stats.hits;
+        way->lastUse = ++useCounter;
+        if (is_write)
+            way->dirty = true;
+        // A line still being filled supplies data when the fill lands.
+        return std::max(now + _params.hitLatency, way->fillReady);
+    }
+
+    // Miss path.
+    ++_stats.misses;
+    if (demand_load)
+        ++_stats.demandLoadMisses;
+    retireMshrs(now);
+
+    // Merge with an outstanding fill of the same line.
+    if (auto it = mshr.find(line); it != mshr.end()) {
+        ++_stats.mshrMerges;
+        // The line was (or will be) installed by the primary miss.
+        return std::max(it->second, now + _params.hitLatency);
+    }
+
+    // All MSHRs busy: wait for the earliest one to retire.
+    Cycle start = now;
+    while (mshr.size() >= _params.mshrs) {
+        ++_stats.mshrFullStalls;
+        Cycle earliest = UINT64_MAX;
+        uint64_t victim_line = 0;
+        for (const auto &[l, ready] : mshr) {
+            if (ready < earliest) {
+                earliest = ready;
+                victim_line = l;
+            }
+        }
+        mshr.erase(victim_line);
+        start = std::max(start, earliest);
+    }
+
+    // Choose an LRU victim way.
+    Line *victim = nullptr;
+    for (uint64_t w = 0; w < _params.assoc; ++w) {
+        Line &cand = lines[set * _params.assoc + w];
+        if (!cand.valid) {
+            victim = &cand;
+            break;
+        }
+        if (victim == nullptr || cand.lastUse < victim->lastUse)
+            victim = &cand;
+    }
+    if (victim->valid) {
+        ++_stats.evictions;
+        if (victim->dirty) {
+            ++_stats.writebacks;
+            const uint64_t victim_line =
+                victim->tag * numSets + set;
+            parent->access(isa::Addr(victim_line * _params.lineBytes),
+                           true, start + _params.hitLatency,
+                           AccessKind::Writeback);
+        }
+    }
+
+    const Cycle fill = parent->access(addr, false,
+                                      start + _params.hitLatency, kind);
+    victim->valid = true;
+    victim->dirty = is_write;
+    victim->tag = tag;
+    victim->lastUse = ++useCounter;
+    victim->fillReady = fill;
+    mshr[line] = fill;
+    return fill;
+}
+
+bool
+Cache::probe(isa::Addr addr) const
+{
+    const uint64_t line = lineAddr(addr);
+    const uint64_t set = setIndex(line);
+    const uint64_t tag = tagOf(line);
+    for (uint64_t w = 0; w < _params.assoc; ++w) {
+        const Line &cand = lines[set * _params.assoc + w];
+        if (cand.valid && cand.tag == tag)
+            return true;
+    }
+    return false;
+}
+
+MainMemory::MainMemory(Cycle latency, double bytes_per_cycle,
+                       uint32_t line_bytes)
+    : latency(latency)
+{
+    GAM_ASSERT(bytes_per_cycle > 0, "bad DRAM bandwidth");
+    transferCycles =
+        Cycle(std::ceil(double(line_bytes) / bytes_per_cycle));
+}
+
+Cycle
+MainMemory::access(isa::Addr addr, bool is_write, Cycle now,
+                   AccessKind kind)
+{
+    const Cycle start = std::max(now, busFree);
+    busFree = start + transferCycles;
+    if (is_write) {
+        ++_writes;
+        return start; // posted write: the requester does not wait
+    }
+    ++_reads;
+    return start + latency;
+}
+
+} // namespace gam::mem

@@ -1,0 +1,21 @@
+#include "model/kind.hh"
+
+namespace gam::model
+{
+
+std::string
+modelName(ModelKind kind)
+{
+    switch (kind) {
+      case ModelKind::SC: return "SC";
+      case ModelKind::TSO: return "TSO";
+      case ModelKind::GAM0: return "GAM0";
+      case ModelKind::GAM: return "GAM";
+      case ModelKind::ARM: return "ARM";
+      case ModelKind::AlphaStar: return "Alpha*";
+      case ModelKind::PerLocSC: return "PerLocSC";
+    }
+    return "?";
+}
+
+} // namespace gam::model

@@ -1,0 +1,287 @@
+#include "model/ppo.hh"
+
+#include "base/logging.hh"
+
+namespace gam::model
+{
+
+namespace ppo_case
+{
+
+Relation
+saMemSt(const Trace &trace)
+{
+    // A store must be ordered after older memory instructions for the
+    // same address.
+    const size_t n = trace.size();
+    Relation rel(n);
+    for (size_t j = 0; j < n; ++j) {
+        if (!trace[j].isStore())
+            continue;
+        for (size_t i = 0; i < j; ++i) {
+            if (trace[i].isMem() && trace[i].addr == trace[j].addr)
+                rel.set(i, j);
+        }
+    }
+    return rel;
+}
+
+Relation
+saStLd(const Trace &trace)
+{
+    // A load must be ordered after every instruction producing the
+    // address or data of the immediately preceding same-address store.
+    const size_t n = trace.size();
+    Relation rel(n);
+    Relation ddep = dataDeps(trace);
+    for (size_t j = 0; j < n; ++j) {
+        if (!trace[j].isLoad())
+            continue;
+        // Find the closest older store S for the same address.
+        for (size_t s = j; s-- > 0;) {
+            if (trace[s].isStore() && trace[s].addr == trace[j].addr) {
+                for (size_t i = 0; i < s; ++i) {
+                    if (ddep(i, s))
+                        rel.set(i, j);
+                }
+                break;
+            }
+        }
+    }
+    return rel;
+}
+
+Relation
+saLdLd(const Trace &trace)
+{
+    // Constraint SALdLd: two same-address loads with no intervening
+    // same-address store execute in commit order.
+    const size_t n = trace.size();
+    Relation rel(n);
+    for (size_t j = 0; j < n; ++j) {
+        if (!trace[j].isLoad())
+            continue;
+        for (size_t i = j; i-- > 0;) {
+            if (!trace[i].isMem() || trace[i].addr != trace[j].addr)
+                continue;
+            if (trace[i].isLoad())
+                rel.set(i, j);  // same-address load (or RMW) pair
+            if (trace[i].isStore())
+                break;          // intervening store shields older pairs
+        }
+    }
+    return rel;
+}
+
+Relation
+saLdLdArm(const Trace &trace, const RfMap &rf)
+{
+    // Constraint SALdLdARM: two same-address loads that do not read from
+    // the same store (not just the same value) execute in commit order.
+    const size_t n = trace.size();
+    GAM_ASSERT(rf.size() == n, "rf map size mismatch");
+    Relation rel(n);
+    for (size_t j = 0; j < n; ++j) {
+        if (!trace[j].isLoad())
+            continue;
+        for (size_t i = 0; i < j; ++i) {
+            if (trace[i].isLoad() && trace[i].addr == trace[j].addr
+                && rf[i] != rf[j]) {
+                rel.set(i, j);
+            }
+        }
+    }
+    return rel;
+}
+
+Relation
+regRaw(const Trace &trace)
+{
+    return dataDeps(trace);
+}
+
+Relation
+brSt(const Trace &trace)
+{
+    // A store must be ordered after an older branch.
+    const size_t n = trace.size();
+    Relation rel(n);
+    for (size_t j = 0; j < n; ++j) {
+        if (!trace[j].isStore())
+            continue;
+        for (size_t i = 0; i < j; ++i) {
+            if (trace[i].instr.isBranch())
+                rel.set(i, j);
+        }
+    }
+    return rel;
+}
+
+Relation
+addrSt(const Trace &trace)
+{
+    // A store must be ordered after any instruction that produces the
+    // address of an older memory instruction.
+    const size_t n = trace.size();
+    Relation rel(n);
+    Relation adep = addrDeps(trace);
+    for (size_t j = 0; j < n; ++j) {
+        if (!trace[j].isStore())
+            continue;
+        for (size_t k = 0; k < j; ++k) {
+            if (!trace[k].isMem())
+                continue;
+            for (size_t i = 0; i < k; ++i) {
+                if (adep(i, k))
+                    rel.set(i, j);
+            }
+        }
+    }
+    return rel;
+}
+
+Relation
+fenceOrd(const Trace &trace)
+{
+    // FenceXY is after older type-X memory instructions and before
+    // younger type-Y memory instructions.
+    const size_t n = trace.size();
+    Relation rel(n);
+    for (size_t f = 0; f < n; ++f) {
+        if (!trace[f].instr.isFence())
+            continue;
+        const isa::FenceKind k = trace[f].instr.fence;
+        for (size_t i = 0; i < f; ++i) {
+            if (trace[i].isMem()
+                && trace[i].instr.isMemType(isa::fencePre(k))) {
+                rel.set(i, f);
+            }
+        }
+        for (size_t j = f + 1; j < n; ++j) {
+            if (trace[j].isMem()
+                && trace[j].instr.isMemType(isa::fencePost(k))) {
+                rel.set(f, j);
+            }
+        }
+    }
+    return rel;
+}
+
+} // namespace ppo_case
+
+namespace
+{
+
+void
+merge(Relation &into, const Relation &from)
+{
+    for (size_t i = 0; i < into.size(); ++i)
+        for (size_t j = 0; j < into.size(); ++j)
+            if (from(i, j))
+                into.set(i, j);
+}
+
+/** SC: every pair of memory instructions is ordered. */
+Relation
+ppoSc(const Trace &trace)
+{
+    const size_t n = trace.size();
+    Relation rel(n);
+    for (size_t j = 0; j < n; ++j) {
+        if (!trace[j].isMem())
+            continue;
+        for (size_t i = 0; i < j; ++i) {
+            if (trace[i].isMem())
+                rel.set(i, j);
+        }
+    }
+    return rel;
+}
+
+/**
+ * TSO: every memory pair is ordered except store-to-load; a FenceSL (or
+ * a fence sequence containing one) restores the store-to-load order via
+ * transitivity.
+ */
+Relation
+ppoTso(const Trace &trace)
+{
+    const size_t n = trace.size();
+    Relation rel(n);
+    for (size_t j = 0; j < n; ++j) {
+        if (!trace[j].isMem())
+            continue;
+        for (size_t i = 0; i < j; ++i) {
+            if (!trace[i].isMem())
+                continue;
+            if (trace[i].isStore() && !trace[i].isLoad()
+                && trace[j].isLoad() && !trace[j].isStore()) {
+                continue; // the one TSO relaxation: pure St -> pure Ld
+            }
+            rel.set(i, j);
+        }
+    }
+    merge(rel, ppo_case::fenceOrd(trace));
+    rel.transitiveClose();
+    return rel;
+}
+
+/**
+ * Per-location SC pseudo-model: all same-address pairs are ordered,
+ * nothing else (fences included) constrains the order.
+ */
+Relation
+ppoPerLocSc(const Trace &trace)
+{
+    const size_t n = trace.size();
+    Relation rel(n);
+    for (size_t j = 0; j < n; ++j) {
+        if (!trace[j].isMem())
+            continue;
+        for (size_t i = 0; i < j; ++i) {
+            if (trace[i].isMem() && trace[i].addr == trace[j].addr)
+                rel.set(i, j);
+        }
+    }
+    return rel;
+}
+
+} // anonymous namespace
+
+Relation
+preservedProgramOrder(const Trace &trace, ModelKind kind, const RfMap *rf)
+{
+    switch (kind) {
+      case ModelKind::SC:
+        return ppoSc(trace);
+      case ModelKind::TSO:
+        return ppoTso(trace);
+      case ModelKind::PerLocSC:
+        return ppoPerLocSc(trace);
+      default:
+        break;
+    }
+
+    // GAM family (Definition 6).
+    Relation rel(trace.size());
+    merge(rel, ppo_case::saMemSt(trace));
+    merge(rel, ppo_case::saStLd(trace));
+    merge(rel, ppo_case::regRaw(trace));
+    merge(rel, ppo_case::brSt(trace));
+    merge(rel, ppo_case::addrSt(trace));
+    merge(rel, ppo_case::fenceOrd(trace));
+
+    if (kind == ModelKind::GAM) {
+        merge(rel, ppo_case::saLdLd(trace));
+    } else if (kind == ModelKind::ARM) {
+        GAM_ASSERT(rf != nullptr,
+                   "ARM ppo needs the read-from map (SALdLdARM)");
+        merge(rel, ppo_case::saLdLdArm(trace, *rf));
+    }
+    // GAM0 and AlphaStar: no same-address load-load constraint.
+
+    rel.transitiveClose();
+    return rel;
+}
+
+} // namespace gam::model

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Preserved program order <ppo (paper Definition 6) for every model.
+ *
+ * ppo relates two instructions of the same thread when their execution
+ * order must match the commit order.  For the GAM family it is the union
+ * of the constraints SAMemSt, SAStLd, SALdLd (or SALdLdARM), RegRAW,
+ * BrSt, AddrSt and FenceOrd, closed under transitivity.  Non-memory
+ * instructions (fences, branches, reg-to-reg ops) participate as
+ * intermediate nodes; only memory-to-memory ppo edges constrain the
+ * global memory order.
+ */
+
+#ifndef GAM_MODEL_PPO_HH
+#define GAM_MODEL_PPO_HH
+
+#include "model/deps.hh"
+#include "model/kind.hh"
+#include "model/trace.hh"
+
+namespace gam::model
+{
+
+/**
+ * Compute <ppo over one thread's committed trace.
+ *
+ * @param trace  the thread's commit-order instruction sequence with
+ *               resolved memory addresses
+ * @param kind   which model's ppo to compute
+ * @param rf     read-from choice per trace index; required for
+ *               ModelKind::ARM (constraint SALdLdARM compares the
+ *               stores two loads read from), ignored otherwise
+ * @return       the transitively closed relation over trace indices
+ */
+Relation preservedProgramOrder(const Trace &trace, ModelKind kind,
+                               const RfMap *rf = nullptr);
+
+/**
+ * Individual Definition 6 cases, exposed for unit testing.  Each returns
+ * the *direct* (non-closed) edges contributed by that constraint.
+ */
+namespace ppo_case
+{
+
+Relation saMemSt(const Trace &trace);
+Relation saStLd(const Trace &trace);
+Relation saLdLd(const Trace &trace);
+Relation saLdLdArm(const Trace &trace, const RfMap &rf);
+Relation regRaw(const Trace &trace);
+Relation brSt(const Trace &trace);
+Relation addrSt(const Trace &trace);
+Relation fenceOrd(const Trace &trace);
+
+} // namespace ppo_case
+
+} // namespace gam::model
+
+#endif // GAM_MODEL_PPO_HH

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Committed execution traces: the domain over which program order,
+ * dependencies and preserved program order are defined.
+ *
+ * The axiomatic definition of GAM (Section IV-A) is stated over the
+ * instructions a processor *commits*, with memory addresses already
+ * resolved (same-address constraints need concrete addresses).  A Trace
+ * is one thread's commit-order instruction sequence annotated with those
+ * resolved addresses.
+ */
+
+#ifndef GAM_MODEL_TRACE_HH
+#define GAM_MODEL_TRACE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "isa/instruction.hh"
+#include "isa/mem_image.hh"
+
+namespace gam::model
+{
+
+/**
+ * Identifier of the store a load read from: the global uid of a store
+ * instruction, or InitStore for the initial memory value.  Used by the
+ * LoadValue axiom and by the ARM SALdLdARM ppo case ("do not read from
+ * the same store").
+ */
+using StoreId = int32_t;
+constexpr StoreId InitStore = -1;
+
+/** One committed instruction with resolved memory address. */
+struct TraceInstr
+{
+    isa::Instruction instr;
+    /** Effective address; valid iff instr.isMem(). */
+    isa::Addr addr = 0;
+    /** Value loaded or stored; valid iff instr.isMem().  For an RMW
+     *  this is the *loaded* value; the written value is rmwStored. */
+    isa::Value value = 0;
+    /** Value an RMW wrote; valid iff instr.isRmw(). */
+    isa::Value rmwStored = 0;
+
+    bool isLoad() const { return instr.isLoad(); }
+    bool isStore() const { return instr.isStore(); }
+    bool isMem() const { return instr.isMem(); }
+};
+
+/** One thread's committed instructions in commit (program) order. */
+using Trace = std::vector<TraceInstr>;
+
+/**
+ * Read-from choice for every load in a trace: rf[i] is meaningful only
+ * when trace[i] is a load and names the store whose value it reads.
+ */
+using RfMap = std::vector<StoreId>;
+
+} // namespace gam::model
+
+#endif // GAM_MODEL_TRACE_HH

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Exhaustive state-space exploration of an abstract machine.
+ *
+ * The explorer enumerates every reachable terminal state over all rule
+ * interleavings (and all speculation choices), memoising visited states
+ * by their canonical encoding.  The resulting outcome set is the
+ * machine's full behavior on the test, directly comparable with the
+ * axiomatic checker's enumeration.
+ *
+ * Any machine type with enabledRules()/fire()/terminal()/outcome()/
+ * encode()/stuck() can be explored; a RandomWalker is provided for
+ * programs too large to exhaust.
+ */
+
+#ifndef GAM_OPERATIONAL_EXPLORER_HH
+#define GAM_OPERATIONAL_EXPLORER_HH
+
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+#include "base/logging.hh"
+#include "base/rng.hh"
+#include "litmus/outcome.hh"
+
+namespace gam::operational
+{
+
+/** Result of an exploration. */
+struct ExploreResult
+{
+    litmus::OutcomeSet outcomes;
+    uint64_t statesVisited = 0;
+    /** False when the state budget was exhausted first. */
+    bool complete = true;
+};
+
+/**
+ * Exhaustively explore @p initial.
+ *
+ * @param initial    the machine's start state (copied per transition)
+ * @param max_states visited-state budget
+ */
+template <typename Machine>
+ExploreResult
+exploreAll(const Machine &initial, uint64_t max_states = 20'000'000)
+{
+    ExploreResult result;
+    std::unordered_set<std::string> visited;
+    std::vector<Machine> stack;
+    stack.push_back(initial);
+    visited.insert(initial.encode());
+
+    while (!stack.empty()) {
+        Machine m = std::move(stack.back());
+        stack.pop_back();
+        ++result.statesVisited;
+        if (result.statesVisited > max_states) {
+            result.complete = false;
+            break;
+        }
+
+        auto rules = m.enabledRules();
+        if (rules.empty()) {
+            if (m.terminal()) {
+                result.outcomes.insert(m.outcome());
+            } else {
+                panic("abstract machine deadlocked in a non-terminal "
+                      "state: %s", m.encode().c_str());
+            }
+            continue;
+        }
+        for (const auto &rule : rules) {
+            Machine next = m;
+            next.fire(rule);
+            auto [it, inserted] = visited.insert(next.encode());
+            if (inserted)
+                stack.push_back(std::move(next));
+        }
+    }
+    return result;
+}
+
+/**
+ * Sample random trajectories of @p initial: cheap outcome sampling for
+ * programs whose full state space is too large.
+ */
+template <typename Machine>
+litmus::OutcomeSet
+randomWalk(const Machine &initial, uint64_t trajectories, uint64_t seed)
+{
+    Rng rng(seed);
+    litmus::OutcomeSet outcomes;
+    for (uint64_t t = 0; t < trajectories; ++t) {
+        Machine m = initial;
+        for (;;) {
+            auto rules = m.enabledRules();
+            if (rules.empty()) {
+                GAM_ASSERT(m.terminal(), "machine deadlocked");
+                outcomes.insert(m.outcome());
+                break;
+            }
+            m.fire(rules[rng.range(rules.size())]);
+        }
+    }
+    return outcomes;
+}
+
+} // namespace gam::operational
+
+#endif // GAM_OPERATIONAL_EXPLORER_HH

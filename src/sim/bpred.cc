@@ -1,0 +1,38 @@
+#include "sim/bpred.hh"
+
+namespace gam::sim
+{
+
+BranchPredictor::BranchPredictor(int index_bits)
+    : indexBits(index_bits),
+      table(size_t(1) << index_bits, 1) // weakly not-taken
+{
+}
+
+size_t
+BranchPredictor::index(uint64_t pc) const
+{
+    const uint64_t mask = (uint64_t(1) << indexBits) - 1;
+    return size_t((pc ^ history) & mask);
+}
+
+bool
+BranchPredictor::predict(uint64_t pc) const
+{
+    ++_lookups;
+    return table[index(pc)] >= 2;
+}
+
+void
+BranchPredictor::update(uint64_t pc, bool taken)
+{
+    uint8_t &ctr = table[index(pc)];
+    if (taken && ctr < 3)
+        ++ctr;
+    else if (!taken && ctr > 0)
+        --ctr;
+    const uint64_t mask = (uint64_t(1) << indexBits) - 1;
+    history = ((history << 1) | (taken ? 1 : 0)) & mask;
+}
+
+} // namespace gam::sim

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * A gshare conditional-branch direction predictor.  All branches in the
+ * mini-ISA are direct, so no BTB is needed: targets are known at decode
+ * and only the direction can mispredict.
+ */
+
+#ifndef GAM_SIM_BPRED_HH
+#define GAM_SIM_BPRED_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace gam::sim
+{
+
+/** gshare: global history XOR pc indexing a 2-bit counter table. */
+class BranchPredictor
+{
+  public:
+    explicit BranchPredictor(int index_bits = 12);
+
+    /** Predicted direction for the conditional branch at @p pc. */
+    bool predict(uint64_t pc) const;
+
+    /** Train with the resolved direction and advance global history. */
+    void update(uint64_t pc, bool taken);
+
+    uint64_t lookups() const { return _lookups; }
+
+  private:
+    size_t index(uint64_t pc) const;
+
+    int indexBits;
+    uint64_t history = 0;
+    std::vector<uint8_t> table; ///< 2-bit saturating counters
+    mutable uint64_t _lookups = 0;
+};
+
+} // namespace gam::sim
+
+#endif // GAM_SIM_BPRED_HH

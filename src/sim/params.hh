@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Core configuration (paper Table I) and the per-model LSQ ordering
+ * policy differences evaluated in Section V.
+ */
+
+#ifndef GAM_SIM_PARAMS_HH
+#define GAM_SIM_PARAMS_HH
+
+#include "model/kind.hh"
+
+namespace gam::sim
+{
+
+/**
+ * Out-of-order core parameters.  Defaults follow Table I: 4-wide
+ * fetch/rename/commit, 6-wide issue, 192-entry ROB, 60-entry
+ * reservation station, 72-entry load buffer, 42-entry store buffer
+ * (holding both speculative and committed stores), and the listed
+ * function units.
+ */
+struct CoreParams
+{
+    int fetchWidth = 4;
+    int renameWidth = 4;
+    int commitWidth = 4;
+    int issueWidth = 6;
+
+    int robSize = 192;
+    int rsSize = 60;
+    int lqSize = 72;
+    int sqSize = 42;
+    int fetchQueueSize = 32;
+
+    /** Front-end refill bubble after any squash (redirect penalty). */
+    int redirectPenalty = 10;
+
+    int intAlu = 4;
+    int intMul = 1;
+    int intDiv = 1;
+    int fpAlu = 2;
+    int fpMul = 1;
+    int fpDiv = 1;
+    int memPorts = 2;
+
+    int aluLat = 1;
+    int mulLat = 3;
+    int divLat = 20;
+    int fpAluLat = 3;
+    int fpMulLat = 5;
+    int fpDivLat = 20;
+    int agenLat = 1;
+    /** Store-to-load (and load-to-load) forwarding latency. */
+    int fwdLat = 1;
+
+    /** gshare history/index bits. */
+    int bpredBits = 12;
+
+    /** Ablation: forward store data from the SB to younger loads. */
+    bool storeForwarding = true;
+    /** Ablation: issue loads past older stores with unknown addresses. */
+    bool speculativeLoadIssue = true;
+};
+
+/**
+ * The implementation differences between the four evaluated models
+ * (Section V-A).  Everything else about the pipeline is identical.
+ */
+struct LsqPolicy
+{
+    /** GAM: a load resolving its address kills younger executed
+     *  same-address loads that did not forward from a younger store. */
+    bool saLdLdKills = false;
+    /** GAM and ARM: a load ready to issue stalls behind an older
+     *  unissued same-address load (unless forwarding exempts it). */
+    bool saLdLdStalls = false;
+    /** Alpha*: loads may forward from older executed loads. */
+    bool llForwarding = false;
+
+    static LsqPolicy
+    forModel(model::ModelKind kind)
+    {
+        LsqPolicy p;
+        switch (kind) {
+          case model::ModelKind::GAM:
+            p.saLdLdKills = true;
+            p.saLdLdStalls = true;
+            break;
+          case model::ModelKind::ARM:
+            // Optimistic ARM (paper Section V-A): stalls, no kills.
+            p.saLdLdStalls = true;
+            break;
+          case model::ModelKind::AlphaStar:
+            p.llForwarding = true;
+            break;
+          default: // GAM0 and anything else: no same-address policy
+            break;
+        }
+        return p;
+    }
+};
+
+} // namespace gam::sim
+
+#endif // GAM_SIM_PARAMS_HH

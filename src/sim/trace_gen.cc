@@ -1,0 +1,48 @@
+#include "sim/trace_gen.hh"
+
+#include "isa/semantics.hh"
+
+namespace gam::sim
+{
+
+DynTrace
+generateTrace(const isa::Program &program, isa::MemImage initial_mem,
+              uint64_t max_uops)
+{
+    DynTrace trace;
+    trace.uops.reserve(max_uops);
+    isa::Emulator emu(program, std::move(initial_mem));
+
+    while (trace.uops.size() < max_uops && !emu.halted()
+           && emu.pc() < program.size()) {
+        const uint64_t pc = emu.pc();
+        const isa::Instruction &in = program[pc];
+        if (in.op == isa::Opcode::HALT) {
+            emu.step();
+            trace.programCompleted = true;
+            break;
+        }
+
+        DynUop u;
+        u.instr = in;
+        u.pc = uint32_t(pc);
+        if (in.isMem())
+            u.addr = isa::effectiveAddr(in, emu.reg(in.src1));
+        if (in.isStore())
+            u.value = emu.reg(in.src2);
+
+        emu.step();
+
+        if (in.isLoad())
+            u.value = emu.reg(in.dst);
+        u.nextPc = uint32_t(emu.pc());
+        u.taken = in.isBranch() && u.nextPc != pc + 1;
+        trace.uops.push_back(u);
+    }
+    if (emu.halted() || emu.pc() >= program.size())
+        trace.programCompleted = true;
+    trace.finalState = emu.archState();
+    return trace;
+}
+
+} // namespace gam::sim

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Dynamic-trace generation: the functional emulator unrolls a program
+ * into the committed uop stream the timing core then schedules.  Since
+ * the paper's evaluation is single-threaded (Section V-A), values are
+ * execution-order independent and can be bound functionally; the timing
+ * model reproduces only *when* things happen (including squashes, which
+ * re-play trace segments).
+ */
+
+#ifndef GAM_SIM_TRACE_GEN_HH
+#define GAM_SIM_TRACE_GEN_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "isa/emulator.hh"
+#include "isa/program.hh"
+
+namespace gam::sim
+{
+
+/** One committed micro-op of the dynamic instruction stream. */
+struct DynUop
+{
+    isa::Instruction instr;
+    uint32_t pc = 0;        ///< static instruction index
+    uint32_t nextPc = 0;    ///< actual successor (branch resolved)
+    isa::Addr addr = 0;     ///< memory ops: effective address
+    isa::Value value = 0;   ///< load result or store data
+    bool taken = false;     ///< branches: actual direction
+};
+
+/** The committed stream plus the final architectural state. */
+struct DynTrace
+{
+    std::vector<DynUop> uops;
+    /** True when the program halted within the uop budget. */
+    bool programCompleted = false;
+    isa::ArchState finalState;
+};
+
+/**
+ * Execute @p program on the functional emulator and record up to
+ * @p max_uops committed micro-ops.
+ */
+DynTrace generateTrace(const isa::Program &program,
+                       isa::MemImage initial_mem, uint64_t max_uops);
+
+} // namespace gam::sim
+
+#endif // GAM_SIM_TRACE_GEN_HH

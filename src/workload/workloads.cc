@@ -1,0 +1,718 @@
+#include "workload/workloads.hh"
+
+#include <bit>
+
+#include "base/logging.hh"
+#include "base/rng.hh"
+
+namespace gam::workload
+{
+
+using isa::Addr;
+using isa::F;
+using isa::MemImage;
+using isa::Opcode;
+using isa::Program;
+using isa::ProgramBuilder;
+using isa::R;
+using isa::Value;
+
+namespace
+{
+
+// Register conventions used by all workloads:
+//   r1..r7    computation
+//   r8..r15   pointers / addresses
+//   r16..r20  loop counters and masks
+//   f1..f8    floating point
+constexpr isa::Reg rSum = 1, rV = 2, rT = 3, rT2 = 4;
+constexpr isa::Reg rP = 8, rQ = 9, rBase = 10, rBase2 = 11, rBase3 = 12;
+constexpr isa::Reg rCnt = 16, rCnt2 = 17, rMask = 18, rKey = 19;
+
+constexpr Addr dataBase = 0x100000;
+
+Value
+fbits(double d)
+{
+    return std::bit_cast<Value>(d);
+}
+
+/** Standard loop tail: decrement rCnt, branch back while nonzero. */
+void
+loopTail(ProgramBuilder &b, const std::string &label)
+{
+    b.addi(rCnt, rCnt, -1);
+    b.bne(rCnt, R(0), label);
+}
+
+// ------------------------------------------------------------------
+// mcf-like: random pointer chasing through a 1 MB cyclic permutation.
+// Every load's address depends on the previous load: latency bound.
+// ------------------------------------------------------------------
+BuiltWorkload
+ptrChase()
+{
+    constexpr int nodes = 1 << 14; // 16384 x 64 B = 1 MB
+    constexpr int steps = 42000;
+
+    MemImage mem;
+    Rng rng(0xc0ffee01);
+    std::vector<int> order(nodes);
+    for (int i = 0; i < nodes; ++i)
+        order[i] = i;
+    for (int i = nodes - 1; i > 0; --i)
+        std::swap(order[i], order[rng.range(uint64_t(i) + 1)]);
+    // One big cycle: order[i] -> order[i+1].
+    for (int i = 0; i < nodes; ++i) {
+        Addr at = dataBase + Addr(order[i]) * 64;
+        Addr next = dataBase + Addr(order[(i + 1) % nodes]) * 64;
+        mem.store(at, next);
+    }
+
+    ProgramBuilder b;
+    b.li(rP, dataBase)
+     .ld(rP, rP) // enter the cycle
+     .li(rCnt, steps)
+     .label("loop")
+     .ld(rP, rP)
+     .raw(isa::makeAluImm(Opcode::XORI, rSum, rP, 0x55));
+    loopTail(b, "loop");
+    b.halt();
+    return {b.build(), std::move(mem)};
+}
+
+// ------------------------------------------------------------------
+// Sequential linked-list walk accumulating payloads (perimeter-like).
+// ------------------------------------------------------------------
+BuiltWorkload
+listSum()
+{
+    constexpr int nodes = 1 << 13; // 8192 x 16 B
+    constexpr int passes = 4;
+
+    MemImage mem;
+    for (int i = 0; i < nodes; ++i) {
+        Addr at = dataBase + Addr(i) * 16;
+        Addr next = i + 1 < nodes ? at + 16 : 0;
+        mem.store(at, next);
+        mem.store(at + 8, (i * 2654435761u) & 0xffff);
+    }
+
+    ProgramBuilder b;
+    b.li(rCnt, passes)
+     .label("pass")
+     .li(rP, dataBase)
+     .label("walk")
+     .ld(rV, rP, 8)
+     .add(rSum, rSum, rV)
+     .ld(rP, rP)
+     .bne(rP, R(0), "walk");
+    loopTail(b, "pass");
+    b.halt();
+    return {b.build(), std::move(mem)};
+}
+
+// ------------------------------------------------------------------
+// STREAM triad: a[i] = b[i] + s * c[i] over 128 KB arrays (FP).
+// ------------------------------------------------------------------
+BuiltWorkload
+streamTriad()
+{
+    constexpr int n = 16384;
+    constexpr Addr aBase = dataBase;
+    constexpr Addr bBase = dataBase + Addr(n) * 8;
+    constexpr Addr cBase = dataBase + Addr(n) * 16;
+
+    MemImage mem;
+    for (int i = 0; i < n; ++i) {
+        mem.store(bBase + Addr(i) * 8, fbits(1.0 + i * 0.5));
+        mem.store(cBase + Addr(i) * 8, fbits(2.0 - i * 0.25));
+    }
+
+    ProgramBuilder b;
+    b.li(rP, aBase).li(rQ, bBase).li(rBase, cBase)
+     .li(rT, fbits(3.0))
+     .raw(isa::makeAluImm(Opcode::FMOV, F(3), rT, 0)) // f3 = scalar
+     .li(rCnt, n)
+     .label("loop")
+     .ld(F(1), rQ)
+     .ld(F(2), rBase)
+     .alu(Opcode::FMUL, F(2), F(2), F(3))
+     .alu(Opcode::FADD, F(1), F(1), F(2))
+     .st(rP, F(1))
+     .addi(rP, rP, 8)
+     .addi(rQ, rQ, 8)
+     .addi(rBase, rBase, 8);
+    loopTail(b, "loop");
+    b.halt();
+    return {b.build(), std::move(mem)};
+}
+
+// ------------------------------------------------------------------
+// Strided reads touching one word per two cache lines (bwaves-like).
+// ------------------------------------------------------------------
+BuiltWorkload
+strideSum()
+{
+    constexpr int words = 1 << 15; // 256 KB
+    constexpr int stride = 128;    // bytes
+    constexpr int passes = 16;
+
+    MemImage mem;
+    for (int i = 0; i < words; ++i)
+        mem.store(dataBase + Addr(i) * 8, i * 7);
+
+    ProgramBuilder b;
+    b.li(rCnt2, passes)
+     .li(rQ, dataBase)
+     .label("pass")
+     .mov(rP, rQ)
+     .li(rCnt, words * 8 / stride)
+     .label("loop")
+     .ld(rV, rP)
+     .add(rSum, rSum, rV)
+     .addi(rP, rP, stride);
+    loopTail(b, "loop");
+    b.addi(rQ, rQ, 8) // shift start so passes touch different words
+     .addi(rCnt2, rCnt2, -1)
+     .bne(rCnt2, R(0), "pass")
+     .halt();
+    return {b.build(), std::move(mem)};
+}
+
+// ------------------------------------------------------------------
+// GUPS-style random read-modify-write over a 1 MB table.  Random
+// collisions create same-address load/store interleavings.
+// ------------------------------------------------------------------
+BuiltWorkload
+randomAccess()
+{
+    constexpr int words = 1 << 17; // 1 MB
+    constexpr int iters = 15000;
+
+    MemImage mem;
+    for (int i = 0; i < words; i += 17)
+        mem.store(dataBase + Addr(i) * 8, i);
+
+    ProgramBuilder b;
+    b.li(rKey, 0x2545f4914f6cdd1d)
+     .li(rBase, dataBase)
+     .li(rMask, (words - 1) * 8)
+     .li(rT2, 0x9e3779b97f4a7c15)
+     .li(rCnt, iters)
+     .label("loop")
+     // xorshift-ish index update
+     .alu(Opcode::MUL, rKey, rKey, rT2)
+     .aluImm(Opcode::XORI, rKey, rKey, 0x5a5a)
+     .aluImm(Opcode::SRLI, rT, rKey, 17)
+     .aluImm(Opcode::SLLI, rT, rT, 3)
+     .alu(Opcode::AND, rT, rT, rMask)
+     .add(rT, rT, rBase)
+     .ld(rV, rT)
+     .aluImm(Opcode::XORI, rV, rV, 1)
+     .st(rT, rV);
+    loopTail(b, "loop");
+    b.halt();
+    return {b.build(), std::move(mem)};
+}
+
+// ------------------------------------------------------------------
+// Hash-table probing with data-dependent branches (gobmk-like).
+// ------------------------------------------------------------------
+BuiltWorkload
+hashProbe()
+{
+    constexpr int buckets = 1 << 14;
+    constexpr int iters = 16000;
+
+    MemImage mem;
+    Rng rng(0xfeed0002);
+    for (int i = 0; i < buckets; ++i) {
+        // Half the buckets hold a key that will match the probe stream.
+        Value key = rng.chance(1, 2) ? Value(i) : Value(-1);
+        mem.store(dataBase + Addr(i) * 8, key);
+    }
+
+    ProgramBuilder b;
+    b.li(rBase, dataBase)
+     .li(rMask, buckets - 1)
+     .li(rT2, 0x61c88647)
+     .li(rKey, 1)
+     .li(rCnt, iters)
+     .label("loop")
+     .alu(Opcode::MUL, rT, rKey, rT2)
+     .aluImm(Opcode::SRLI, rT, rT, 11)
+     .alu(Opcode::AND, rT, rT, rMask)
+     .aluImm(Opcode::SLLI, rT, rT, 3)
+     .add(rT, rT, rBase)
+     .ld(rV, rT)
+     .beq(rV, rMask, "miss") // data-dependent direction
+     .addi(rSum, rSum, 1)
+     .label("miss")
+     .addi(rKey, rKey, 1);
+    loopTail(b, "loop");
+    b.halt();
+    return {b.build(), std::move(mem)};
+}
+
+// ------------------------------------------------------------------
+// Repeated binary searches: dependent loads + unpredictable branches.
+// ------------------------------------------------------------------
+BuiltWorkload
+binSearch()
+{
+    constexpr int n = 1 << 13; // sorted array, 64 KB
+    constexpr int searches = 1500;
+    constexpr int rounds = 13; // log2(n)
+
+    MemImage mem;
+    for (int i = 0; i < n; ++i)
+        mem.store(dataBase + Addr(i) * 8, Value(i) * 3);
+
+    ProgramBuilder b;
+    b.li(rBase, dataBase)
+     .li(rKey, 7919)               // probe key, scrambled per search
+     .li(rCnt, searches)
+     .label("search")
+     .li(R(5), 0)                  // lo
+     .li(R(6), n)                  // hi
+     .li(rCnt2, rounds)
+     .label("round")
+     .add(rT, R(5), R(6))
+     .aluImm(Opcode::SRLI, rT, rT, 1) // mid
+     .aluImm(Opcode::SLLI, rT2, rT, 3)
+     .add(rT2, rT2, rBase)
+     .ld(rV, rT2)
+     .blt(rV, rKey, "go_right")
+     .mov(R(6), rT)                // hi = mid
+     .jmp("next")
+     .label("go_right")
+     .addi(R(5), rT, 1)            // lo = mid + 1
+     .label("next")
+     .addi(rCnt2, rCnt2, -1)
+     .bne(rCnt2, R(0), "round")
+     .aluImm(Opcode::XORI, rKey, rKey, 0x1234)
+     .aluImm(Opcode::ANDI, rKey, rKey, (n * 3) - 1);
+    loopTail(b, "search");
+    b.halt();
+    return {b.build(), std::move(mem)};
+}
+
+// ------------------------------------------------------------------
+// Dense FP: naive 24x24 matrix multiply (namd/calculix-like).
+// ------------------------------------------------------------------
+BuiltWorkload
+matMul()
+{
+    constexpr int n = 24;
+    constexpr int rowStride = 32; // padded rows: shifts instead of MULs
+    constexpr Addr aBase = dataBase;
+    constexpr Addr bBase = dataBase + Addr(rowStride) * rowStride * 8;
+    constexpr Addr cBase = bBase + Addr(rowStride) * rowStride * 8;
+
+    MemImage mem;
+    for (int i = 0; i < n; ++i) {
+        for (int k = 0; k < n; ++k) {
+            const Addr off = Addr(i * rowStride + k) * 8;
+            mem.store(aBase + off, fbits(0.5 + ((i + k) % 7)));
+            mem.store(bBase + off, fbits(1.5 - ((i * k) % 5)));
+        }
+    }
+
+    ProgramBuilder b;
+    // for i: for j: acc = 0; for k: acc += A[i][k] * B[k][j]
+    b.li(R(5), 0) // i
+     .label("iloop")
+     .li(R(6), 0) // j
+     .label("jloop")
+     .li(rT, 0)
+     .raw(isa::makeAluImm(Opcode::FMOV, F(1), rT, 0)) // acc = 0
+     // rP = &A[i][0]
+     .aluImm(Opcode::SLLI, rP, R(5), 3 + 5) // i * n*8 rounded to 32*8
+     .li(rT, aBase)
+     .add(rP, rP, rT)
+     // rQ = &B[0][j]
+     .aluImm(Opcode::SLLI, rQ, R(6), 3)
+     .li(rT, bBase)
+     .add(rQ, rQ, rT)
+     .li(rCnt2, n)
+     .label("kloop")
+     .ld(F(2), rP)
+     .ld(F(3), rQ)
+     .alu(Opcode::FMUL, F(2), F(2), F(3))
+     .alu(Opcode::FADD, F(1), F(1), F(2))
+     .addi(rP, rP, 8)
+     .addi(rQ, rQ, 32 * 8) // row stride (padded to 32)
+     .addi(rCnt2, rCnt2, -1)
+     .bne(rCnt2, R(0), "kloop")
+     // C[i][j] = acc
+     .aluImm(Opcode::SLLI, rT, R(5), 3 + 5)
+     .aluImm(Opcode::SLLI, rT2, R(6), 3)
+     .add(rT, rT, rT2)
+     .li(rT2, cBase)
+     .add(rT, rT, rT2)
+     .st(rT, F(1))
+     .addi(R(6), R(6), 1)
+     .aluImm(Opcode::SLTI, rT, R(6), n)
+     .bne(rT, R(0), "jloop")
+     .addi(R(5), R(5), 1)
+     .aluImm(Opcode::SLTI, rT, R(5), n)
+     .bne(rT, R(0), "iloop")
+     .halt();
+    return {b.build(), std::move(mem)};
+}
+
+// ------------------------------------------------------------------
+// 1-D three-point stencil over a 128 KB array (leslie3d-like).
+// ------------------------------------------------------------------
+BuiltWorkload
+stencil1d()
+{
+    constexpr int n = 16384;
+    constexpr Addr src = dataBase;
+    constexpr Addr dst = dataBase + Addr(n + 2) * 8;
+
+    MemImage mem;
+    for (int i = 0; i < n + 2; ++i)
+        mem.store(src + Addr(i) * 8, fbits(0.25 * (i % 11)));
+
+    ProgramBuilder b;
+    b.li(rP, src + 8)
+     .li(rQ, dst)
+     .li(rT, fbits(0.25))
+     .raw(isa::makeAluImm(Opcode::FMOV, F(4), rT, 0))
+     .li(rCnt, n)
+     .label("loop")
+     .ld(F(1), rP, -8)
+     .ld(F(2), rP, 0)
+     .ld(F(3), rP, 8)
+     .alu(Opcode::FADD, F(1), F(1), F(3))
+     .alu(Opcode::FADD, F(2), F(2), F(2))
+     .alu(Opcode::FADD, F(1), F(1), F(2))
+     .alu(Opcode::FMUL, F(1), F(1), F(4))
+     .st(rQ, F(1))
+     .addi(rP, rP, 8)
+     .addi(rQ, rQ, 8);
+    loopTail(b, "loop");
+    b.halt();
+    return {b.build(), std::move(mem)};
+}
+
+// ------------------------------------------------------------------
+// Byte histogram: read-modify-write on 256 hot counters.  Frequent
+// same-address collisions among in-flight loads and stores.
+// ------------------------------------------------------------------
+BuiltWorkload
+histogram()
+{
+    constexpr int words = 1 << 14;
+    constexpr Addr bins = dataBase;
+    constexpr Addr data = dataBase + 256 * 8;
+
+    MemImage mem;
+    Rng rng(0xbeef0003);
+    for (int i = 0; i < words; ++i)
+        mem.store(data + Addr(i) * 8, Value(rng.next() & 0xff));
+
+    ProgramBuilder b;
+    b.li(rP, data)
+     .li(rBase, bins)
+     .li(rCnt, words)
+     .label("loop")
+     .ld(rV, rP)
+     .aluImm(Opcode::SLLI, rV, rV, 3)
+     .add(rV, rV, rBase)
+     .ld(rT, rV)
+     .addi(rT, rT, 1)
+     .st(rV, rT)
+     .addi(rP, rP, 8);
+    loopTail(b, "loop");
+    b.halt();
+    return {b.build(), std::move(mem)};
+}
+
+// ------------------------------------------------------------------
+// Stack push/pop with re-reads: store-to-load forwarding plus
+// same-address load pairs.  The pushed value is streamed from memory,
+// so the store's data is occasionally slow (an L1 line miss): the
+// first reload then waits, and the *second* same-slot reload hits the
+// SALdLd stall (its prospective forwarding source is the store, which
+// is older than the blocked first reload).
+// ------------------------------------------------------------------
+BuiltWorkload
+stackMix()
+{
+    constexpr int outer = 1400;
+    constexpr int bodies = 8;    // 7 fast pushes, 1 slow push
+    constexpr int slots = 64;
+    constexpr Addr streamBase = dataBase + 0x10000;
+
+    MemImage mem;
+    for (int i = 0; i < outer + 8; ++i)
+        mem.store(streamBase + Addr(i) * 8, i * 3 + 1);
+
+    ProgramBuilder b;
+    b.li(rP, dataBase)           // stack pointer
+     .li(rQ, streamBase)         // occasional value stream
+     .li(rMask, (slots - 1) * 8)
+     .li(rCnt, outer)
+     .label("loop");
+    for (int body = 0; body < bodies; ++body) {
+        if (body == 0) {
+            // Slow push: the value comes from memory, so the store's
+            // data arrives late and the same-slot reload pair below
+            // exercises the SALdLd stall.
+            b.ld(rV, rQ).addi(rQ, rQ, 8);
+        } else {
+            b.addi(rV, rCnt, body); // fast push
+        }
+        b.st(rP, rV)               // push
+         .ld(rT, rP)               // reload slot 0
+         .ld(rT2, rP, 8)           // read the neighbouring slot
+         .add(rSum, rT, rT2)
+         .ld(rT, rP)               // second read of slot 0 (load pair)
+         .add(rSum, rSum, rT)
+         .addi(rP, rP, 16)         // advance and wrap the stack pointer
+         .li(rT2, dataBase)
+         .sub(rP, rP, rT2)
+         .alu(Opcode::AND, rP, rP, rMask)
+         .add(rP, rP, rT2);
+    }
+    loopTail(b, "loop");
+    b.halt();
+    return {b.build(), std::move(mem)};
+}
+
+// ------------------------------------------------------------------
+// Word-wise string scan with compares (perlbench-like).
+// ------------------------------------------------------------------
+BuiltWorkload
+stringMatch()
+{
+    constexpr int words = 1 << 15;
+    constexpr int scan = 24000;
+
+    MemImage mem;
+    Rng rng(0xabcd0004);
+    for (int i = 0; i < words; ++i)
+        mem.store(dataBase + Addr(i) * 8, Value(rng.range(16)));
+
+    ProgramBuilder b;
+    b.li(rP, dataBase)
+     .li(rKey, 7) // the needle
+     .li(rCnt, scan)
+     .label("loop")
+     .ld(rV, rP)
+     .bne(rV, rKey, "no")
+     .addi(rSum, rSum, 1)
+     .label("no")
+     .addi(rP, rP, 8);
+    loopTail(b, "loop");
+    b.halt();
+    return {b.build(), std::move(mem)};
+}
+
+// ------------------------------------------------------------------
+// Horner polynomial evaluation: long dependent FP chains (povray-like).
+// ------------------------------------------------------------------
+BuiltWorkload
+fpHorner()
+{
+    constexpr int degree = 8;
+    constexpr int points = 4000;
+    constexpr Addr coeffs = dataBase;
+    constexpr Addr xs = dataBase + 64 * 8;
+
+    MemImage mem;
+    for (int i = 0; i <= degree; ++i)
+        mem.store(coeffs + Addr(i) * 8, fbits(1.0 / (1 + i)));
+    for (int i = 0; i < points; ++i)
+        mem.store(xs + Addr(i) * 8, fbits(0.001 * i));
+
+    ProgramBuilder b;
+    b.li(rQ, xs)
+     .li(rCnt, points)
+     .label("point")
+     .ld(F(2), rQ)                 // x
+     .li(rP, coeffs)
+     .ld(F(1), rP)                 // acc = c0
+     .li(rCnt2, degree)
+     .label("horner")
+     .addi(rP, rP, 8)
+     .ld(F(3), rP)
+     .alu(Opcode::FMUL, F(1), F(1), F(2))
+     .alu(Opcode::FADD, F(1), F(1), F(3))
+     .addi(rCnt2, rCnt2, -1)
+     .bne(rCnt2, R(0), "horner")
+     .addi(rQ, rQ, 8);
+    loopTail(b, "point");
+    b.halt();
+    return {b.build(), std::move(mem)};
+}
+
+// ------------------------------------------------------------------
+// Streaming copy (libquantum-like).
+// ------------------------------------------------------------------
+BuiltWorkload
+memcpyLike()
+{
+    constexpr int words = 1 << 14;
+    constexpr Addr src = dataBase;
+    constexpr Addr dst = dataBase + Addr(words) * 8;
+    constexpr int passes = 2;
+
+    MemImage mem;
+    for (int i = 0; i < words; ++i)
+        mem.store(src + Addr(i) * 8, i * 13);
+
+    ProgramBuilder b;
+    b.li(rCnt2, passes)
+     .label("pass")
+     .li(rP, src)
+     .li(rQ, dst)
+     .li(rCnt, words)
+     .label("loop")
+     .ld(rV, rP)
+     .st(rQ, rV)
+     .addi(rP, rP, 8)
+     .addi(rQ, rQ, 8);
+    loopTail(b, "loop");
+    b.addi(rCnt2, rCnt2, -1)
+     .bne(rCnt2, R(0), "pass")
+     .halt();
+    return {b.build(), std::move(mem)};
+}
+
+// ------------------------------------------------------------------
+// Single-thread ring buffer: producer stores chased by consumer loads
+// over a small L1-resident region (same addresses recur quickly).
+// ------------------------------------------------------------------
+BuiltWorkload
+queueRing()
+{
+    constexpr int iters = 13000;
+    constexpr int ringWords = 256;
+
+    MemImage mem;
+    for (int i = 0; i < ringWords; ++i)
+        mem.store(dataBase + Addr(i) * 8, i);
+
+    ProgramBuilder b;
+    b.li(rP, 0)                  // head offset (bytes)
+     .li(rQ, 64 * 8)             // tail offset: 64 slots behind
+     .li(rBase, dataBase)
+     .li(rMask, (ringWords - 1) * 8)
+     .li(rCnt, iters)
+     .label("loop")
+     .add(rT, rBase, rP)
+     .addi(rV, rCnt, 7)
+     .st(rT, rV)                 // produce
+     .add(rT2, rBase, rQ)
+     .ld(rV, rT2)                // consume
+     .add(rSum, rSum, rV)
+     .ld(rT2, rT2, 0)            // re-read the same slot (load pair)
+     .add(rSum, rSum, rT2)
+     .addi(rP, rP, 8)
+     .alu(Opcode::AND, rP, rP, rMask)
+     .addi(rQ, rQ, 8)
+     .alu(Opcode::AND, rQ, rQ, rMask);
+    loopTail(b, "loop");
+    b.halt();
+    return {b.build(), std::move(mem)};
+}
+
+// ------------------------------------------------------------------
+// Late address resolution: an older load's address arrives long after
+// a younger same-address load executed -- the pattern that triggers
+// GAM's SALdLd kills (Table II's maxima).
+// ------------------------------------------------------------------
+BuiltWorkload
+lateAddr()
+{
+    constexpr int ptrs = 1 << 14;
+    constexpr int targets = 64;
+    constexpr int iters = 16000;
+    constexpr Addr targetBase = dataBase;
+    constexpr Addr ptrBase = dataBase + Addr(targets) * 64;
+
+    MemImage mem;
+    Rng rng(0x0badf00d);
+    for (int t = 0; t < targets; ++t)
+        mem.store(targetBase + Addr(t) * 64, t * 11);
+    for (int i = 0; i < ptrs; ++i) {
+        // 1 in 64 pointers aim at target 0, which the loop also reads
+        // directly -- creating occasional same-address load pairs
+        // whose older load resolves its address late (the paper's
+        // Table II maxima come from exactly this shape: rare but
+        // nonzero).
+        int t = rng.chance(1, 64) ? 0 : int(rng.range(targets));
+        mem.store(ptrBase + Addr(i) * 8, targetBase + Addr(t) * 64);
+    }
+
+    ProgramBuilder b;
+    b.li(rP, ptrBase)
+     .li(rBase, targetBase)
+     .li(rMask, (ptrs - 1) * 8)
+     .li(rCnt, iters)
+     .label("loop")
+     .ld(rT, rP)                 // pointer load (slow-ish)
+     .ld(rV, rT)                 // dependent load: address resolves late
+     .ld(rT2, rBase)             // direct load of target 0 (early)
+     .add(rSum, rV, rT2)
+     // Artificial dependency (the paper's Figure 13b idiom) carrying
+     // rV into the next pointer address: iterations serialize, so a
+     // SALdLd kill discards little downstream work -- matching the
+     // paper's observation that kills barely dent uPC.
+     .add(rP, rP, rV)
+     .sub(rP, rP, rV)
+     .addi(rP, rP, 8)
+     .li(rT2, ptrBase)
+     .sub(rP, rP, rT2)
+     .alu(Opcode::AND, rP, rP, rMask)
+     .add(rP, rP, rT2);
+    loopTail(b, "loop");
+    b.halt();
+    return {b.build(), std::move(mem)};
+}
+
+} // anonymous namespace
+
+const std::vector<WorkloadSpec> &
+workloadSuite()
+{
+    static const std::vector<WorkloadSpec> suite = {
+        {"ptr_chase", "random pointer chasing, 1 MB (mcf-like)",
+         ptrChase, 300000},
+        {"list_sum", "sequential linked-list walk", listSum, 300000},
+        {"stream_triad", "STREAM triad FP kernel", streamTriad, 300000},
+        {"stride_sum", "strided reads, 128 B stride", strideSum, 300000},
+        {"random_access", "GUPS random read-modify-write",
+         randomAccess, 300000},
+        {"hash_probe", "hash-table probing, branchy", hashProbe, 300000},
+        {"binsearch", "repeated binary search", binSearch, 300000},
+        {"matmul", "24x24 dense FP matrix multiply", matMul, 300000},
+        {"stencil1d", "three-point FP stencil", stencil1d, 300000},
+        {"histogram", "byte histogram on 256 hot counters",
+         histogram, 300000},
+        {"stack_mix", "stack push/pop with re-reads", stackMix, 300000},
+        {"string_match", "word-wise scan and compare",
+         stringMatch, 300000},
+        {"fp_horner", "Horner polynomial chains", fpHorner, 300000},
+        {"memcpy_like", "streaming copy", memcpyLike, 300000},
+        {"queue_ring", "L1-resident ring buffer", queueRing, 300000},
+        {"late_addr", "late-resolving same-address load pairs",
+         lateAddr, 300000},
+    };
+    return suite;
+}
+
+const WorkloadSpec &
+workloadByName(const std::string &name)
+{
+    for (const auto &w : workloadSuite())
+        if (w.name == name)
+            return w;
+    fatal("unknown workload '%s'", name.c_str());
+}
+
+} // namespace gam::workload

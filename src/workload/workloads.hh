@@ -1,0 +1,59 @@
+/**
+ * @file
+ * The synthetic single-thread workload suite standing in for SPEC
+ * CPU2006 in the paper's evaluation (see DESIGN.md, Substitutions).
+ *
+ * Each workload is a self-contained mini-ISA program plus initial
+ * memory, designed to exercise one region of the locality / dependence
+ * / branch-behavior space:
+ *
+ *   pointer chasing, list walking       (mcf/omnetpp-like)
+ *   streaming and strided FP            (lbm/libquantum/bwaves-like)
+ *   hashing, searching, string scanning (gobmk/perlbench-like)
+ *   dense FP kernels                    (namd/calculix-like)
+ *   same-address-heavy patterns         (stack/queue/histogram/late
+ *                                        address resolution) that
+ *                                        trigger the SALdLd machinery
+ *                                        measured in Tables II and III
+ */
+
+#ifndef GAM_WORKLOAD_WORKLOADS_HH
+#define GAM_WORKLOAD_WORKLOADS_HH
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "isa/mem_image.hh"
+#include "isa/program.hh"
+
+namespace gam::workload
+{
+
+/** A program plus its initial memory image. */
+struct BuiltWorkload
+{
+    isa::Program program;
+    isa::MemImage mem;
+};
+
+/** A named workload generator. */
+struct WorkloadSpec
+{
+    std::string name;
+    std::string description;
+    /** Build deterministically (internal fixed seeds). */
+    std::function<BuiltWorkload()> build;
+    /** Trace budget: dynamic uop count is below this. */
+    uint64_t maxUops;
+};
+
+/** The 16-entry suite used by the Figure 18 / Table II / III benches. */
+const std::vector<WorkloadSpec> &workloadSuite();
+
+/** Look up one workload; fatal() if unknown. */
+const WorkloadSpec &workloadByName(const std::string &name);
+
+} // namespace gam::workload
+
+#endif // GAM_WORKLOAD_WORKLOADS_HH

@@ -1,0 +1,166 @@
+/** Unit tests for base utilities: RNG, stats, tables, logging. */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "base/logging.hh"
+#include "base/rng.hh"
+#include "base/stats.hh"
+#include "base/table.hh"
+
+namespace gam
+{
+namespace
+{
+
+TEST(Rng, DeterministicFromSeed)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        same += a.next() == b.next();
+    EXPECT_LT(same, 4);
+}
+
+TEST(Rng, RangeBounds)
+{
+    Rng rng(7);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_LT(rng.range(13), 13u);
+}
+
+TEST(Rng, RangeCoversAllValues)
+{
+    Rng rng(9);
+    std::set<uint64_t> seen;
+    for (int i = 0; i < 500; ++i)
+        seen.insert(rng.range(5));
+    EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(Rng, RangeInclusive)
+{
+    Rng rng(11);
+    for (int i = 0; i < 200; ++i) {
+        int64_t v = rng.rangeInclusive(-3, 3);
+        EXPECT_GE(v, -3);
+        EXPECT_LE(v, 3);
+    }
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng rng(13);
+    for (int i = 0; i < 200; ++i) {
+        double d = rng.uniform();
+        EXPECT_GE(d, 0.0);
+        EXPECT_LT(d, 1.0);
+    }
+}
+
+TEST(Rng, ChanceExtremes)
+{
+    Rng rng(17);
+    for (int i = 0; i < 50; ++i) {
+        EXPECT_TRUE(rng.chance(10, 10));
+        EXPECT_FALSE(rng.chance(0, 10));
+    }
+}
+
+TEST(Rng, ReseedRestartsSequence)
+{
+    Rng rng(5);
+    uint64_t first = rng.next();
+    rng.next();
+    rng.reseed(5);
+    EXPECT_EQ(rng.next(), first);
+}
+
+TEST(Counter, IncrementAndAdd)
+{
+    Counter c("test");
+    ++c;
+    c += 4;
+    EXPECT_EQ(c.value(), 5u);
+    c.reset();
+    EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(Distribution, Moments)
+{
+    Distribution d("d");
+    for (double v : {1.0, 2.0, 3.0, 4.0})
+        d.sample(v);
+    EXPECT_EQ(d.count(), 4u);
+    EXPECT_DOUBLE_EQ(d.mean(), 2.5);
+    EXPECT_DOUBLE_EQ(d.min(), 1.0);
+    EXPECT_DOUBLE_EQ(d.max(), 4.0);
+    EXPECT_NEAR(d.stddev(), 1.1180, 1e-3);
+}
+
+TEST(Distribution, EmptyIsSafe)
+{
+    Distribution d;
+    EXPECT_EQ(d.count(), 0u);
+    EXPECT_DOUBLE_EQ(d.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(d.stddev(), 0.0);
+    EXPECT_DOUBLE_EQ(d.min(), 0.0);
+}
+
+TEST(StatGroup, SetAddGet)
+{
+    StatGroup g;
+    g.set("a", 1.5);
+    g.add("a", 2.5);
+    g.add("b", 1.0);
+    EXPECT_DOUBLE_EQ(g.get("a"), 4.0);
+    EXPECT_DOUBLE_EQ(g.get("b"), 1.0);
+    EXPECT_DOUBLE_EQ(g.get("missing"), 0.0);
+    EXPECT_TRUE(g.has("a"));
+    EXPECT_FALSE(g.has("missing"));
+}
+
+TEST(SummaryStat, AvgMax)
+{
+    Summary s = Summary::of({1.0, 5.0, 3.0});
+    EXPECT_DOUBLE_EQ(s.average, 3.0);
+    EXPECT_DOUBLE_EQ(s.maximum, 5.0);
+    Summary empty = Summary::of({});
+    EXPECT_DOUBLE_EQ(empty.average, 0.0);
+}
+
+TEST(TableFormat, RendersHeaderAndRows)
+{
+    Table t;
+    t.header({"name", "value"});
+    t.row({"x", "1"});
+    t.separator();
+    t.row({"longer-name", "22"});
+    std::string s = t.render();
+    EXPECT_NE(s.find("name"), std::string::npos);
+    EXPECT_NE(s.find("longer-name"), std::string::npos);
+    EXPECT_NE(s.find("22"), std::string::npos);
+}
+
+TEST(TableFormat, NumPrecision)
+{
+    EXPECT_EQ(Table::num(1.23456, 2), "1.23");
+    EXPECT_EQ(Table::num(2.0, 0), "2");
+}
+
+TEST(Logging, FormatString)
+{
+    EXPECT_EQ(formatString("x=%d s=%s", 3, "hi"), "x=3 s=hi");
+    EXPECT_EQ(formatString("%.2f", 1.5), "1.50");
+}
+
+} // namespace
+} // namespace gam

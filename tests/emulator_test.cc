@@ -1,0 +1,155 @@
+/** Unit tests for the functional emulator. */
+
+#include <gtest/gtest.h>
+
+#include "isa/assembler.hh"
+#include "isa/emulator.hh"
+
+namespace gam::isa
+{
+namespace
+{
+
+TEST(EmulatorTest, StraightLineArithmetic)
+{
+    Program p = assemble(R"(
+        li   r1, 6
+        li   r2, 7
+        mul  r3, r1, r2
+        halt
+    )");
+    Emulator emu(p);
+    emu.run();
+    EXPECT_TRUE(emu.halted());
+    EXPECT_EQ(emu.reg(R(3)), 42);
+}
+
+TEST(EmulatorTest, LoadsAndStores)
+{
+    Program p = assemble(R"(
+        li r1, 0x1000
+        li r2, 11
+        st [r1], r2
+        ld r3, [r1]
+        st [r1+8], r3
+        halt
+    )");
+    Emulator emu(p);
+    emu.run();
+    EXPECT_EQ(emu.reg(R(3)), 11);
+    EXPECT_EQ(emu.mem().load(0x1008), 11);
+}
+
+TEST(EmulatorTest, InitialMemoryVisible)
+{
+    MemImage mem;
+    mem.store(0x2000, 99);
+    Program p = assemble("li r1, 0x2000\nld r2, [r1]\nhalt\n");
+    Emulator emu(p, mem);
+    emu.run();
+    EXPECT_EQ(emu.reg(R(2)), 99);
+}
+
+TEST(EmulatorTest, LoopSumsCorrectly)
+{
+    Program p = assemble(R"(
+        li r1, 10
+        li r2, 0
+    loop:
+        add  r2, r2, r1
+        addi r1, r1, -1
+        bne  r1, r0, loop
+        halt
+    )");
+    Emulator emu(p);
+    emu.run();
+    EXPECT_EQ(emu.reg(R(2)), 55);
+}
+
+TEST(EmulatorTest, BranchDirections)
+{
+    Program p = assemble(R"(
+        li  r1, 5
+        blt r1, r0, neg
+        li  r2, 1
+        jmp end
+    neg:
+        li  r2, 2
+    end:
+        halt
+    )");
+    Emulator emu(p);
+    emu.run();
+    EXPECT_EQ(emu.reg(R(2)), 1);
+}
+
+TEST(EmulatorTest, ZeroRegisterStaysZero)
+{
+    Program p = assemble("li r0, 7\nadd r1, r0, r0\nhalt\n");
+    Emulator emu(p);
+    emu.run();
+    EXPECT_EQ(emu.reg(R(0)), 0);
+    EXPECT_EQ(emu.reg(R(1)), 0);
+}
+
+TEST(EmulatorTest, MaxStepsBudget)
+{
+    // An infinite loop executes exactly the budget.
+    Program p = assemble("loop:\njmp loop\n");
+    Emulator emu(p);
+    uint64_t steps = emu.run(100);
+    EXPECT_EQ(steps, 100u);
+    EXPECT_FALSE(emu.halted());
+}
+
+TEST(EmulatorTest, FenceIsArchitecturalNop)
+{
+    Program p = assemble("li r1, 3\nfence.full\naddi r1, r1, 1\nhalt\n");
+    Emulator emu(p);
+    emu.run();
+    EXPECT_EQ(emu.reg(R(1)), 4);
+}
+
+TEST(EmulatorTest, RunsOffEndHalts)
+{
+    Program p = assemble("li r1, 1\n");
+    Emulator emu(p);
+    emu.run();
+    EXPECT_TRUE(emu.halted());
+    EXPECT_EQ(emu.reg(R(1)), 1);
+}
+
+TEST(EmulatorTest, FpPipeline)
+{
+    Program p = assemble(R"(
+        li r1, 0x4010000000000000   # 4.0
+        fmov f1, r1
+        fsqrt f2, f1
+        fadd f3, f2, f2
+        fcvt.f2i r2, f3
+        halt
+    )");
+    Emulator emu(p);
+    emu.run();
+    EXPECT_EQ(emu.reg(R(2)), 4); // 2*sqrt(4)
+}
+
+TEST(EmulatorTest, InstRetiredCounts)
+{
+    Program p = assemble("li r1, 1\nli r2, 2\nhalt\n");
+    Emulator emu(p);
+    emu.run();
+    EXPECT_EQ(emu.instRetired(), 3u);
+}
+
+TEST(EmulatorTest, ArchStateEquality)
+{
+    Program p = assemble("li r1, 1\nhalt\n");
+    Emulator a(p), b(p);
+    a.run();
+    b.run();
+    EXPECT_TRUE(a.archState() == b.archState());
+}
+
+} // namespace
+} // namespace gam::isa

@@ -1,0 +1,270 @@
+/** Unit tests for the mini-ISA: register sets, builder, assembler. */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "isa/assembler.hh"
+#include "isa/instruction.hh"
+#include "isa/program.hh"
+#include "isa/semantics.hh"
+
+namespace gam::isa
+{
+namespace
+{
+
+bool
+contains(const std::vector<Reg> &set, Reg r)
+{
+    return std::find(set.begin(), set.end(), r) != set.end();
+}
+
+TEST(RegNames, IntAndFp)
+{
+    EXPECT_EQ(regName(R(3)), "r3");
+    EXPECT_EQ(regName(F(2)), "f2");
+    EXPECT_FALSE(isFpReg(R(31)));
+    EXPECT_TRUE(isFpReg(F(0)));
+}
+
+TEST(Fences, PrePostTypes)
+{
+    EXPECT_EQ(fencePre(FenceKind::LL), MemType::Load);
+    EXPECT_EQ(fencePost(FenceKind::LL), MemType::Load);
+    EXPECT_EQ(fencePre(FenceKind::LS), MemType::Load);
+    EXPECT_EQ(fencePost(FenceKind::LS), MemType::Store);
+    EXPECT_EQ(fencePre(FenceKind::SL), MemType::Store);
+    EXPECT_EQ(fencePost(FenceKind::SL), MemType::Load);
+    EXPECT_EQ(fencePre(FenceKind::SS), MemType::Store);
+    EXPECT_EQ(fencePost(FenceKind::SS), MemType::Store);
+}
+
+TEST(RegisterSets, AluThreeReg)
+{
+    Instruction i = makeAlu(Opcode::ADD, R(1), R(2), R(3));
+    EXPECT_TRUE(contains(i.readSet(), R(2)));
+    EXPECT_TRUE(contains(i.readSet(), R(3)));
+    EXPECT_EQ(i.readSet().size(), 2u);
+    EXPECT_TRUE(contains(i.writeSet(), R(1)));
+    EXPECT_TRUE(i.addrReadSet().empty());
+}
+
+TEST(RegisterSets, ZeroRegisterExcluded)
+{
+    // Definitions 1-2 ignore the hard-wired zero register.
+    Instruction i = makeAlu(Opcode::ADD, R(0), R(0), R(3));
+    EXPECT_EQ(i.readSet().size(), 1u);
+    EXPECT_TRUE(i.writeSet().empty());
+}
+
+TEST(RegisterSets, DuplicateSourceCountedOnce)
+{
+    Instruction i = makeAlu(Opcode::ADD, R(1), R(2), R(2));
+    EXPECT_EQ(i.readSet().size(), 1u);
+}
+
+TEST(RegisterSets, LoadAddressSet)
+{
+    // ARS(load) = {base}; WS = {dst}.
+    Instruction i = makeLoad(R(4), R(5), 16);
+    EXPECT_TRUE(contains(i.addrReadSet(), R(5)));
+    EXPECT_TRUE(contains(i.readSet(), R(5)));
+    EXPECT_TRUE(contains(i.writeSet(), R(4)));
+    EXPECT_TRUE(i.dataReadSet().empty());
+}
+
+TEST(RegisterSets, StoreSets)
+{
+    // RS(store) = ARS + data; WS empty.
+    Instruction i = makeStore(R(5), R(6));
+    EXPECT_TRUE(contains(i.addrReadSet(), R(5)));
+    EXPECT_TRUE(contains(i.dataReadSet(), R(6)));
+    EXPECT_TRUE(contains(i.readSet(), R(5)));
+    EXPECT_TRUE(contains(i.readSet(), R(6)));
+    EXPECT_TRUE(i.writeSet().empty());
+}
+
+TEST(RegisterSets, BranchReadsNoWrites)
+{
+    Instruction i = makeBranch(Opcode::BEQ, R(1), R(2), 0);
+    EXPECT_EQ(i.readSet().size(), 2u);
+    EXPECT_TRUE(i.writeSet().empty());
+}
+
+TEST(Classification, Basic)
+{
+    EXPECT_TRUE(makeLoad(R(1), R(2)).isLoad());
+    EXPECT_TRUE(makeStore(R(1), R(2)).isStore());
+    EXPECT_TRUE(makeLoad(R(1), R(2)).isMem());
+    EXPECT_TRUE(makeBranch(Opcode::BNE, R(1), R(2), 0).isBranch());
+    EXPECT_TRUE(makeJmp(0).isBranch());
+    EXPECT_FALSE(makeJmp(0).isCondBranch());
+    EXPECT_TRUE(makeFence(FenceKind::SS).isFence());
+    EXPECT_TRUE(makeAlu(Opcode::ADD, R(1), R(2), R(3)).isRegToReg());
+    EXPECT_FALSE(makeNop().isRegToReg());
+    EXPECT_TRUE(makeLoad(R(1), R(2)).isMemType(MemType::Load));
+    EXPECT_FALSE(makeLoad(R(1), R(2)).isMemType(MemType::Store));
+    EXPECT_TRUE(makeStore(R(1), R(2)).isMemType(MemType::Store));
+    EXPECT_FALSE(makeStore(R(1), R(2)).isMemType(MemType::Load));
+}
+
+TEST(Semantics, IntegerOps)
+{
+    auto ev = [](Opcode op, Value a, Value b) {
+        return evalRegToReg(makeAlu(op, R(1), R(2), R(3)), a, b);
+    };
+    EXPECT_EQ(ev(Opcode::ADD, 2, 3), 5);
+    EXPECT_EQ(ev(Opcode::SUB, 2, 3), -1);
+    EXPECT_EQ(ev(Opcode::MUL, 7, 6), 42);
+    EXPECT_EQ(ev(Opcode::DIV, 7, 2), 3);
+    EXPECT_EQ(ev(Opcode::DIV, 7, 0), 0);   // defined: no UB
+    EXPECT_EQ(ev(Opcode::DIV, INT64_MIN, -1), INT64_MIN);
+    EXPECT_EQ(ev(Opcode::REM, 7, 0), 0);
+    EXPECT_EQ(ev(Opcode::AND, 0b1100, 0b1010), 0b1000);
+    EXPECT_EQ(ev(Opcode::XOR, 0b1100, 0b1010), 0b0110);
+    EXPECT_EQ(ev(Opcode::SLT, -1, 0), 1);
+    EXPECT_EQ(ev(Opcode::SLTU, -1, 0), 0); // unsigned compare
+}
+
+TEST(Semantics, Immediates)
+{
+    Instruction addi = makeAluImm(Opcode::ADDI, R(1), R(2), -7);
+    EXPECT_EQ(evalRegToReg(addi, 10, 0), 3);
+    Instruction slli = makeAluImm(Opcode::SLLI, R(1), R(2), 4);
+    EXPECT_EQ(evalRegToReg(slli, 3, 0), 48);
+    Instruction li = makeLi(R(1), 99);
+    EXPECT_EQ(evalRegToReg(li, 0, 0), 99);
+}
+
+TEST(Semantics, FloatingPoint)
+{
+    auto f = [](double d) { return std::bit_cast<Value>(d); };
+    Instruction fadd = makeAlu(Opcode::FADD, F(1), F(2), F(3));
+    EXPECT_EQ(evalRegToReg(fadd, f(1.5), f(2.25)), f(3.75));
+    Instruction cvt = makeAluImm(Opcode::FCVT_F2I, R(1), F(1), 0);
+    EXPECT_EQ(evalRegToReg(cvt, f(41.9), 0), 41);
+}
+
+TEST(Semantics, Branches)
+{
+    auto taken = [](Opcode op, Value a, Value b) {
+        return evalBranchTaken(makeBranch(op, R(1), R(2), 0), a, b);
+    };
+    EXPECT_TRUE(taken(Opcode::BEQ, 4, 4));
+    EXPECT_FALSE(taken(Opcode::BEQ, 4, 5));
+    EXPECT_TRUE(taken(Opcode::BNE, 4, 5));
+    EXPECT_TRUE(taken(Opcode::BLT, -1, 0));
+    EXPECT_TRUE(taken(Opcode::BGE, 0, 0));
+    EXPECT_TRUE(evalBranchTaken(makeJmp(3), 0, 0));
+}
+
+TEST(Semantics, EffectiveAddr)
+{
+    EXPECT_EQ(effectiveAddr(makeLoad(R(1), R(2), 16), 0x100), 0x110);
+    EXPECT_EQ(effectiveAddr(makeStore(R(2), R(3), -8), 0x100), 0xf8);
+}
+
+TEST(Builder, LabelsResolve)
+{
+    Program p = ProgramBuilder()
+        .li(R(1), 1)
+        .beq(R(1), R(0), "end")
+        .addi(R(1), R(1), 1)
+        .label("end")
+        .halt()
+        .build();
+    EXPECT_EQ(p.size(), 4u);
+    EXPECT_EQ(p[1].imm, 3);
+}
+
+TEST(Builder, FenceExpansion)
+{
+    Program p = ProgramBuilder().fenceAcquire().fenceRelease()
+        .fenceFull().build();
+    ASSERT_EQ(p.size(), 8u);
+    EXPECT_EQ(p[0].fence, FenceKind::LL);
+    EXPECT_EQ(p[1].fence, FenceKind::LS);
+    EXPECT_EQ(p[2].fence, FenceKind::LS);
+    EXPECT_EQ(p[3].fence, FenceKind::SS);
+    EXPECT_EQ(p[4].fence, FenceKind::LL);
+    EXPECT_EQ(p[7].fence, FenceKind::SS);
+}
+
+TEST(Builder, MovIsAddiZero)
+{
+    Program p = ProgramBuilder().mov(R(1), R(2)).build();
+    EXPECT_EQ(p[0].op, Opcode::ADDI);
+    EXPECT_EQ(p[0].imm, 0);
+}
+
+TEST(Disassembly, RoundTripReadable)
+{
+    EXPECT_EQ(makeLoad(R(1), R(2), 8).toString(), "ld r1, [r2+8]");
+    EXPECT_EQ(makeStore(R(2), R(3)).toString(), "st [r2], r3");
+    EXPECT_EQ(makeFence(FenceKind::LS).toString(), "FenceLS");
+    EXPECT_EQ(makeAlu(Opcode::ADD, R(1), R(2), R(3)).toString(),
+              "add r1, r2, r3");
+}
+
+TEST(Assembler, BasicProgram)
+{
+    Program p = assemble(R"(
+        # a tiny program
+        li   r1, 5
+        addi r2, r1, 3
+        ld   r3, [r2+16]
+        st   [r2], r3        ; store back
+    loop:
+        addi r1, r1, -1
+        bne  r1, r0, loop
+        halt
+    )");
+    ASSERT_EQ(p.size(), 7u);
+    EXPECT_EQ(p[0].op, Opcode::LI);
+    EXPECT_EQ(p[2].op, Opcode::LD);
+    EXPECT_EQ(p[2].imm, 16);
+    EXPECT_EQ(p[5].op, Opcode::BNE);
+    EXPECT_EQ(p[5].imm, 4);
+}
+
+TEST(Assembler, FencesAndPseudo)
+{
+    Program p = assemble("fence.ss\nfence.acq\nfence.full\n");
+    ASSERT_EQ(p.size(), 7u); // 1 + 2 + 4
+    EXPECT_EQ(p[0].fence, FenceKind::SS);
+    EXPECT_EQ(p[1].fence, FenceKind::LL);
+    EXPECT_EQ(p[2].fence, FenceKind::LS);
+}
+
+TEST(Assembler, FpRegisters)
+{
+    Program p = assemble("fadd f1, f2, f3\nfcvt.i2f f0, r4\n");
+    EXPECT_EQ(p[0].dst, F(1));
+    EXPECT_EQ(p[1].src1, R(4));
+}
+
+TEST(Assembler, HexImmediates)
+{
+    Program p = assemble("li r1, 0x10\nli r2, -0x8\n");
+    EXPECT_EQ(p[0].imm, 16);
+    EXPECT_EQ(p[1].imm, -8);
+}
+
+TEST(ProgramValidate, BranchTargetInRange)
+{
+    Program p = ProgramBuilder().jmp("end").label("end").build();
+    EXPECT_EQ(p[0].imm, 1); // branching to program end is legal
+}
+
+TEST(MemImageTest, DefaultZeroAndStore)
+{
+    MemImage m;
+    EXPECT_EQ(m.load(0x1000), 0);
+    m.store(0x1000, 42);
+    EXPECT_EQ(m.load(0x1000), 42);
+    EXPECT_EQ(m.footprint(), 1u);
+}
+
+} // namespace
+} // namespace gam::isa

@@ -1,0 +1,180 @@
+/** Unit tests for the litmus-test infrastructure and suite integrity. */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "litmus/outcome.hh"
+#include "litmus/suite.hh"
+#include "litmus/test.hh"
+
+namespace gam::litmus
+{
+namespace
+{
+
+using isa::R;
+using model::ModelKind;
+
+TEST(OutcomeTest, CanonicalizeSorts)
+{
+    Outcome o;
+    o.regs.push_back({1, R(2), 5});
+    o.regs.push_back({0, R(1), 3});
+    o.canonicalize();
+    EXPECT_EQ(o.regs[0].tid, 0);
+    EXPECT_EQ(o.regs[1].tid, 1);
+}
+
+TEST(OutcomeTest, EqualityAndOrdering)
+{
+    Outcome a, b;
+    a.regs.push_back({0, R(1), 1});
+    b.regs.push_back({0, R(1), 2});
+    EXPECT_NE(a, b);
+    EXPECT_LT(a, b);
+    b.regs[0].value = 1;
+    EXPECT_EQ(a, b);
+}
+
+TEST(OutcomeTest, ToStringFormat)
+{
+    Outcome o;
+    o.regs.push_back({0, R(1), 7});
+    o.mem.push_back({0x1000, 3});
+    EXPECT_EQ(o.toString(), "0:r1=7 | [0x1000]=3");
+}
+
+TEST(LitmusTestType, ConditionMatching)
+{
+    const LitmusTest &t = testByName("dekker");
+    Outcome hit;
+    hit.regs.push_back({0, R(1), 0});
+    hit.regs.push_back({1, R(2), 0});
+    EXPECT_TRUE(t.conditionMatches(hit));
+    Outcome miss = hit;
+    miss.regs[0].value = 1;
+    EXPECT_FALSE(t.conditionMatches(miss));
+}
+
+TEST(LitmusTestType, ConditionRequiresObservation)
+{
+    const LitmusTest &t = testByName("dekker");
+    Outcome empty;
+    EXPECT_FALSE(t.conditionMatches(empty));
+}
+
+TEST(LitmusTestType, MemCondition)
+{
+    const LitmusTest &t = testByName("coww");
+    Outcome o;
+    o.mem.push_back({LOC_A, 1});
+    EXPECT_TRUE(t.conditionMatches(o));
+    o.mem[0].value = 2;
+    EXPECT_FALSE(t.conditionMatches(o));
+}
+
+TEST(Suite, PaperSuiteComplete)
+{
+    // Every litmus test printed in the paper is present.
+    std::set<std::string> names;
+    for (const auto &t : paperSuite())
+        names.insert(t.name);
+    for (const char *required :
+         {"dekker", "oota", "mp_addr", "mp_artificial_addr", "mp_mem_dep",
+          "mp_prefetch", "corr", "ld_interv_st", "rsw", "rnsw"}) {
+        EXPECT_TRUE(names.count(required)) << required;
+    }
+}
+
+TEST(Suite, UniqueNames)
+{
+    std::set<std::string> names;
+    for (const auto &t : allTests()) {
+        EXPECT_TRUE(names.insert(t.name).second)
+            << "duplicate litmus name " << t.name;
+    }
+}
+
+TEST(Suite, EveryTestFinalized)
+{
+    for (const auto &t : allTests()) {
+        EXPECT_FALSE(t.threads.empty()) << t.name;
+        EXPECT_FALSE(t.observedRegs.empty()) << t.name;
+        EXPECT_FALSE(t.expected.empty()) << t.name;
+        EXPECT_FALSE(t.regCond.empty() && t.memCond.empty()) << t.name;
+    }
+}
+
+TEST(Suite, PaperVerdictsRecorded)
+{
+    // Key claims from the paper's figures.
+    EXPECT_FALSE(testByName("corr").expected.at(ModelKind::GAM));
+    EXPECT_TRUE(testByName("corr").expected.at(ModelKind::GAM0));
+    EXPECT_FALSE(testByName("corr").expected.at(ModelKind::ARM));
+    EXPECT_TRUE(testByName("rsw").expected.at(ModelKind::ARM));
+    EXPECT_FALSE(testByName("rsw").expected.at(ModelKind::GAM));
+    EXPECT_FALSE(testByName("rnsw").expected.at(ModelKind::ARM));
+    EXPECT_TRUE(testByName("dekker").expected.at(ModelKind::TSO));
+    EXPECT_FALSE(testByName("dekker").expected.at(ModelKind::SC));
+    EXPECT_TRUE(testByName("ld_interv_st").expected.at(ModelKind::GAM));
+    EXPECT_TRUE(
+        testByName("ld_interv_st").expected.at(ModelKind::PerLocSC));
+}
+
+TEST(Suite, ObservedRegsCoverConditions)
+{
+    for (const auto &t : allTests()) {
+        for (const auto &rc : t.regCond) {
+            bool covered = false;
+            for (auto [tid, reg] : t.observedRegs)
+                covered |= tid == rc.tid && reg == rc.reg;
+            EXPECT_TRUE(covered)
+                << t.name << " observes " << int(rc.reg);
+        }
+    }
+}
+
+TEST(Suite, AddressUniverseCoversMemConditions)
+{
+    for (const auto &t : allTests()) {
+        for (const auto &mc : t.memCond) {
+            bool covered = false;
+            for (isa::Addr a : t.addressUniverse)
+                covered |= a == mc.addr;
+            EXPECT_TRUE(covered) << t.name;
+        }
+    }
+}
+
+TEST(Suite, LookupByNameFindsClassics)
+{
+    EXPECT_EQ(testByName("lb").name, "lb");
+    EXPECT_EQ(testByName("iriw_fenced").threads.size(), 4u);
+    EXPECT_EQ(testByName("wrc_dep").threads.size(), 3u);
+}
+
+TEST(Suite, BuilderProducesWorkingTest)
+{
+    using isa::ProgramBuilder;
+    LitmusTest t = LitmusBuilder("tmp", "none")
+        .location("x", 0x4000)
+        .thread(ProgramBuilder().li(R(1), 1).build())
+        .requireReg(0, R(1), 1)
+        .expect(ModelKind::SC, true)
+        .done();
+    EXPECT_EQ(t.threads.size(), 1u);
+    EXPECT_EQ(t.addressUniverse.size(), 1u);
+    EXPECT_FALSE(t.observedRegs.empty());
+}
+
+TEST(Suite, ToStringMentionsThreads)
+{
+    std::string s = testByName("dekker").toString();
+    EXPECT_NE(s.find("thread 0"), std::string::npos);
+    EXPECT_NE(s.find("thread 1"), std::string::npos);
+    EXPECT_NE(s.find("condition:"), std::string::npos);
+}
+
+} // namespace
+} // namespace gam::litmus

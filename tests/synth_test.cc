@@ -1,0 +1,124 @@
+/** Tests for the fence synthesizer. */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "axiomatic/checker.hh"
+#include "harness/fence_synth.hh"
+#include "litmus/suite.hh"
+
+namespace gam::harness
+{
+namespace
+{
+
+using model::ModelKind;
+
+TEST(FenceSynth, AlreadyForbiddenNeedsNothing)
+{
+    // CoRR is already forbidden under GAM.
+    SynthResult r = synthesizeFences(litmus::testByName("corr"),
+                                     ModelKind::GAM);
+    EXPECT_TRUE(r.solved);
+    EXPECT_TRUE(r.fences.empty());
+}
+
+TEST(FenceSynth, CorrUnderGam0NeedsOneFence)
+{
+    // GAM0 allows the CoRR violation; one FenceLL between the loads
+    // fixes it (Section III-E).
+    SynthResult r = synthesizeFences(litmus::testByName("corr"),
+                                     ModelKind::GAM0);
+    ASSERT_TRUE(r.solved);
+    ASSERT_EQ(r.fences.size(), 1u);
+    EXPECT_EQ(r.fences[0].tid, 1);
+    EXPECT_EQ(r.fences[0].kind, isa::FenceKind::LL);
+}
+
+TEST(FenceSynth, MpNeedsBothSides)
+{
+    // Unfenced message passing needs a producer FenceSS *and* a
+    // consumer FenceLL (paper Section III-D / Figure 13).
+    SynthResult r = synthesizeFences(litmus::testByName("mp"),
+                                     ModelKind::GAM);
+    ASSERT_TRUE(r.solved);
+    ASSERT_EQ(r.fences.size(), 2u);
+    std::set<int> tids{r.fences[0].tid, r.fences[1].tid};
+    EXPECT_EQ(tids, (std::set<int>{0, 1}));
+    for (const auto &f : r.fences) {
+        if (f.tid == 0)
+            EXPECT_EQ(f.kind, isa::FenceKind::SS);
+        else
+            EXPECT_EQ(f.kind, isa::FenceKind::LL);
+    }
+}
+
+TEST(FenceSynth, DekkerNeedsStoreLoadFences)
+{
+    // Dekker requires FenceSL on both sides.
+    SynthResult r = synthesizeFences(litmus::testByName("dekker"),
+                                     ModelKind::GAM);
+    ASSERT_TRUE(r.solved);
+    ASSERT_EQ(r.fences.size(), 2u);
+    for (const auto &f : r.fences)
+        EXPECT_EQ(f.kind, isa::FenceKind::SL);
+}
+
+TEST(FenceSynth, SolutionActuallyForbids)
+{
+    for (const char *name : {"mp", "lb", "dekker", "corr"}) {
+        const auto &test = litmus::testByName(name);
+        SynthResult r = synthesizeFences(test, ModelKind::GAM);
+        ASSERT_TRUE(r.solved) << name;
+        auto fenced = applyFences(test, r.fences);
+        axiomatic::Checker checker(fenced, ModelKind::GAM);
+        EXPECT_FALSE(checker.isAllowed()) << name;
+        EXPECT_GT(r.queriesIssued, 0u);
+    }
+}
+
+TEST(FenceSynth, RespectsBound)
+{
+    // With a bound of zero insertions, an allowed behavior cannot be
+    // fixed.
+    SynthResult r = synthesizeFences(litmus::testByName("mp"),
+                                     ModelKind::GAM, 0);
+    EXPECT_FALSE(r.solved);
+}
+
+TEST(FenceSynth, ApplyFencesFixesBranchTargets)
+{
+    // Inserting a fence before a branch target keeps the branch
+    // pointing at the same instruction.
+    using isa::ProgramBuilder;
+    using isa::R;
+    litmus::LitmusTest t = litmus::LitmusBuilder("b", "unit")
+        .location("a", 0x1000)
+        .thread(ProgramBuilder()
+                    .li(R(8), 0x1000)
+                    .ld(R(1), R(8))
+                    .bne(R(1), R(0), "end")
+                    .ld(R(2), R(8))
+                    .label("end")
+                    .st(R(8), R(1))
+                    .build())
+        .requireReg(0, R(1), 0)
+        .expect(ModelKind::GAM, true)
+        .done();
+    auto fenced = applyFences(t, {{0, 3, isa::FenceKind::LL}});
+    // The branch at index 2 targeted instruction 4; with one insertion
+    // at 3 it must now target 5 (the store).
+    EXPECT_EQ(fenced.threads[0][2].imm, 5);
+    EXPECT_TRUE(fenced.threads[0][3].isFence());
+    EXPECT_TRUE(fenced.threads[0][5].isStore());
+}
+
+TEST(FenceSynth, InsertionToString)
+{
+    FenceInsertion f{1, 3, isa::FenceKind::SS};
+    EXPECT_EQ(f.toString(), "P1: FenceSS before instruction 3");
+}
+
+} // namespace
+} // namespace gam::harness

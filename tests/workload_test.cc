@@ -1,0 +1,115 @@
+/** Tests for the synthetic workload suite. */
+
+#include <gtest/gtest.h>
+
+#include "isa/emulator.hh"
+#include "sim/trace_gen.hh"
+#include "workload/workloads.hh"
+
+namespace gam::workload
+{
+namespace
+{
+
+class WorkloadCheck : public ::testing::TestWithParam<std::string>
+{
+};
+
+TEST_P(WorkloadCheck, BuildsAndCompletes)
+{
+    const WorkloadSpec &spec = workloadByName(GetParam());
+    BuiltWorkload built = spec.build();
+    EXPECT_FALSE(built.program.empty());
+
+    sim::DynTrace trace = sim::generateTrace(built.program, built.mem,
+                                             spec.maxUops);
+    // The program must halt within its stated uop budget and be large
+    // enough to be a meaningful benchmark.
+    EXPECT_TRUE(trace.programCompleted) << spec.name;
+    EXPECT_GT(trace.uops.size(), 50000u) << spec.name;
+    EXPECT_LT(trace.uops.size(), spec.maxUops) << spec.name;
+}
+
+TEST_P(WorkloadCheck, Deterministic)
+{
+    const WorkloadSpec &spec = workloadByName(GetParam());
+    BuiltWorkload a = spec.build();
+    BuiltWorkload b = spec.build();
+    ASSERT_EQ(a.program.size(), b.program.size());
+    for (size_t i = 0; i < a.program.size(); ++i)
+        EXPECT_TRUE(a.program[i] == b.program[i]) << spec.name;
+    EXPECT_TRUE(a.mem == b.mem) << spec.name;
+}
+
+std::vector<std::string>
+names()
+{
+    std::vector<std::string> v;
+    for (const auto &w : workloadSuite())
+        v.push_back(w.name);
+    return v;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllWorkloads, WorkloadCheck,
+                         ::testing::ValuesIn(names()),
+                         [](const auto &info) { return info.param; });
+
+TEST(WorkloadSuiteTest, SixteenWorkloads)
+{
+    EXPECT_EQ(workloadSuite().size(), 16u);
+}
+
+TEST(WorkloadSuiteTest, UniqueNames)
+{
+    std::set<std::string> seen;
+    for (const auto &w : workloadSuite())
+        EXPECT_TRUE(seen.insert(w.name).second) << w.name;
+}
+
+TEST(WorkloadSuiteTest, MemoryTouchesMatchEmulator)
+{
+    // The trace's final state is the emulator's final state.
+    const WorkloadSpec &spec = workloadByName("histogram");
+    BuiltWorkload built = spec.build();
+    sim::DynTrace trace = sim::generateTrace(built.program, built.mem,
+                                             spec.maxUops);
+    isa::Emulator emu(built.program, built.mem);
+    emu.run(spec.maxUops + 10);
+    EXPECT_TRUE(trace.finalState == emu.archState());
+}
+
+TEST(WorkloadSuiteTest, PtrChaseVisitsManyNodes)
+{
+    const WorkloadSpec &spec = workloadByName("ptr_chase");
+    BuiltWorkload built = spec.build();
+    sim::DynTrace trace = sim::generateTrace(built.program, built.mem,
+                                             spec.maxUops);
+    std::set<isa::Addr> loads;
+    for (const auto &u : trace.uops)
+        if (u.instr.isLoad())
+            loads.insert(u.addr);
+    EXPECT_GT(loads.size(), 10000u); // low spatial reuse by design
+}
+
+TEST(WorkloadSuiteTest, HistogramHitsHotCounters)
+{
+    const WorkloadSpec &spec = workloadByName("histogram");
+    BuiltWorkload built = spec.build();
+    sim::DynTrace trace = sim::generateTrace(built.program, built.mem,
+                                             spec.maxUops);
+    // Counter loads concentrate on 256 addresses.
+    std::map<isa::Addr, int> counts;
+    for (const auto &u : trace.uops)
+        if (u.instr.isLoad() && u.addr < 0x100000 + 256 * 8)
+            ++counts[u.addr];
+    EXPECT_LE(counts.size(), 256u);
+    EXPECT_GT(counts.size(), 100u);
+}
+
+TEST(WorkloadSuiteTest, UnknownNameIsFatal)
+{
+    EXPECT_DEATH(workloadByName("nope"), "unknown workload");
+}
+
+} // namespace
+} // namespace gam::workload
