@@ -34,13 +34,16 @@ BM_AxiomaticChecker(benchmark::State &state)
 }
 BENCHMARK(BM_AxiomaticChecker)->DenseRange(0, 9);
 
+// Scale with the number of threads -- dekker (2) .. iriw (4) -- plus
+// the two largest Figure-14 state spaces (corr: 14a, rsw: 14c).
+const char *kExplorerTests[] = {"corr", "dekker", "wrc_dep", "iriw",
+                                "rsw"};
+
 void
 BM_OperationalExplorer(benchmark::State &state)
 {
-    // Scale with the number of threads: dekker (2) .. iriw (4).
-    const char *names[] = {"corr", "dekker", "wrc_dep", "iriw"};
     const litmus::LitmusTest &test =
-        litmus::testByName(names[size_t(state.range(0))]);
+        litmus::testByName(kExplorerTests[size_t(state.range(0))]);
     uint64_t states = 0;
     for (auto _ : state) {
         operational::GamOptions opts;
@@ -51,7 +54,61 @@ BM_OperationalExplorer(benchmark::State &state)
     }
     state.SetLabel(test.name + (" states=" + std::to_string(states)));
 }
-BENCHMARK(BM_OperationalExplorer)->DenseRange(0, 3);
+BENCHMARK(BM_OperationalExplorer)->DenseRange(0, 4);
+
+/**
+ * The seed's explorer: serial, memoising full string encodings.  The
+ * baseline every other explorer variant is compared against.
+ */
+void
+BM_ExplorerStringSetBaseline(benchmark::State &state)
+{
+    const litmus::LitmusTest &test =
+        litmus::testByName(kExplorerTests[size_t(state.range(0))]);
+    for (auto _ : state) {
+        auto result = operational::exploreAllStringSet(
+            operational::GamMachine(test, {}));
+        benchmark::DoNotOptimize(result.outcomes.size());
+    }
+    state.SetLabel(test.name);
+}
+BENCHMARK(BM_ExplorerStringSetBaseline)->DenseRange(0, 4);
+
+/** Serial exploration with 64-bit interned states. */
+void
+BM_ExplorerInterned(benchmark::State &state)
+{
+    const litmus::LitmusTest &test =
+        litmus::testByName(kExplorerTests[size_t(state.range(0))]);
+    for (auto _ : state) {
+        auto result = operational::exploreAll(
+            operational::GamMachine(test, {}));
+        benchmark::DoNotOptimize(result.outcomes.size());
+    }
+    state.SetLabel(test.name);
+}
+BENCHMARK(BM_ExplorerInterned)->DenseRange(0, 4);
+
+/**
+ * Interned states on a worker team.  range(0) picks the litmus test,
+ * range(1) the thread count: serial-vs-parallel on the same workload.
+ */
+void
+BM_ExplorerParallel(benchmark::State &state)
+{
+    const litmus::LitmusTest &test =
+        litmus::testByName(kExplorerTests[size_t(state.range(0))]);
+    const unsigned threads = unsigned(state.range(1));
+    for (auto _ : state) {
+        auto result = operational::exploreAllParallel(
+            operational::GamMachine(test, {}), threads);
+        benchmark::DoNotOptimize(result.outcomes.size());
+    }
+    state.SetLabel(test.name + (" threads="
+                                + std::to_string(threads)));
+}
+BENCHMARK(BM_ExplorerParallel)
+    ->ArgsProduct({{0, 1, 2, 3, 4}, {1, 2, 4, 8}});
 
 void
 BM_CycleSimulator(benchmark::State &state)

@@ -378,7 +378,7 @@ Checker::computeExecution(const std::vector<StoreId> &rf,
 
 void
 Checker::checkCandidate(const std::vector<ThreadExec> &exec,
-                        const std::vector<StoreId> &rf,
+                        const std::vector<StoreId> & /* rf */,
                         litmus::OutcomeSet &outcomes)
 {
     // ---- Collect memory events and per-thread ppo. ----

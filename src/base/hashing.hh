@@ -1,0 +1,112 @@
+/**
+ * @file
+ * 64-bit hashing utilities for compact state interning.
+ *
+ * The explorer memoises visited machine states by a 64-bit fingerprint
+ * instead of a full text encoding.  StateHasher is a streaming hasher:
+ * machines feed their state words directly into it, avoiding any string
+ * construction on the hot path.  The mixing function is the splitmix64
+ * finaliser (public domain), which passes all of SMHasher's avalanche
+ * tests; combination follows the multiply-xor fold used by wyhash.
+ */
+
+#ifndef GAM_BASE_HASHING_HH
+#define GAM_BASE_HASHING_HH
+
+#include <cstdint>
+#include <cstring>
+#include <string_view>
+
+namespace gam
+{
+
+/** splitmix64 finaliser: full-avalanche 64-bit bit mixer. */
+constexpr uint64_t
+mix64(uint64_t z)
+{
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+}
+
+/** Order-sensitive combination of two 64-bit hashes. */
+constexpr uint64_t
+hashCombine(uint64_t seed, uint64_t value)
+{
+    return mix64(seed ^ (value + 0x9e3779b97f4a7c15ull + (seed << 6)
+                         + (seed >> 2)));
+}
+
+/**
+ * Streaming 64-bit hasher.  Feed fixed-width words with add(); the
+ * running value is order-sensitive, so structurally different states
+ * yield different streams.  Feed an explicit separator between
+ * variable-length sections to avoid concatenation ambiguity.
+ */
+class StateHasher
+{
+  public:
+    explicit StateHasher(uint64_t seed = 0x2545f4914f6cdd1dull)
+        : h(seed)
+    {}
+
+    void
+    add(uint64_t word)
+    {
+        h = hashCombine(h, word);
+    }
+
+    /** Mark a section boundary (e.g. end of one processor's ROB). */
+    void
+    separator()
+    {
+        add(0x9e3779b97f4a7c15ull);
+    }
+
+    uint64_t
+    digest() const
+    {
+        return mix64(h);
+    }
+
+  private:
+    uint64_t h;
+};
+
+/** FNV-1a 64-bit over raw bytes, finalised with mix64. */
+inline uint64_t
+hashBytes(const void *data, size_t len)
+{
+    const auto *p = static_cast<const unsigned char *>(data);
+    uint64_t h = 0xcbf29ce484222325ull;
+    for (size_t i = 0; i < len; ++i) {
+        h ^= p[i];
+        h *= 0x100000001b3ull;
+    }
+    return mix64(h);
+}
+
+inline uint64_t
+hashString(std::string_view s)
+{
+    return hashBytes(s.data(), s.size());
+}
+
+/**
+ * Order-insensitive hash of a map-like range of (key, value) pairs:
+ * per-entry hashes combine by addition, so iteration order (e.g. of a
+ * std::unordered_map) does not affect the result.
+ */
+template <typename MapLike>
+uint64_t
+hashUnorderedPairs(const MapLike &m)
+{
+    uint64_t acc = 0x6a09e667f3bcc909ull;
+    for (const auto &[k, v] : m)
+        acc += mix64(hashCombine(mix64(uint64_t(k)), uint64_t(v)));
+    return mix64(acc);
+}
+
+} // namespace gam
+
+#endif // GAM_BASE_HASHING_HH

@@ -23,13 +23,32 @@ class Rng
   public:
     explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ull) { reseed(seed); }
 
-    /** Re-initialise the state from a 64-bit seed. */
+    /**
+     * Re-initialise the state from a 64-bit seed.
+     *
+     * The four state words are drawn from the splitmix64 stream and
+     * are guaranteed pairwise distinct for every seed: a drawn word
+     * that collides with an earlier one is skipped and the next stream
+     * value taken instead.  Pairwise-distinct words also rule out the
+     * all-zero state, which is the one fixed point xoshiro256** can
+     * never leave.
+     */
     void
     reseed(uint64_t seed)
     {
         uint64_t x = seed;
-        for (auto &word : state)
-            word = splitmix64(x);
+        for (int i = 0; i < 4; ++i) {
+            uint64_t word = splitmix64(x);
+            for (int j = 0; j < i;) {
+                if (state[j] == word) {
+                    word = splitmix64(x);
+                    j = 0;
+                } else {
+                    ++j;
+                }
+            }
+            state[i] = word;
+        }
     }
 
     /** Next raw 64-bit value. */

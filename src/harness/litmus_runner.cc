@@ -2,6 +2,7 @@
 
 #include "axiomatic/checker.hh"
 #include "base/table.hh"
+#include "base/thread_pool.hh"
 #include "operational/explorer.hh"
 #include "operational/gam_machine.hh"
 #include "operational/sc_machine.hh"
@@ -19,46 +20,113 @@ axiomaticAllowed(const litmus::LitmusTest &test, ModelKind model)
     return checker.isAllowed();
 }
 
-bool
-operationalAllowed(const litmus::LitmusTest &test, ModelKind model)
+namespace
 {
-    litmus::OutcomeSet outcomes;
-    if (model == ModelKind::SC) {
-        outcomes = operational::exploreAll(
-            operational::ScMachine(test)).outcomes;
-    } else if (model == ModelKind::TSO) {
-        outcomes = operational::exploreAll(
-            operational::TsoMachine(test)).outcomes;
-    } else {
-        operational::GamOptions opts;
-        opts.kind = model;
-        outcomes = operational::exploreAll(
-            operational::GamMachine(test, opts)).outcomes;
-    }
+
+bool
+anyConditionMatch(const litmus::LitmusTest &test,
+                  const litmus::OutcomeSet &outcomes)
+{
     for (const auto &o : outcomes)
         if (test.conditionMatches(o))
             return true;
     return false;
 }
 
+litmus::OutcomeSet
+exploreOutcomes(const litmus::LitmusTest &test, ModelKind model,
+                unsigned threads)
+{
+    // threads == 1 runs the serial engine; anything else the parallel
+    // one (0 = hardware concurrency).
+    if (model == ModelKind::SC) {
+        return operational::exploreAllParallel(
+            operational::ScMachine(test), threads).outcomes;
+    }
+    if (model == ModelKind::TSO) {
+        return operational::exploreAllParallel(
+            operational::TsoMachine(test), threads).outcomes;
+    }
+    operational::GamOptions opts;
+    opts.kind = model;
+    return operational::exploreAllParallel(
+        operational::GamMachine(test, opts), threads).outcomes;
+}
+
+/** One (test, model, engine) job of the verdict matrix. */
+struct MatrixJob
+{
+    const litmus::LitmusTest *test;
+    ModelKind model;
+    Engine engine;
+    std::optional<bool> expected;
+};
+
+std::vector<MatrixJob>
+matrixJobs(const std::vector<litmus::LitmusTest> &tests)
+{
+    std::vector<MatrixJob> jobs;
+    for (const auto &test : tests) {
+        for (const auto &[model, expected] : test.expected) {
+            if (model != ModelKind::AlphaStar)
+                jobs.push_back({&test, model, Engine::Axiomatic,
+                                expected});
+            if (model != ModelKind::PerLocSC)
+                jobs.push_back({&test, model, Engine::Operational,
+                                expected});
+        }
+    }
+    return jobs;
+}
+
+LitmusVerdict
+runJob(const MatrixJob &job, unsigned explorer_threads)
+{
+    const bool allowed = job.engine == Engine::Axiomatic
+        ? axiomaticAllowed(*job.test, job.model)
+        : anyConditionMatch(*job.test,
+                            exploreOutcomes(*job.test, job.model,
+                                            explorer_threads));
+    return {job.test->name, job.model, job.engine, allowed,
+            job.expected};
+}
+
+} // namespace
+
+bool
+operationalAllowed(const litmus::LitmusTest &test, ModelKind model)
+{
+    return anyConditionMatch(test, exploreOutcomes(test, model, 1));
+}
+
+bool
+operationalAllowedParallel(const litmus::LitmusTest &test,
+                           ModelKind model, unsigned threads)
+{
+    return anyConditionMatch(test, exploreOutcomes(test, model, threads));
+}
+
 std::vector<LitmusVerdict>
 runLitmusMatrix(const std::vector<litmus::LitmusTest> &tests)
 {
     std::vector<LitmusVerdict> verdicts;
-    for (const auto &test : tests) {
-        for (const auto &[model, expected] : test.expected) {
-            if (model != ModelKind::AlphaStar) {
-                verdicts.push_back({test.name, model, Engine::Axiomatic,
-                                    axiomaticAllowed(test, model),
-                                    expected});
-            }
-            if (model != ModelKind::PerLocSC) {
-                verdicts.push_back({test.name, model, Engine::Operational,
-                                    operationalAllowed(test, model),
-                                    expected});
-            }
-        }
-    }
+    for (const auto &job : matrixJobs(tests))
+        verdicts.push_back(runJob(job, 1));
+    return verdicts;
+}
+
+std::vector<LitmusVerdict>
+runLitmusMatrixParallel(const std::vector<litmus::LitmusTest> &tests,
+                        unsigned threads)
+{
+    const auto jobs = matrixJobs(tests);
+    std::vector<LitmusVerdict> verdicts(jobs.size());
+    ThreadPool pool(threads);
+    // One slot per job: completion order cannot affect the output.
+    pool.parallelFor(jobs.size(), [&](size_t i) {
+        // Jobs already saturate the pool; keep each explorer serial.
+        verdicts[i] = runJob(jobs[i], 1);
+    });
     return verdicts;
 }
 

@@ -49,12 +49,32 @@ bool operationalAllowed(const litmus::LitmusTest &test,
                         model::ModelKind model);
 
 /**
+ * operationalAllowed() on the multi-threaded explorer.
+ * @param threads worker count; 0 means hardware concurrency
+ */
+bool operationalAllowedParallel(const litmus::LitmusTest &test,
+                                model::ModelKind model,
+                                unsigned threads = 0);
+
+/**
  * Run every expected verdict of every test in @p tests on the engines
  * that support the model (axiomatic for all models but Alpha*;
  * operational for all but PerLocSC).
  */
 std::vector<LitmusVerdict>
 runLitmusMatrix(const std::vector<litmus::LitmusTest> &tests);
+
+/**
+ * runLitmusMatrix() on a thread pool: every (test, model, engine) job
+ * runs concurrently, and each verdict is written to a pre-assigned slot
+ * so the returned vector is identical to the serial one, in the same
+ * order, regardless of scheduling.
+ *
+ * @param threads worker count; 0 means hardware concurrency
+ */
+std::vector<LitmusVerdict>
+runLitmusMatrixParallel(const std::vector<litmus::LitmusTest> &tests,
+                        unsigned threads = 0);
 
 /** Render the verdict matrix, flagging mismatches with the paper. */
 std::string formatLitmusMatrix(const std::vector<LitmusVerdict> &verdicts);

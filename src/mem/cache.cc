@@ -147,8 +147,8 @@ MainMemory::MainMemory(Cycle latency, double bytes_per_cycle,
 }
 
 Cycle
-MainMemory::access(isa::Addr addr, bool is_write, Cycle now,
-                   AccessKind kind)
+MainMemory::access(isa::Addr /* addr */, bool is_write, Cycle now,
+                   AccessKind /* kind */)
 {
     const Cycle start = std::max(now, busFree);
     busFree = start + transferCycles;

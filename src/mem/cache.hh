@@ -139,7 +139,7 @@ class MainMemory : public MemLevel
 
     Cycle access(isa::Addr addr, bool is_write, Cycle now,
                  AccessKind kind) override;
-    bool probe(isa::Addr addr) const override { return true; }
+    bool probe(isa::Addr /* addr */) const override { return true; }
 
     uint64_t reads() const { return _reads; }
     uint64_t writes() const { return _writes; }

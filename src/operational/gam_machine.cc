@@ -624,4 +624,29 @@ GamMachine::encode() const
     return os.str();
 }
 
+void
+GamMachine::hashInto(StateHasher &h) const
+{
+    for (const Proc &proc : procs) {
+        h.add(proc.pc);
+        for (const Entry &e : proc.rob) {
+            h.add(uint64_t(e.pc) | (uint64_t(e.done) << 16)
+                  | (uint64_t(e.addrAvail) << 17)
+                  | (uint64_t(e.dataAvail) << 18)
+                  | (uint64_t(e.predictedNext) << 32));
+            h.add(uint64_t(e.result));
+            h.add(uint64_t(e.addr));
+            h.add(uint64_t(e.data));
+            h.add(uint64_t(int64_t(e.rfSrc)));
+        }
+        h.separator();
+    }
+    h.add(hashUnorderedPairs(memory.raw()));
+    // lastWriter is an ordered map; stream it sequentially.
+    for (auto [a, s] : lastWriter) {
+        h.add(uint64_t(a));
+        h.add(uint64_t(int64_t(s)));
+    }
+}
+
 } // namespace gam::operational

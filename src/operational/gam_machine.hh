@@ -46,6 +46,7 @@
 #include <string>
 #include <vector>
 
+#include "base/hashing.hh"
 #include "isa/mem_image.hh"
 #include "litmus/test.hh"
 #include "model/kind.hh"
@@ -123,6 +124,12 @@ class GamMachine
 
     /** Canonical state encoding for explorer memoisation. */
     std::string encode() const;
+
+    /**
+     * Stream the state words of encode() into @p h: the explorer's
+     * allocation-free fingerprint path.
+     */
+    void hashInto(StateHasher &h) const;
 
     /** The machine deadlocked without completing (a machine bug). */
     bool stuck() const { return !terminal() && enabledRules().empty(); }

@@ -114,4 +114,16 @@ ScMachine::encode() const
     return os.str();
 }
 
+void
+ScMachine::hashInto(StateHasher &h) const
+{
+    for (const Proc &proc : procs) {
+        h.add(proc.pc);
+        for (Value r : proc.regs)
+            h.add(uint64_t(r));
+        h.separator();
+    }
+    h.add(hashUnorderedPairs(memory.raw()));
+}
+
 } // namespace gam::operational

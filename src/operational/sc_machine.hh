@@ -12,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "base/hashing.hh"
 #include "isa/mem_image.hh"
 #include "litmus/test.hh"
 
@@ -37,6 +38,8 @@ class ScMachine
     bool terminal() const;
     litmus::Outcome outcome() const;
     std::string encode() const;
+    /** Allocation-free fingerprint path (same state as encode()). */
+    void hashInto(StateHasher &h) const;
     bool stuck() const { return false; }
 
   private:

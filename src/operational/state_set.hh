@@ -1,0 +1,171 @@
+/**
+ * @file
+ * Compact visited-state sets for the explorer.
+ *
+ * The seed explorer memoised states in a std::unordered_set<std::string>,
+ * paying one heap-allocated text encoding per state plus string hashing
+ * and comparison on every probe.  StateSet interns each state as a single
+ * 64-bit fingerprint in an open-addressing table: 8 bytes per state, no
+ * per-insert allocation, and probes that touch one cache line in the
+ * common case.
+ *
+ * Interning is lossy in principle (two distinct states could collide in
+ * 64 bits), but with a full-avalanche fingerprint the expected collision
+ * count over N states is N^2 / 2^65 -- about 5e-6 for the ~10^7-state
+ * budget this library uses, and a collision merely prunes one duplicate
+ * subtree.  The equivalence tests compare interned exploration against
+ * the axiomatic checker on every suite test, which would surface any
+ * outcome-changing collision.
+ *
+ * ConcurrentStateSet shards the table by fingerprint so parallel workers
+ * contend only on 1/NumShards of the keyspace.
+ */
+
+#ifndef GAM_OPERATIONAL_STATE_SET_HH
+#define GAM_OPERATIONAL_STATE_SET_HH
+
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "base/hashing.hh"
+
+namespace gam::operational
+{
+
+/** Open-addressing set of 64-bit state fingerprints. */
+class StateSet
+{
+  public:
+    explicit StateSet(size_t initial_capacity = 1024)
+    {
+        size_t cap = 16;
+        while (cap < initial_capacity)
+            cap <<= 1;
+        slots.assign(cap, EMPTY);
+    }
+
+    /** @return true when @p key was not yet present. */
+    bool
+    insert(uint64_t key)
+    {
+        // EMPTY marks free slots; remap a genuine EMPTY fingerprint.
+        if (key == EMPTY)
+            key = 0x9e3779b97f4a7c15ull;
+        if ((count + 1) * 10 >= slots.size() * 7)
+            grow();
+        const size_t mask = slots.size() - 1;
+        size_t i = key & mask;
+        while (slots[i] != EMPTY) {
+            if (slots[i] == key)
+                return false;
+            i = (i + 1) & mask;
+        }
+        slots[i] = key;
+        ++count;
+        return true;
+    }
+
+    bool
+    contains(uint64_t key) const
+    {
+        if (key == EMPTY)
+            key = 0x9e3779b97f4a7c15ull;
+        const size_t mask = slots.size() - 1;
+        size_t i = key & mask;
+        while (slots[i] != EMPTY) {
+            if (slots[i] == key)
+                return true;
+            i = (i + 1) & mask;
+        }
+        return false;
+    }
+
+    size_t size() const { return count; }
+    size_t capacity() const { return slots.size(); }
+
+  private:
+    static constexpr uint64_t EMPTY = 0;
+
+    void
+    grow()
+    {
+        std::vector<uint64_t> old = std::move(slots);
+        slots.assign(old.size() * 2, EMPTY);
+        const size_t mask = slots.size() - 1;
+        for (uint64_t key : old) {
+            if (key == EMPTY)
+                continue;
+            size_t i = key & mask;
+            while (slots[i] != EMPTY)
+                i = (i + 1) & mask;
+            slots[i] = key;
+        }
+    }
+
+    std::vector<uint64_t> slots;
+    size_t count = 0;
+};
+
+/**
+ * Thread-safe StateSet, sharded by the fingerprint's top bits.  Sharding
+ * keeps the per-insert critical section to a single probe sequence and
+ * lets workers inserting different shards proceed in parallel.
+ */
+class ConcurrentStateSet
+{
+  public:
+    explicit ConcurrentStateSet(size_t initial_capacity = 1024)
+    {
+        // Shards default to small tables; only re-allocate them when
+        // the requested capacity actually needs bigger ones.
+        const size_t per_shard = initial_capacity / NumShards + 16;
+        if (per_shard > 32) {
+            for (auto &shard : shards)
+                shard.set = StateSet(per_shard);
+        }
+    }
+
+    /** @return true when @p key was not yet present (atomic). */
+    bool
+    insert(uint64_t key)
+    {
+        Shard &shard = shards[shardOf(key)];
+        std::lock_guard<std::mutex> lock(shard.mu);
+        return shard.set.insert(key);
+    }
+
+    size_t
+    size() const
+    {
+        size_t total = 0;
+        for (auto &shard : shards) {
+            std::lock_guard<std::mutex> lock(shard.mu);
+            total += shard.set.size();
+        }
+        return total;
+    }
+
+  private:
+    static constexpr size_t NumShards = 64;
+
+    static size_t
+    shardOf(uint64_t key)
+    {
+        // Top bits: the probe index uses the bottom bits, so the two
+        // choices stay independent.
+        return size_t(key >> 58) & (NumShards - 1);
+    }
+
+    struct Shard
+    {
+        mutable std::mutex mu;
+        StateSet set{32};
+    };
+
+    Shard shards[NumShards];
+};
+
+} // namespace gam::operational
+
+#endif // GAM_OPERATIONAL_STATE_SET_HH

@@ -160,4 +160,21 @@ TsoMachine::encode() const
     return os.str();
 }
 
+void
+TsoMachine::hashInto(StateHasher &h) const
+{
+    for (const Proc &proc : procs) {
+        h.add(proc.pc);
+        for (Value r : proc.regs)
+            h.add(uint64_t(r));
+        h.separator();
+        for (const auto &s : proc.sb) {
+            h.add(uint64_t(s.addr));
+            h.add(uint64_t(s.value));
+        }
+        h.separator();
+    }
+    h.add(hashUnorderedPairs(memory.raw()));
+}
+
 } // namespace gam::operational

@@ -14,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "base/hashing.hh"
 #include "isa/mem_image.hh"
 #include "litmus/test.hh"
 
@@ -45,6 +46,8 @@ class TsoMachine
     bool terminal() const;
     litmus::Outcome outcome() const;
     std::string encode() const;
+    /** Allocation-free fingerprint path (same state as encode()). */
+    void hashInto(StateHasher &h) const;
     bool stuck() const;
 
   private:

@@ -101,9 +101,11 @@ TEST(AxiomaticEnumeration, CowwFinalMemory)
     Checker checker(testByName("coww"), ModelKind::GAM);
     auto outcomes = checker.enumerate();
     ASSERT_EQ(outcomes.size(), 1u);
-    for (const auto &m : outcomes.begin()->mem)
-        if (m.addr == litmus::LOC_A)
+    for (const auto &m : outcomes.begin()->mem) {
+        if (m.addr == litmus::LOC_A) {
             EXPECT_EQ(m.value, 2);
+        }
+    }
 }
 
 TEST(AxiomaticEnumeration, MpOutcomeCount)

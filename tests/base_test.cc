@@ -1,13 +1,21 @@
-/** Unit tests for base utilities: RNG, stats, tables, logging. */
+/**
+ * Unit tests for base utilities: RNG, hashing, thread pool, stats,
+ * tables, logging.
+ */
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <numeric>
 #include <set>
+#include <vector>
 
+#include "base/hashing.hh"
 #include "base/logging.hh"
 #include "base/rng.hh"
 #include "base/stats.hh"
 #include "base/table.hh"
+#include "base/thread_pool.hh"
 
 namespace gam
 {
@@ -82,6 +90,140 @@ TEST(Rng, ReseedRestartsSequence)
     rng.next();
     rng.reseed(5);
     EXPECT_EQ(rng.next(), first);
+}
+
+TEST(Rng, KnownSeedsPinnedOutputs)
+{
+    // Regression pin: the first outputs of known seeds.  The reseed()
+    // collision guard must not perturb the stream for ordinary seeds,
+    // so these values are identical to the original seeding scheme.
+    struct Pin { uint64_t seed; uint64_t out[3]; };
+    const Pin pins[] = {
+        {0, {11091344671253066420ull, 13793997310169335082ull,
+             1900383378846508768ull}},
+        {1, {12966619160104079557ull, 9600361134598540522ull,
+             10590380919521690900ull}},
+        {42, {1546998764402558742ull, 6990951692964543102ull,
+              12544586762248559009ull}},
+        {0x9e3779b97f4a7c15ull,
+         {4768932952251265552ull, 16168679545894742312ull,
+          6487188721686299062ull}},
+    };
+    for (const auto &pin : pins) {
+        Rng rng(pin.seed);
+        for (uint64_t expected : pin.out)
+            EXPECT_EQ(rng.next(), expected) << "seed " << pin.seed;
+    }
+}
+
+TEST(Rng, EverySeedYieldsLiveState)
+{
+    // If reseed() ever produced the all-zero xoshiro state (its one
+    // fixed point) next() would return 0 forever.  Sweep a batch of
+    // seeds, including adversarial-looking ones, and require live,
+    // non-constant output from each.
+    std::vector<uint64_t> seeds;
+    for (uint64_t s = 0; s < 256; ++s)
+        seeds.push_back(s);
+    for (uint64_t s : {~0ull, 0x8000000000000000ull,
+                       0x5555555555555555ull, 0xaaaaaaaaaaaaaaaaull})
+        seeds.push_back(s);
+    for (uint64_t seed : seeds) {
+        Rng rng(seed);
+        std::set<uint64_t> outputs;
+        for (int i = 0; i < 16; ++i)
+            outputs.insert(rng.next());
+        EXPECT_GT(outputs.size(), 14u) << "seed " << seed;
+    }
+}
+
+TEST(Hashing, Mix64Avalanches)
+{
+    // Flipping one input bit must change many output bits.
+    const uint64_t base = mix64(0x1234567890abcdefull);
+    for (int bit = 0; bit < 64; ++bit) {
+        uint64_t flipped = mix64(0x1234567890abcdefull ^ (1ull << bit));
+        int diff = __builtin_popcountll(base ^ flipped);
+        EXPECT_GT(diff, 10) << "bit " << bit;
+    }
+}
+
+TEST(Hashing, CombineIsOrderSensitive)
+{
+    StateHasher a, b;
+    a.add(1);
+    a.add(2);
+    b.add(2);
+    b.add(1);
+    EXPECT_NE(a.digest(), b.digest());
+}
+
+TEST(Hashing, SeparatorDisambiguatesSections)
+{
+    // {1,2 | }  vs  {1 | 2}: same words, different section split.
+    StateHasher a, b;
+    a.add(1);
+    a.add(2);
+    a.separator();
+    b.add(1);
+    b.separator();
+    b.add(2);
+    EXPECT_NE(a.digest(), b.digest());
+}
+
+TEST(Hashing, StringHashMatchesBytes)
+{
+    EXPECT_EQ(hashString("gam"), hashBytes("gam", 3));
+    EXPECT_NE(hashString("gam"), hashString("gam "));
+    EXPECT_NE(hashString(""), hashString(std::string_view("\0", 1)));
+}
+
+TEST(Hashing, UnorderedPairsIgnoresIterationOrder)
+{
+    std::vector<std::pair<uint64_t, int64_t>> fwd =
+        {{1, 10}, {2, 20}, {3, 30}};
+    std::vector<std::pair<uint64_t, int64_t>> rev(fwd.rbegin(),
+                                                  fwd.rend());
+    EXPECT_EQ(hashUnorderedPairs(fwd), hashUnorderedPairs(rev));
+    fwd[0].second = 11;
+    EXPECT_NE(hashUnorderedPairs(fwd), hashUnorderedPairs(rev));
+}
+
+TEST(ThreadPool, RunsEveryTask)
+{
+    ThreadPool pool(4);
+    std::atomic<int> count{0};
+    for (int i = 0; i < 100; ++i)
+        pool.submit([&count] { ++count; });
+    pool.wait();
+    EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPool, ParallelForCoversAllIndices)
+{
+    ThreadPool pool(4);
+    std::vector<int> slots(1000, 0);
+    pool.parallelFor(slots.size(), [&](size_t i) { slots[i] = int(i); });
+    // Every index written exactly to its own slot: deterministic merge.
+    for (size_t i = 0; i < slots.size(); ++i)
+        ASSERT_EQ(slots[i], int(i));
+}
+
+TEST(ThreadPool, ReusableAfterWait)
+{
+    ThreadPool pool(2);
+    std::atomic<long> sum{0};
+    pool.parallelFor(10, [&](size_t i) { sum += long(i); });
+    EXPECT_EQ(sum.load(), 45);
+    pool.parallelFor(10, [&](size_t i) { sum += long(i); });
+    EXPECT_EQ(sum.load(), 90);
+}
+
+TEST(ThreadPool, WaitWithNoTasksReturns)
+{
+    ThreadPool pool(1);
+    pool.wait();
+    EXPECT_EQ(pool.threadCount(), 1u);
 }
 
 TEST(Counter, IncrementAndAdd)

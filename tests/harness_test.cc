@@ -133,6 +133,39 @@ TEST(LitmusRunner, OperationalDekkerVerdicts)
     EXPECT_TRUE(operationalAllowed(t, ModelKind::GAM));
 }
 
+TEST(LitmusRunner, ParallelMatrixMatchesSerial)
+{
+    // The batch runner writes each verdict to a pre-assigned slot, so
+    // the parallel matrix must equal the serial one element-for-element
+    // at any team size.
+    const auto &tests = litmus::paperSuite();
+    const auto serial = runLitmusMatrix(tests);
+    for (unsigned threads : {1u, 2u, 8u}) {
+        const auto parallel = runLitmusMatrixParallel(tests, threads);
+        ASSERT_EQ(parallel.size(), serial.size());
+        for (size_t i = 0; i < serial.size(); ++i) {
+            EXPECT_EQ(parallel[i].test, serial[i].test);
+            EXPECT_EQ(parallel[i].model, serial[i].model);
+            EXPECT_EQ(parallel[i].engine, serial[i].engine);
+            EXPECT_EQ(parallel[i].allowed, serial[i].allowed);
+            EXPECT_EQ(parallel[i].expected, serial[i].expected);
+        }
+    }
+}
+
+TEST(LitmusRunner, OperationalParallelAgreesOnVerdicts)
+{
+    for (const char *name : {"dekker", "mp", "sb_fenced"}) {
+        const auto &t = litmus::testByName(name);
+        for (ModelKind kind : {ModelKind::SC, ModelKind::TSO,
+                               ModelKind::GAM}) {
+            EXPECT_EQ(operationalAllowedParallel(t, kind, 4),
+                      operationalAllowed(t, kind))
+                << name << " under " << model::modelName(kind);
+        }
+    }
+}
+
 TEST(LitmusRunner, MatrixOnOneTest)
 {
     std::vector<litmus::LitmusTest> one{litmus::testByName("corr")};

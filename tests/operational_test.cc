@@ -6,8 +6,12 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <thread>
+
 #include "litmus/suite.hh"
 #include "operational/explorer.hh"
+#include "operational/state_set.hh"
 #include "operational/gam_machine.hh"
 #include "operational/sc_machine.hh"
 #include "operational/tso_machine.hh"
@@ -263,7 +267,10 @@ TEST(Explorer, RandomWalkIsSubsetOfExhaustive)
     auto full = exploreModel(t, ModelKind::GAM);
     GamOptions opts;
     opts.kind = ModelKind::GAM;
-    auto sampled = randomWalk(GamMachine(t, opts), 50, 1234);
+    auto walk = randomWalk(GamMachine(t, opts), 50, 1234);
+    const auto &sampled = walk.outcomes;
+    EXPECT_EQ(walk.completed, 50u);
+    EXPECT_EQ(walk.truncated, 0u);
     EXPECT_FALSE(sampled.empty());
     for (const auto &o : sampled)
         EXPECT_TRUE(full.count(o)) << "sampled outcome not reachable: "
@@ -274,6 +281,165 @@ TEST(Explorer, StateBudgetReportsIncomplete)
 {
     auto result = exploreAll(GamMachine(testByName("rsw"), {}), 10);
     EXPECT_FALSE(result.complete);
+}
+
+TEST(Explorer, StateBudgetIsExact)
+{
+    // Truncation must be exact: statesVisited never exceeds the
+    // budget, and a budget at least the full space size reports
+    // complete with the same count as unbounded exploration.
+    const GamMachine machine(testByName("rsw"), {});
+    const auto full = exploreAll(machine);
+    ASSERT_TRUE(full.complete);
+
+    for (uint64_t budget : {uint64_t(1), uint64_t(10),
+                            full.statesVisited / 2,
+                            full.statesVisited}) {
+        auto result = exploreAll(machine, budget);
+        EXPECT_LE(result.statesVisited, budget) << "budget " << budget;
+        if (budget < full.statesVisited) {
+            EXPECT_FALSE(result.complete) << "budget " << budget;
+            EXPECT_EQ(result.statesVisited, budget);
+        } else {
+            EXPECT_TRUE(result.complete);
+            EXPECT_EQ(result.statesVisited, full.statesVisited);
+        }
+    }
+}
+
+TEST(Explorer, ParallelBudgetNeverExceeded)
+{
+    const GamMachine machine(testByName("rsw"), {});
+    for (unsigned threads : {2u, 8u}) {
+        auto result = exploreAllParallel(machine, threads, 50);
+        EXPECT_LE(result.statesVisited, 50u);
+        EXPECT_FALSE(result.complete);
+    }
+}
+
+TEST(Explorer, RandomWalkStepCapReportsTruncation)
+{
+    // A 1-step cap cannot reach any terminal state of a real test, so
+    // every trajectory must come back truncated instead of hanging.
+    GamOptions opts;
+    auto walk = randomWalk(GamMachine(testByName("mp"), opts), 8, 7, 1);
+    EXPECT_EQ(walk.completed, 0u);
+    EXPECT_EQ(walk.truncated, 8u);
+    EXPECT_TRUE(walk.outcomes.empty());
+}
+
+TEST(Explorer, ParallelMatchesSerialOnEverySuiteTest)
+{
+    // The paper's equivalence claim rests on the explorer enumerating
+    // the full outcome set; the parallel engine must agree with the
+    // serial one exactly, on every suite test, at every team size.
+    std::vector<litmus::LitmusTest> all = litmus::paperSuite();
+    const auto &classics = litmus::classicSuite();
+    all.insert(all.end(), classics.begin(), classics.end());
+
+    for (const auto &test : all) {
+        const GamMachine machine(test, {});
+        const auto serial = exploreAll(machine);
+        for (unsigned threads : {1u, 2u, 8u}) {
+            auto parallel = exploreAllParallel(machine, threads);
+            EXPECT_TRUE(parallel.complete);
+            EXPECT_EQ(parallel.outcomes, serial.outcomes)
+                << test.name << " with " << threads << " threads";
+            EXPECT_EQ(parallel.statesVisited, serial.statesVisited)
+                << test.name << " with " << threads << " threads";
+        }
+    }
+}
+
+TEST(Explorer, ParallelMatchesSerialOnScAndTso)
+{
+    for (const char *name : {"dekker", "mp", "iriw"}) {
+        const litmus::LitmusTest &t = testByName(name);
+        EXPECT_EQ(exploreAllParallel(ScMachine(t), 8).outcomes,
+                  exploreAll(ScMachine(t)).outcomes) << name;
+        EXPECT_EQ(exploreAllParallel(TsoMachine(t), 8).outcomes,
+                  exploreAll(TsoMachine(t)).outcomes) << name;
+    }
+}
+
+TEST(Explorer, InternedMatchesStringSetBaseline)
+{
+    // The compact fingerprint path and the seed's string-set baseline
+    // must enumerate identical outcome sets and state counts.
+    for (const char *name : {"dekker", "mp", "wrc_dep", "corr"}) {
+        const GamMachine machine(testByName(name), {});
+        auto interned = exploreAll(machine);
+        auto baseline = exploreAllStringSet(machine);
+        EXPECT_EQ(interned.outcomes, baseline.outcomes) << name;
+        EXPECT_EQ(interned.statesVisited, baseline.statesVisited)
+            << name;
+    }
+}
+
+TEST(Explorer, FingerprintIsStableAndDiscriminates)
+{
+    const litmus::LitmusTest &t = testByName("mp");
+    GamMachine a(t, {});
+    GamMachine b = a;
+    EXPECT_EQ(stateFingerprint(a), stateFingerprint(b));
+    // Fire one rule: the successor state must fingerprint differently.
+    auto rules = b.enabledRules();
+    ASSERT_FALSE(rules.empty());
+    b.fire(rules[0]);
+    EXPECT_NE(stateFingerprint(a), stateFingerprint(b));
+}
+
+TEST(StateSet, InsertAndDeduplicate)
+{
+    StateSet set;
+    EXPECT_TRUE(set.insert(42));
+    EXPECT_FALSE(set.insert(42));
+    EXPECT_TRUE(set.contains(42));
+    EXPECT_FALSE(set.contains(7));
+    EXPECT_EQ(set.size(), 1u);
+    // Key 0 collides with the internal empty marker and must still
+    // round-trip.
+    EXPECT_TRUE(set.insert(0));
+    EXPECT_FALSE(set.insert(0));
+    EXPECT_TRUE(set.contains(0));
+}
+
+TEST(StateSet, GrowsPastInitialCapacity)
+{
+    StateSet set(16);
+    Rng rng(99);
+    std::vector<uint64_t> keys;
+    for (int i = 0; i < 10000; ++i)
+        keys.push_back(rng.next());
+    for (uint64_t k : keys)
+        set.insert(k);
+    // Duplicates in the stream are possible but astronomically
+    // unlikely; all keys must be present afterwards either way.
+    for (uint64_t k : keys)
+        EXPECT_TRUE(set.contains(k));
+    EXPECT_LE(set.size(), keys.size());
+    EXPECT_GT(set.size(), keys.size() - 3);
+}
+
+TEST(StateSet, ConcurrentInsertsAreExactlyOnce)
+{
+    // Every key inserted from many threads must be claimed by exactly
+    // one inserter, and the final size must be deterministic.
+    ConcurrentStateSet set;
+    constexpr int NumKeys = 20000;
+    std::atomic<int> claimed{0};
+    std::vector<std::thread> team;
+    for (int w = 0; w < 8; ++w) {
+        team.emplace_back([&] {
+            for (uint64_t k = 1; k <= NumKeys; ++k)
+                if (set.insert(mix64(k)))
+                    ++claimed;
+        });
+    }
+    for (auto &t : team)
+        t.join();
+    EXPECT_EQ(claimed.load(), NumKeys);
+    EXPECT_EQ(set.size(), size_t(NumKeys));
 }
 
 TEST(TsoMachineTest, StoreBufferForwardsOwnStore)

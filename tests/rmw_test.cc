@@ -150,9 +150,11 @@ TEST(RmwAxiomatic, IncIncAlwaysSumsToTwo)
     auto outcomes = checker.enumerate();
     ASSERT_FALSE(outcomes.empty());
     for (const auto &o : outcomes) {
-        for (const auto &m : o.mem)
-            if (m.addr == litmus::LOC_A)
+        for (const auto &m : o.mem) {
+            if (m.addr == litmus::LOC_A) {
                 EXPECT_EQ(m.value, 2) << o.toString();
+            }
+        }
         isa::Value r1 = -1, r2 = -1;
         for (const auto &r : o.regs) {
             if (r.tid == 0 && r.reg == R(1))
