@@ -80,7 +80,15 @@ main(int argc, char **argv)
         return 0;
     }
 
-    const litmus::LitmusTest &test = litmus::testByName(argv[1]);
+    const litmus::LitmusTest *found = litmus::findTest(argv[1]);
+    if (!found) {
+        std::fprintf(stderr, "unknown test '%s'; available tests:\n",
+                     argv[1]);
+        for (const auto &t : litmus::allTests())
+            std::fprintf(stderr, "  %s\n", t.name.c_str());
+        return 1;
+    }
+    const litmus::LitmusTest &test = *found;
     std::printf("%s\n", test.toString().c_str());
 
     const ModelKind all[] = {ModelKind::SC, ModelKind::TSO,

@@ -67,6 +67,9 @@ Checker::Checker(const litmus::LitmusTest &test, model::ModelKind model,
         GAM_ASSERT(prog.size() < 1024, "thread too long for StoreId");
         for (size_t idx = 0; idx < prog.size(); ++idx) {
             const Instruction &instr = prog[idx];
+            // Untrusted tests (parsed or generated) are screened by
+            // LitmusTest::check() before reaching any engine; this
+            // fatal() only fires on programmatic misuse.
             if (instr.isBranch() && instr.imm <= static_cast<int64_t>(idx))
                 fatal("axiomatic checker requires forward branches "
                       "(thread %zu instr %zu)", tid, idx);

@@ -1,0 +1,274 @@
+#include "harness/fuzz.hh"
+
+#include <algorithm>
+#include <atomic>
+#include <mutex>
+#include <sstream>
+
+#include "axiomatic/checker.hh"
+#include "base/logging.hh"
+#include "base/thread_pool.hh"
+#include "litmus/parser.hh"
+#include "operational/explorer.hh"
+#include "operational/gam_machine.hh"
+#include "operational/sc_machine.hh"
+#include "operational/tso_machine.hh"
+
+namespace gam::harness
+{
+
+using model::ModelKind;
+
+namespace
+{
+
+struct OpResult
+{
+    litmus::OutcomeSet outcomes;
+    bool complete = true;
+};
+
+OpResult
+explore(const litmus::LitmusTest &test, ModelKind model,
+        uint64_t max_states)
+{
+    operational::ExploreResult r;
+    if (model == ModelKind::SC) {
+        r = operational::exploreAll(operational::ScMachine(test),
+                                    max_states);
+    } else if (model == ModelKind::TSO) {
+        r = operational::exploreAll(operational::TsoMachine(test),
+                                    max_states);
+    } else {
+        operational::GamOptions opts;
+        opts.kind = model;
+        r = operational::exploreAll(operational::GamMachine(test, opts),
+                                    max_states);
+    }
+    return {std::move(r.outcomes), r.complete};
+}
+
+std::string
+diffOutcomes(const litmus::OutcomeSet &op, const litmus::OutcomeSet &ax,
+             bool inclusion_only)
+{
+    std::string s;
+    for (const auto &o : op) {
+        if (!ax.count(o))
+            s += "operational only: " + o.toString() + "\n";
+    }
+    if (!inclusion_only) {
+        for (const auto &o : ax) {
+            if (!op.count(o))
+                s += "axiomatic only: " + o.toString() + "\n";
+        }
+    }
+    return s;
+}
+
+/**
+ * All one-step reductions of @p t: drop one thread (renumbering the
+ * constraint and observation thread ids) or drop one instruction
+ * (repointing later branch targets).  Candidates that fail
+ * LitmusTest::check() are filtered by the shrinker's caller loop.
+ */
+std::vector<litmus::LitmusTest>
+shrinkCandidates(const litmus::LitmusTest &t)
+{
+    std::vector<litmus::LitmusTest> out;
+
+    if (t.threads.size() > 1) {
+        for (size_t drop = 0; drop < t.threads.size(); ++drop) {
+            litmus::LitmusTest c = t;
+            c.threads.erase(c.threads.begin() +
+                            static_cast<std::ptrdiff_t>(drop));
+            auto keep_tid = [&](int tid) {
+                return tid != static_cast<int>(drop);
+            };
+            auto shift_tid = [&](int tid) {
+                return tid > static_cast<int>(drop) ? tid - 1 : tid;
+            };
+            std::vector<litmus::RegConstraint> conds;
+            for (const auto &rc : c.regCond) {
+                if (keep_tid(rc.tid))
+                    conds.push_back({shift_tid(rc.tid), rc.reg,
+                                     rc.value});
+            }
+            c.regCond = std::move(conds);
+            std::vector<std::pair<int, isa::Reg>> observed;
+            for (const auto &[tid, reg] : c.observedRegs) {
+                if (keep_tid(tid))
+                    observed.emplace_back(shift_tid(tid), reg);
+            }
+            c.observedRegs = std::move(observed);
+            out.push_back(std::move(c));
+        }
+    }
+
+    for (size_t tid = 0; tid < t.threads.size(); ++tid) {
+        for (size_t i = 0; i < t.threads[tid].size(); ++i) {
+            litmus::LitmusTest c = t;
+            auto &code = c.threads[tid].code;
+            code.erase(code.begin() + static_cast<std::ptrdiff_t>(i));
+            for (auto &instr : code) {
+                if (instr.isBranch()
+                    && instr.imm > static_cast<int64_t>(i)) {
+                    --instr.imm;
+                }
+            }
+            out.push_back(std::move(c));
+        }
+    }
+    return out;
+}
+
+/** Greedily minimise @p test while the divergence reproduces. */
+litmus::LitmusTest
+shrinkDivergent(litmus::LitmusTest test, ModelKind model,
+                uint64_t max_states)
+{
+    bool progress = true;
+    while (progress) {
+        progress = false;
+        for (auto &candidate : shrinkCandidates(test)) {
+            if (candidate.check())
+                continue;
+            bool budget = false;
+            if (crossCheck(candidate, model, max_states, &budget)
+                && !budget) {
+                test = std::move(candidate);
+                progress = true;
+                break;
+            }
+        }
+    }
+    return test;
+}
+
+} // anonymous namespace
+
+std::optional<std::string>
+crossCheck(const litmus::LitmusTest &test, ModelKind model,
+           uint64_t max_states, bool *budget_exceeded)
+{
+    GAM_ASSERT(model != ModelKind::AlphaStar
+                   && model != ModelKind::PerLocSC,
+               "crossCheck: %s has no operational/axiomatic engine pair",
+               model::modelName(model).c_str());
+    if (budget_exceeded)
+        *budget_exceeded = false;
+
+    OpResult op = explore(test, model, max_states);
+    if (!op.complete) {
+        if (budget_exceeded)
+            *budget_exceeded = true;
+        return std::nullopt;
+    }
+
+    axiomatic::Checker checker(test, model);
+    litmus::OutcomeSet ax = checker.enumerate();
+
+    // The ARM machine is sound but conservative: inclusion, not
+    // equality (see the note in operational/gam_machine.hh).
+    const bool inclusion_only = model == ModelKind::ARM;
+    bool diverges;
+    if (inclusion_only) {
+        diverges = std::any_of(op.outcomes.begin(), op.outcomes.end(),
+                               [&](const litmus::Outcome &o) {
+                                   return !ax.count(o);
+                               });
+    } else {
+        diverges = op.outcomes != ax;
+    }
+    if (!diverges)
+        return std::nullopt;
+    return diffOutcomes(op.outcomes, ax, inclusion_only);
+}
+
+FuzzReport
+fuzzDifferential(const FuzzOptions &options)
+{
+    FuzzReport report;
+    report.testsRun = options.tests;
+
+    struct Hit
+    {
+        uint64_t index;
+        ModelKind model;
+    };
+    std::mutex mu;
+    std::vector<Hit> hits;
+    std::atomic<uint64_t> checks{0};
+    std::atomic<uint64_t> skipped{0};
+
+    ThreadPool pool(options.threads);
+    pool.parallelFor(options.tests, [&](size_t i) {
+        const litmus::LitmusTest test =
+            litmus::generateTest(options.seed, i, options.generator);
+        if (test.check())
+            return; // generator guarantees this; stay safe regardless
+        for (ModelKind model : options.models) {
+            if (model == ModelKind::AlphaStar
+                || model == ModelKind::PerLocSC) {
+                continue; // no engine pair to compare
+            }
+            bool budget = false;
+            auto diff = crossCheck(test, model, options.maxStates,
+                                   &budget);
+            checks.fetch_add(1, std::memory_order_relaxed);
+            if (budget) {
+                skipped.fetch_add(1, std::memory_order_relaxed);
+                continue;
+            }
+            if (diff) {
+                std::lock_guard<std::mutex> lock(mu);
+                hits.push_back({i, model});
+            }
+        }
+    });
+
+    report.checksRun = checks.load();
+    report.skippedBudget = skipped.load();
+
+    // Deterministic report order regardless of worker scheduling.
+    std::sort(hits.begin(), hits.end(), [](const Hit &a, const Hit &b) {
+        return a.index != b.index ? a.index < b.index
+                                  : a.model < b.model;
+    });
+    for (const Hit &hit : hits) {
+        FuzzDivergence d;
+        d.seed = options.seed;
+        d.index = hit.index;
+        d.model = hit.model;
+        d.test = litmus::generateTest(options.seed, hit.index,
+                                      options.generator);
+        if (options.shrink) {
+            d.test = shrinkDivergent(std::move(d.test), hit.model,
+                                     options.maxStates);
+        }
+        d.detail = crossCheck(d.test, hit.model, options.maxStates)
+                       .value_or("");
+        report.divergences.push_back(std::move(d));
+    }
+    return report;
+}
+
+std::string
+FuzzReport::toString() const
+{
+    std::ostringstream os;
+    os << formatString("fuzz: %llu tests, %llu checks, %llu skipped "
+                       "(state budget), %zu divergences\n",
+                       static_cast<unsigned long long>(testsRun),
+                       static_cast<unsigned long long>(checksRun),
+                       static_cast<unsigned long long>(skippedBudget),
+                       divergences.size());
+    for (const auto &d : divergences) {
+        os << "\n=== divergence under " << model::modelName(d.model)
+           << " (seed " << d.seed << ", test " << d.index << ") ===\n"
+           << litmus::printLitmus(d.test) << "\n" << d.detail;
+    }
+    return os.str();
+}
+
+} // namespace gam::harness

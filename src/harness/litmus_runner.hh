@@ -76,6 +76,32 @@ std::vector<LitmusVerdict>
 runLitmusMatrixParallel(const std::vector<litmus::LitmusTest> &tests,
                         unsigned threads = 0);
 
+/**
+ * Like runLitmusMatrixParallel(), but decides every test under every
+ * model in @p models whether or not the test records a paper verdict
+ * (recorded verdicts still show up in the expected column).  This is
+ * the entry point for parsed and generated tests, which usually carry
+ * no expectations.  Models an engine cannot decide are skipped for
+ * that engine (axiomatic: Alpha*; operational: PerLocSC).
+ */
+std::vector<LitmusVerdict>
+runLitmusMatrixParallel(const std::vector<litmus::LitmusTest> &tests,
+                        const std::vector<model::ModelKind> &models,
+                        unsigned threads);
+
+/**
+ * Stamp expect verdicts onto @p test, derived by asking the axiomatic
+ * checker whether the test's condition is reachable under each of
+ * @p models.  Lets `gam-litmus gen` emit self-checking corpus files:
+ * re-running them cross-checks the operational engine against the
+ * recorded axiomatic verdicts.  Alpha* is skipped (no axioms), and so
+ * are axiomatically-*allowed* ARM verdicts: the operational ARM
+ * machine is conservative (outcome-set inclusion, not equality; see
+ * operational/gam_machine.hh), so only 'forbidden' is sound to record.
+ */
+void annotateExpected(litmus::LitmusTest &test,
+                      const std::vector<model::ModelKind> &models);
+
 /** Render the verdict matrix, flagging mismatches with the paper. */
 std::string formatLitmusMatrix(const std::vector<LitmusVerdict> &verdicts);
 

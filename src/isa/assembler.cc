@@ -3,7 +3,9 @@
 #include <cctype>
 #include <map>
 #include <optional>
+#include <set>
 #include <sstream>
+#include <stdexcept>
 #include <vector>
 
 #include "base/logging.hh"
@@ -13,6 +15,18 @@ namespace gam::isa
 
 namespace
 {
+
+/**
+ * Internal control-flow for recoverable assembly: parsing bails out with
+ * this and assembleOrError() turns it into an AsmDiag.  Never escapes
+ * this translation unit.
+ */
+struct AsmFailure
+{
+    int line;
+    std::string message;
+    std::string text;
+};
 
 /** Tokenizer state for one source line. */
 struct LineParser
@@ -24,8 +38,7 @@ struct LineParser
     [[noreturn]] void
     error(const std::string &msg) const
     {
-        fatal("asm line %d: %s (in '%s')", lineNo, msg.c_str(),
-              text.c_str());
+        throw AsmFailure{lineNo, msg, text};
     }
 
     void
@@ -100,7 +113,13 @@ struct LineParser
         }
         if (pos == start)
             error("expected number");
-        return std::stoll(text.substr(start, pos - start), nullptr, 0);
+        try {
+            return std::stoll(text.substr(start, pos - start), nullptr, 0);
+        } catch (const std::out_of_range &) {
+            error("number out of range");
+        } catch (const std::invalid_argument &) {
+            error("expected number");
+        }
     }
 
     Reg
@@ -114,6 +133,8 @@ struct LineParser
             if (!std::isdigit(static_cast<unsigned char>(name[i])))
                 error("expected register, got '" + name + "'");
             n = n * 10 + (name[i] - '0');
+            if (n > NUM_REGS)
+                error("register out of range: " + name);
         }
         if (name[0] == 'r') {
             if (n >= NUM_INT_REGS)
@@ -172,115 +193,214 @@ const std::map<std::string, Opcode> branchOps = {
 
 } // anonymous namespace
 
-Program
-assemble(const std::string &source)
+std::string
+AsmDiag::toString() const
+{
+    if (line == 0)
+        return "asm: " + message;
+    return formatString("asm line %d: %s (in '%s')", line,
+                        message.c_str(), text.c_str());
+}
+
+AsmResult
+assembleOrError(const std::string &source)
 {
     ProgramBuilder builder;
     std::istringstream stream(source);
     std::string line;
     int line_no = 0;
 
-    while (std::getline(stream, line)) {
-        ++line_no;
-        // Strip comments.
-        for (char marker : {'#', ';'}) {
-            size_t at = line.find(marker);
-            if (at != std::string::npos)
-                line = line.substr(0, at);
-        }
-        LineParser p(line, line_no);
-        if (p.atEnd())
-            continue;
-
-        std::string word = p.ident();
-
-        // Label definition?
-        if (p.consume(':')) {
-            builder.label(word);
+    try {
+        while (std::getline(stream, line)) {
+            ++line_no;
+            // Strip comments.
+            for (char marker : {'#', ';'}) {
+                size_t at = line.find(marker);
+                if (at != std::string::npos)
+                    line = line.substr(0, at);
+            }
+            LineParser p(line, line_no);
             if (p.atEnd())
                 continue;
-            word = p.ident();
-        }
 
-        if (word == "nop") {
-            builder.nop();
-        } else if (word == "halt") {
-            builder.halt();
-        } else if (word == "li") {
-            Reg d = p.reg();
-            p.expect(',');
-            builder.li(d, p.number());
-        } else if (word == "ld") {
-            Reg d = p.reg();
-            p.expect(',');
-            auto [base, off] = p.memOperand();
-            builder.ld(d, base, off);
-        } else if (word == "st") {
-            auto [base, off] = p.memOperand();
-            p.expect(',');
-            builder.st(base, p.reg(), off);
-        } else if (word == "amoswap" || word == "amoadd") {
-            Opcode op = word == "amoswap" ? Opcode::AMOSWAP
-                                          : Opcode::AMOADD;
-            Reg d = p.reg();
-            p.expect(',');
-            auto [base, off] = p.memOperand();
-            p.expect(',');
-            builder.raw(makeRmw(op, d, base, p.reg(), off));
-        } else if (word == "jmp") {
-            builder.jmp(p.ident());
-        } else if (word == "fence.ll") {
-            builder.fenceLL();
-        } else if (word == "fence.ls") {
-            builder.fenceLS();
-        } else if (word == "fence.sl") {
-            builder.fenceSL();
-        } else if (word == "fence.ss") {
-            builder.fenceSS();
-        } else if (word == "fence.acq") {
-            builder.fenceAcquire();
-        } else if (word == "fence.rel") {
-            builder.fenceRelease();
-        } else if (word == "fence.full") {
-            builder.fenceFull();
-        } else if (auto it = branchOps.find(word); it != branchOps.end()) {
-            Reg a = p.reg();
-            p.expect(',');
-            Reg b = p.reg();
-            p.expect(',');
-            std::string target = p.ident();
-            switch (it->second) {
-              case Opcode::BEQ: builder.beq(a, b, target); break;
-              case Opcode::BNE: builder.bne(a, b, target); break;
-              case Opcode::BLT: builder.blt(a, b, target); break;
-              default: builder.bge(a, b, target); break;
+            std::string word = p.ident();
+
+            // Label definition?
+            if (p.consume(':')) {
+                if (!builder.tryLabel(word))
+                    p.error("duplicate label '" + word + "'");
+                if (p.atEnd())
+                    continue;
+                word = p.ident();
             }
-        } else if (auto it3 = threeRegOps.find(word);
-                   it3 != threeRegOps.end()) {
-            Reg d = p.reg();
-            p.expect(',');
-            Reg a = p.reg();
-            p.expect(',');
-            Reg b = p.reg();
-            builder.alu(it3->second, d, a, b);
-        } else if (auto iti = immOps.find(word); iti != immOps.end()) {
-            Reg d = p.reg();
-            p.expect(',');
-            Reg a = p.reg();
-            p.expect(',');
-            builder.aluImm(iti->second, d, a, p.number());
-        } else if (auto itu = unaryOps.find(word); itu != unaryOps.end()) {
-            Reg d = p.reg();
-            p.expect(',');
-            builder.aluImm(itu->second, d, p.reg(), 0);
-        } else {
-            p.error("unknown mnemonic '" + word + "'");
-        }
 
-        if (!p.atEnd())
-            p.error("trailing characters");
+            if (word == "nop") {
+                builder.nop();
+            } else if (word == "halt") {
+                builder.halt();
+            } else if (word == "li") {
+                Reg d = p.reg();
+                p.expect(',');
+                builder.li(d, p.number());
+            } else if (word == "ld") {
+                Reg d = p.reg();
+                p.expect(',');
+                auto [base, off] = p.memOperand();
+                builder.ld(d, base, off);
+            } else if (word == "st") {
+                auto [base, off] = p.memOperand();
+                p.expect(',');
+                builder.st(base, p.reg(), off);
+            } else if (word == "amoswap" || word == "amoadd") {
+                Opcode op = word == "amoswap" ? Opcode::AMOSWAP
+                                              : Opcode::AMOADD;
+                Reg d = p.reg();
+                p.expect(',');
+                auto [base, off] = p.memOperand();
+                p.expect(',');
+                builder.raw(makeRmw(op, d, base, p.reg(), off));
+            } else if (word == "jmp") {
+                builder.jmp(p.ident());
+            } else if (word == "fence.ll") {
+                builder.fenceLL();
+            } else if (word == "fence.ls") {
+                builder.fenceLS();
+            } else if (word == "fence.sl") {
+                builder.fenceSL();
+            } else if (word == "fence.ss") {
+                builder.fenceSS();
+            } else if (word == "fence.acq") {
+                builder.fenceAcquire();
+            } else if (word == "fence.rel") {
+                builder.fenceRelease();
+            } else if (word == "fence.full") {
+                builder.fenceFull();
+            } else if (auto it = branchOps.find(word);
+                       it != branchOps.end()) {
+                Reg a = p.reg();
+                p.expect(',');
+                Reg b = p.reg();
+                p.expect(',');
+                std::string target = p.ident();
+                switch (it->second) {
+                  case Opcode::BEQ: builder.beq(a, b, target); break;
+                  case Opcode::BNE: builder.bne(a, b, target); break;
+                  case Opcode::BLT: builder.blt(a, b, target); break;
+                  default: builder.bge(a, b, target); break;
+                }
+            } else if (auto it3 = threeRegOps.find(word);
+                       it3 != threeRegOps.end()) {
+                Reg d = p.reg();
+                p.expect(',');
+                Reg a = p.reg();
+                p.expect(',');
+                Reg b = p.reg();
+                builder.alu(it3->second, d, a, b);
+            } else if (auto iti = immOps.find(word); iti != immOps.end()) {
+                Reg d = p.reg();
+                p.expect(',');
+                Reg a = p.reg();
+                p.expect(',');
+                builder.aluImm(iti->second, d, a, p.number());
+            } else if (auto itu = unaryOps.find(word);
+                       itu != unaryOps.end()) {
+                Reg d = p.reg();
+                p.expect(',');
+                builder.aluImm(itu->second, d, p.reg(), 0);
+            } else {
+                p.error("unknown mnemonic '" + word + "'");
+            }
+
+            if (!p.atEnd())
+                p.error("trailing characters");
+        }
+    } catch (const AsmFailure &f) {
+        return {std::nullopt, {f.line, f.message, f.text}};
     }
-    return builder.build();
+
+    std::string build_error;
+    auto program = builder.tryBuild(&build_error);
+    if (!program)
+        return {std::nullopt, {0, build_error, ""}};
+    return {std::move(program), {}};
+}
+
+Program
+assemble(const std::string &source)
+{
+    AsmResult result = assembleOrError(source);
+    if (!result)
+        fatal("%s", result.diag.toString().c_str());
+    return *std::move(result.program);
+}
+
+std::string
+disassemble(const Program &program)
+{
+    // Branch targets that need a synthesized label.
+    std::set<int64_t> targets;
+    for (const Instruction &instr : program.code)
+        if (instr.isBranch())
+            targets.insert(instr.imm);
+
+    auto label = [](int64_t target) {
+        return "L" + std::to_string(target);
+    };
+    auto offset = [](int64_t imm) {
+        if (imm == 0)
+            return std::string();
+        return (imm > 0 ? "+" : "") + std::to_string(imm);
+    };
+
+    std::ostringstream os;
+    for (size_t i = 0; i < program.code.size(); ++i) {
+        if (targets.count(static_cast<int64_t>(i)))
+            os << label(static_cast<int64_t>(i)) << ":\n";
+        const Instruction &in = program.code[i];
+        os << "    ";
+        switch (in.op) {
+          case Opcode::FENCE:
+            switch (in.fence) {
+              case FenceKind::LL: os << "fence.ll"; break;
+              case FenceKind::LS: os << "fence.ls"; break;
+              case FenceKind::SL: os << "fence.sl"; break;
+              case FenceKind::SS: os << "fence.ss"; break;
+            }
+            break;
+          case Opcode::LD:
+            os << "ld " << regName(in.dst) << ", [" << regName(in.src1)
+               << offset(in.imm) << "]";
+            break;
+          case Opcode::ST:
+            os << "st [" << regName(in.src1) << offset(in.imm) << "], "
+               << regName(in.src2);
+            break;
+          case Opcode::AMOSWAP:
+          case Opcode::AMOADD:
+            os << opcodeName(in.op) << " " << regName(in.dst) << ", ["
+               << regName(in.src1) << offset(in.imm) << "], "
+               << regName(in.src2);
+            break;
+          case Opcode::JMP:
+            os << "jmp " << label(in.imm);
+            break;
+          case Opcode::BEQ: case Opcode::BNE:
+          case Opcode::BLT: case Opcode::BGE:
+            os << opcodeName(in.op) << " " << regName(in.src1) << ", "
+               << regName(in.src2) << ", " << label(in.imm);
+            break;
+          default:
+            // nop/halt/li/ALU forms: Instruction::toString() already
+            // matches the assembler grammar.
+            os << in.toString();
+            break;
+        }
+        os << "\n";
+    }
+    if (!targets.empty()
+        && *targets.rbegin() == static_cast<int64_t>(program.size()))
+        os << label(static_cast<int64_t>(program.size())) << ":\n";
+    return os.str();
 }
 
 } // namespace gam::isa

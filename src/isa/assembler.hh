@@ -16,11 +16,17 @@
  *         fence.rel               # expands to fence.ls; fence.ss
  *         fence.full              # expands to all four basic fences
  *         halt
+ *
+ * assembleOrError() is the recoverable entry point: syntax errors come
+ * back as a line-numbered diagnostic instead of killing the process, so
+ * batch frontends (the litmus parser, the fuzzer) survive malformed
+ * input.  assemble() is the fatal() convenience wrapper.
  */
 
 #ifndef GAM_ISA_ASSEMBLER_HH
 #define GAM_ISA_ASSEMBLER_HH
 
+#include <optional>
 #include <string>
 
 #include "isa/program.hh"
@@ -28,11 +34,54 @@
 namespace gam::isa
 {
 
+/** One assembler diagnostic, pointing at the offending source line. */
+struct AsmDiag
+{
+    /** 1-based source line; 0 when the error is not tied to a line. */
+    int line = 0;
+    std::string message;
+    /** The offending source line's text (empty when line == 0). */
+    std::string text;
+
+    /** e.g. "asm line 3: expected ',' (in 'li r1 5')". */
+    std::string toString() const;
+};
+
+/** Result of a recoverable assembly: a Program or a diagnostic. */
+struct AsmResult
+{
+    std::optional<Program> program;
+    /** Valid only when !program. */
+    AsmDiag diag;
+
+    explicit operator bool() const { return program.has_value(); }
+    Program &operator*() { return *program; }
+    const Program &operator*() const { return *program; }
+    Program *operator->() { return &*program; }
+    const Program *operator->() const { return &*program; }
+};
+
+/**
+ * Assemble @p source into a Program.  Never aborts: syntax errors,
+ * out-of-range registers/numbers and label problems are reported in the
+ * returned diagnostic.
+ */
+AsmResult assembleOrError(const std::string &source);
+
 /**
  * Assemble @p source into a Program.
  * Calls fatal() with a line-numbered message on syntax errors.
  */
 Program assemble(const std::string &source);
+
+/**
+ * Render @p program as assembler source text that assembles back to an
+ * exactly equal program: branch targets become synthesized labels
+ * ("L<index>"), fences use their "fence.xy" spellings, and instruction
+ * lines are indented with four spaces.  The rendering is canonical, so
+ * disassemble(assemble(disassemble(p))) == disassemble(p).
+ */
+std::string disassemble(const Program &program);
 
 } // namespace gam::isa
 

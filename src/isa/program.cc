@@ -16,26 +16,34 @@ Program::toString() const
     return os.str();
 }
 
-void
-Program::validate() const
+std::optional<std::string>
+Program::check() const
 {
     for (size_t i = 0; i < code.size(); ++i) {
         const Instruction &instr = code[i];
         if (instr.isBranch()) {
             if (instr.imm < 0
                 || instr.imm > static_cast<int64_t>(code.size())) {
-                fatal("instruction %zu: branch target %lld out of range",
-                      i, static_cast<long long>(instr.imm));
+                return formatString(
+                    "instruction %zu: branch target %lld out of range",
+                    i, static_cast<long long>(instr.imm));
             }
         }
-        auto check_reg = [&](Reg r) {
-            if (r < 0 || r >= NUM_REGS)
-                fatal("instruction %zu: bad register %d", i, int(r));
-        };
-        check_reg(instr.dst);
-        check_reg(instr.src1);
-        check_reg(instr.src2);
+        for (Reg r : {instr.dst, instr.src1, instr.src2}) {
+            if (r < 0 || r >= NUM_REGS) {
+                return formatString("instruction %zu: bad register %d",
+                                    i, int(r));
+            }
+        }
     }
+    return std::nullopt;
+}
+
+void
+Program::validate() const
+{
+    if (auto err = check())
+        fatal("%s", err->c_str());
 }
 
 ProgramBuilder &
@@ -208,24 +216,46 @@ ProgramBuilder::raw(const Instruction &instr)
 ProgramBuilder &
 ProgramBuilder::label(const std::string &name)
 {
-    if (labels.count(name))
+    if (!tryLabel(name))
         fatal("duplicate label '%s'", name.c_str());
-    labels[name] = code.size();
     return *this;
+}
+
+bool
+ProgramBuilder::tryLabel(const std::string &name)
+{
+    return labels.emplace(name, code.size()).second;
 }
 
 Program
 ProgramBuilder::build()
 {
+    std::string error;
+    auto p = tryBuild(&error);
+    if (!p)
+        fatal("%s", error.c_str());
+    return *std::move(p);
+}
+
+std::optional<Program>
+ProgramBuilder::tryBuild(std::string *error)
+{
     for (const auto &[index, name] : fixups) {
         auto it = labels.find(name);
-        if (it == labels.end())
-            fatal("undefined label '%s'", name.c_str());
+        if (it == labels.end()) {
+            if (error)
+                *error = "undefined label '" + name + "'";
+            return std::nullopt;
+        }
         code[index].imm = static_cast<int64_t>(it->second);
     }
     Program p;
     p.code = code;
-    p.validate();
+    if (auto err = p.check()) {
+        if (error)
+            *error = *err;
+        return std::nullopt;
+    }
     return p;
 }
 

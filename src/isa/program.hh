@@ -7,6 +7,7 @@
 #define GAM_ISA_PROGRAM_HH
 
 #include <map>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -28,9 +29,13 @@ struct Program
     std::string toString() const;
 
     /**
-     * Validate static well-formedness: branch targets in range
-     * [0, size] and register names in range.  Calls fatal() on error.
+     * Check static well-formedness: branch targets in range [0, size]
+     * and register names in range.  Returns a diagnostic on the first
+     * violation, nullopt when the program is well-formed.
      */
+    std::optional<std::string> check() const;
+
+    /** check(), but calls fatal() with the diagnostic on error. */
     void validate() const;
 };
 
@@ -89,11 +94,24 @@ class ProgramBuilder
     /** Bind @p name to the next instruction index. */
     ProgramBuilder &label(const std::string &name);
 
+    /**
+     * label(), but recoverable: returns false (and binds nothing) when
+     * @p name is already bound.
+     */
+    bool tryLabel(const std::string &name);
+
     /** Current instruction count (next index to be appended). */
     size_t here() const { return code.size(); }
 
     /** Resolve labels and return the finished program. */
     Program build();
+
+    /**
+     * build(), but recoverable: returns nullopt (with a diagnostic in
+     * @p error when given) on an undefined label or an ill-formed
+     * program instead of aborting.
+     */
+    std::optional<Program> tryBuild(std::string *error = nullptr);
 
   private:
     ProgramBuilder &branchTo(Opcode op, Reg a, Reg b,

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * A diy-style random litmus-test generator.
+ *
+ * Following the Herding Cats / diy methodology, a test is derived from
+ * a *relation cycle*: a closed sequence of edges over memory events
+ * where each edge is either program order on one thread (optionally
+ * strengthened with a fence or an address/data/control dependency) or
+ * a cross-thread communication relation (rf: store read by a load,
+ * co: coherence between stores, fr: load overwritten by a store).
+ * Walking the cycle fixes each event's thread, location and kind; the
+ * per-thread event sequences are then lowered to assembler programs,
+ * and the asked-about condition is the outcome witnessing the cycle
+ * (every rf edge observed, every co edge in coherence order).
+ *
+ * An event that a cycle forces to be both a load and a store (e.g. an
+ * rf edge leaving an event a co edge enters) becomes an atomic RMW, so
+ * generated tests also exercise the paper's Section III-C atomics.
+ *
+ * Generation is deterministic: generateTest(seed, index) depends only
+ * on its arguments, so any test from a fuzzing run can be regenerated
+ * from the pair printed in the report.  Every generated test passes
+ * LitmusTest::check() and is small enough for exhaustive exploration
+ * and axiomatic enumeration (at most 4 threads, 4 locations, 4 loads
+ * and 4 stores).
+ */
+
+#ifndef GAM_LITMUS_GENERATOR_HH
+#define GAM_LITMUS_GENERATOR_HH
+
+#include <cstdint>
+
+#include "litmus/test.hh"
+
+namespace gam::litmus
+{
+
+/** Generator knobs.  Defaults produce the 2-4 thread standard mix. */
+struct GeneratorOptions
+{
+    /** Thread budget (communication edges per cycle): 2..4. */
+    int maxThreads = 4;
+    /** Shared-location budget: 2..4, drawn from LOC_A..LOC_D. */
+    int maxLocations = 4;
+    /** Cycle length in edges (== events): drawn from [minEdges, maxEdges]. */
+    int minEdges = 3;
+    int maxEdges = 6;
+    /** Decorate some po edges with basic fences. */
+    bool allowFences = true;
+    /** Decorate some po edges with address/data/control dependencies. */
+    bool allowDeps = true;
+    /** Turn load+store type conflicts into AMOSWAP events. */
+    bool allowRmws = true;
+};
+
+/**
+ * Deterministically generate the @p index-th test of @p seed's stream.
+ * The result is named "gen_<seed>_<index>", finalized, and guaranteed
+ * to pass LitmusTest::check().  It carries no expected verdicts; see
+ * harness::annotateExpected() for engine-derived ones.
+ */
+LitmusTest generateTest(uint64_t seed, uint64_t index,
+                        const GeneratorOptions &options = {});
+
+} // namespace gam::litmus
+
+#endif // GAM_LITMUS_GENERATOR_HH

@@ -1,0 +1,554 @@
+#include "litmus/parser.hh"
+
+#include <algorithm>
+#include <cctype>
+#include <charconv>
+#include <cstdint>
+#include <limits>
+#include <sstream>
+#include <vector>
+
+#include "base/logging.hh"
+#include "isa/assembler.hh"
+
+namespace gam::litmus
+{
+
+namespace
+{
+
+/** Strip a '#' comment, ignoring '#' inside a quoted string. */
+std::string
+stripComment(const std::string &line)
+{
+    bool quoted = false;
+    for (size_t i = 0; i < line.size(); ++i) {
+        const char c = line[i];
+        if (quoted) {
+            if (c == '\\')
+                ++i; // skip the escaped character
+            else if (c == '"')
+                quoted = false;
+        } else if (c == '"') {
+            quoted = true;
+        } else if (c == '#') {
+            return line.substr(0, i);
+        }
+    }
+    return line;
+}
+
+std::string
+trim(const std::string &s)
+{
+    size_t b = 0, e = s.size();
+    while (b < e && std::isspace(static_cast<unsigned char>(s[b])))
+        ++b;
+    while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1])))
+        --e;
+    return s.substr(b, e - b);
+}
+
+/** Recoverable tokenizer over one comment-stripped line. */
+struct Cursor
+{
+    explicit Cursor(const std::string &text) : s(text) {}
+
+    void
+    skipSpace()
+    {
+        while (pos < s.size()
+               && std::isspace(static_cast<unsigned char>(s[pos]))) {
+            ++pos;
+        }
+    }
+
+    bool
+    atEnd()
+    {
+        skipSpace();
+        return pos >= s.size();
+    }
+
+    bool
+    peek(char c)
+    {
+        skipSpace();
+        return pos < s.size() && s[pos] == c;
+    }
+
+    bool
+    consume(char c)
+    {
+        if (!peek(c))
+            return false;
+        ++pos;
+        return true;
+    }
+
+    /** Read a word token ([A-Za-z0-9_.*]+); empty if none. */
+    std::string
+    word()
+    {
+        skipSpace();
+        size_t start = pos;
+        while (pos < s.size()
+               && (std::isalnum(static_cast<unsigned char>(s[pos]))
+                   || s[pos] == '_' || s[pos] == '.' || s[pos] == '*')) {
+            ++pos;
+        }
+        return s.substr(start, pos - start);
+    }
+
+    /** Read a decimal or 0x-prefixed number; nullopt if absent/overflow. */
+    std::optional<int64_t>
+    number()
+    {
+        skipSpace();
+        const size_t start = pos;
+        bool neg = false;
+        if (pos < s.size() && (s[pos] == '+' || s[pos] == '-')) {
+            neg = s[pos] == '-';
+            ++pos;
+        }
+        int base = 10;
+        if (pos + 1 < s.size() && s[pos] == '0'
+            && (s[pos + 1] == 'x' || s[pos + 1] == 'X')) {
+            base = 16;
+            pos += 2;
+        }
+        const size_t digits = pos;
+        auto is_digit = [&](char c) {
+            return base == 16
+                ? std::isxdigit(static_cast<unsigned char>(c)) != 0
+                : std::isdigit(static_cast<unsigned char>(c)) != 0;
+        };
+        while (pos < s.size() && is_digit(s[pos]))
+            ++pos;
+        uint64_t magnitude = 0;
+        auto [end, ec] = std::from_chars(s.data() + digits,
+                                         s.data() + pos, magnitude, base);
+        constexpr uint64_t max_pos = uint64_t(
+            std::numeric_limits<int64_t>::max());
+        if (pos == digits || end != s.data() + pos
+            || ec != std::errc()
+            || magnitude > (neg ? max_pos + 1 : max_pos)) {
+            pos = start;
+            return std::nullopt;
+        }
+        if (neg) {
+            // Negate in uint64 space: -(int64_t)2^63 is signed overflow.
+            return static_cast<int64_t>(~magnitude + 1);
+        }
+        return static_cast<int64_t>(magnitude);
+    }
+
+    /** Read a register name (rN / fN); nullopt on anything else. */
+    std::optional<isa::Reg>
+    reg()
+    {
+        skipSpace();
+        const size_t start = pos;
+        std::string name = word();
+        if (name.size() < 2 || (name[0] != 'r' && name[0] != 'f')) {
+            pos = start;
+            return std::nullopt;
+        }
+        int n = 0;
+        for (size_t i = 1; i < name.size(); ++i) {
+            if (!std::isdigit(static_cast<unsigned char>(name[i]))
+                || n > isa::NUM_REGS) {
+                pos = start;
+                return std::nullopt;
+            }
+            n = n * 10 + (name[i] - '0');
+        }
+        if (name[0] == 'r' && n < isa::NUM_INT_REGS)
+            return isa::R(n);
+        if (name[0] == 'f' && n < isa::NUM_FP_REGS)
+            return isa::F(n);
+        pos = start;
+        return std::nullopt;
+    }
+
+    /** Read a quoted string with \" and \\ escapes. */
+    std::optional<std::string>
+    quoted()
+    {
+        if (!consume('"'))
+            return std::nullopt;
+        std::string out;
+        while (pos < s.size()) {
+            const char c = s[pos++];
+            if (c == '"')
+                return out;
+            if (c == '\\') {
+                if (pos >= s.size())
+                    return std::nullopt;
+                out += s[pos++];
+            } else {
+                out += c;
+            }
+        }
+        return std::nullopt; // unterminated
+    }
+
+    /** The trimmed remainder of the line. */
+    std::string
+    rest()
+    {
+        skipSpace();
+        return trim(s.substr(pos));
+    }
+
+    const std::string &s;
+    size_t pos = 0;
+};
+
+std::string
+hexAddr(isa::Addr addr)
+{
+    return formatString("0x%llx", static_cast<unsigned long long>(addr));
+}
+
+} // anonymous namespace
+
+std::string
+ParseError::toString() const
+{
+    if (line == 0)
+        return message;
+    return formatString("line %d: %s", line, message.c_str());
+}
+
+ParseResult
+parseLitmus(const std::string &source)
+{
+    std::vector<std::string> lines;
+    {
+        std::istringstream stream(source);
+        std::string line;
+        while (std::getline(stream, line))
+            lines.push_back(line);
+    }
+
+    auto fail = [](int line, std::string msg) {
+        ParseResult r;
+        r.error = {line, std::move(msg)};
+        return r;
+    };
+
+    LitmusTest t;
+    bool saw_name = false;
+    bool saw_condition = false, saw_observe = false, saw_universe = false;
+
+    size_t i = 0;
+    while (i < lines.size()) {
+        const int line_no = static_cast<int>(i) + 1;
+        const std::string text = stripComment(lines[i]);
+        Cursor c(text);
+        if (c.atEnd()) {
+            ++i;
+            continue;
+        }
+
+        const std::string key = c.word();
+        if (key.empty())
+            return fail(line_no, "expected a section keyword");
+
+        if (key == "litmus") {
+            if (saw_name)
+                return fail(line_no, "duplicate 'litmus' line");
+            const std::string name = c.rest();
+            if (name.empty())
+                return fail(line_no, "missing test name");
+            if (name.find_first_of(" \t") != std::string::npos)
+                return fail(line_no, "test name must not contain spaces");
+            t.name = name;
+            saw_name = true;
+            ++i;
+            continue;
+        }
+        if (!saw_name) {
+            return fail(line_no,
+                        "the document must start with 'litmus <name>'");
+        }
+
+        if (key == "ref" || key == "desc") {
+            auto s = c.quoted();
+            if (!s)
+                return fail(line_no, "expected a quoted string");
+            if (!c.atEnd())
+                return fail(line_no, "trailing characters");
+            (key == "ref" ? t.paperRef : t.description) = *s;
+        } else if (key == "location") {
+            const std::string name = c.word();
+            if (name.empty())
+                return fail(line_no, "expected a location name");
+            auto addr = c.number();
+            if (!addr)
+                return fail(line_no, "expected an address");
+            if (*addr < 0 || (*addr & 7)) {
+                return fail(line_no, "location address must be "
+                                     "non-negative and 8-byte aligned");
+            }
+            if (!c.atEnd())
+                return fail(line_no, "trailing characters");
+            for (const auto &[existing, _] : t.locations) {
+                if (existing == name) {
+                    return fail(line_no,
+                                "duplicate location '" + name + "'");
+                }
+            }
+            t.locations.emplace_back(name, *addr);
+        } else if (key == "init") {
+            if (!c.consume('['))
+                return fail(line_no, "expected '['");
+            auto addr = c.number();
+            if (!addr)
+                return fail(line_no, "expected an address");
+            if (!c.consume(']'))
+                return fail(line_no, "expected ']'");
+            auto value = c.number();
+            if (!value)
+                return fail(line_no, "expected an initial value");
+            if (*addr < 0 || (*addr & 7)) {
+                return fail(line_no, "init address must be non-negative "
+                                     "and 8-byte aligned");
+            }
+            if (!c.atEnd())
+                return fail(line_no, "trailing characters");
+            t.initialMem.store(*addr, *value);
+        } else if (key == "thread") {
+            auto tid = c.number();
+            if (!tid)
+                return fail(line_no, "expected a thread index");
+            if (*tid != static_cast<int64_t>(t.threads.size())) {
+                return fail(line_no,
+                            formatString("expected 'thread %zu' (thread "
+                                         "blocks are sequential)",
+                                         t.threads.size()));
+            }
+            if (!c.consume('{') || !c.atEnd())
+                return fail(line_no, "expected '{' ending the header");
+            const size_t body = i + 1;
+            size_t end = body;
+            std::string asm_src;
+            while (end < lines.size()
+                   && trim(stripComment(lines[end])) != "}") {
+                asm_src += lines[end];
+                asm_src += '\n';
+                ++end;
+            }
+            if (end == lines.size())
+                return fail(line_no, "unterminated thread block");
+            auto assembled = isa::assembleOrError(asm_src);
+            if (!assembled) {
+                const auto &d = assembled.diag;
+                if (d.line > 0) {
+                    return fail(static_cast<int>(body) + d.line,
+                                d.message + " (in '" + d.text + "')");
+                }
+                return fail(line_no, d.message);
+            }
+            t.threads.push_back(*std::move(assembled.program));
+            i = end + 1;
+            continue;
+        } else if (key == "condition") {
+            if (saw_condition)
+                return fail(line_no, "duplicate 'condition' line");
+            saw_condition = true;
+            for (;;) {
+                if (c.consume('[')) {
+                    auto addr = c.number();
+                    if (!addr)
+                        return fail(line_no, "expected an address");
+                    if (!c.consume(']'))
+                        return fail(line_no, "expected ']'");
+                    if (!c.consume('='))
+                        return fail(line_no, "expected '='");
+                    auto value = c.number();
+                    if (!value)
+                        return fail(line_no, "expected a value");
+                    if (*addr < 0 || (*addr & 7)) {
+                        return fail(line_no,
+                                    "condition address must be "
+                                    "non-negative and 8-byte aligned");
+                    }
+                    t.memCond.push_back({*addr, *value});
+                } else {
+                    auto tid = c.number();
+                    if (!tid)
+                        return fail(line_no, "expected '<tid>:<reg>=<value"
+                                             ">' or '[<addr>]=<value>'");
+                    // Range-check before the int cast: a huge tid must
+                    // not silently alias a valid thread.
+                    if (*tid < 0 || *tid >= 64)
+                        return fail(line_no, "thread index out of range");
+                    if (!c.consume(':'))
+                        return fail(line_no, "expected ':'");
+                    auto reg = c.reg();
+                    if (!reg)
+                        return fail(line_no, "expected a register");
+                    if (!c.consume('='))
+                        return fail(line_no, "expected '='");
+                    auto value = c.number();
+                    if (!value)
+                        return fail(line_no, "expected a value");
+                    t.regCond.push_back(
+                        {static_cast<int>(*tid), *reg, *value});
+                }
+                if (!c.consume('&'))
+                    break;
+            }
+            if (!c.atEnd())
+                return fail(line_no, "trailing characters");
+            if (t.regCond.empty() && t.memCond.empty())
+                return fail(line_no, "empty condition");
+        } else if (key == "observe") {
+            if (saw_observe)
+                return fail(line_no, "duplicate 'observe' line");
+            saw_observe = true;
+            while (!c.atEnd()) {
+                auto tid = c.number();
+                if (!tid)
+                    return fail(line_no, "expected '<tid>:<reg>'");
+                if (*tid < 0 || *tid >= 64)
+                    return fail(line_no, "thread index out of range");
+                if (!c.consume(':'))
+                    return fail(line_no, "expected ':'");
+                auto reg = c.reg();
+                if (!reg)
+                    return fail(line_no, "expected a register");
+                t.observedRegs.emplace_back(static_cast<int>(*tid),
+                                            *reg);
+            }
+            if (t.observedRegs.empty())
+                return fail(line_no, "expected at least one register");
+        } else if (key == "universe") {
+            if (saw_universe)
+                return fail(line_no, "duplicate 'universe' line");
+            saw_universe = true;
+            while (!c.atEnd()) {
+                auto addr = c.number();
+                if (!addr)
+                    return fail(line_no, "expected an address");
+                if (*addr < 0 || (*addr & 7)) {
+                    return fail(line_no, "universe address must be "
+                                         "non-negative and 8-byte "
+                                         "aligned");
+                }
+                t.addressUniverse.push_back(*addr);
+            }
+            if (t.addressUniverse.empty())
+                return fail(line_no, "expected at least one address");
+        } else if (key == "expect") {
+            const std::string name = c.word();
+            auto kind = model::modelFromName(name);
+            if (!kind)
+                return fail(line_no, "unknown model '" + name + "'");
+            const std::string verdict = c.word();
+            if (verdict != "allowed" && verdict != "forbidden")
+                return fail(line_no, "expected 'allowed' or 'forbidden'");
+            if (!c.atEnd())
+                return fail(line_no, "trailing characters");
+            if (t.expected.count(*kind)) {
+                return fail(line_no,
+                            "duplicate 'expect " + name + "' line");
+            }
+            t.expected[*kind] = verdict == "allowed";
+        } else {
+            return fail(line_no, "unknown section keyword '" + key + "'");
+        }
+        ++i;
+    }
+
+    if (!saw_name)
+        return fail(0, "empty document: expected 'litmus <name>'");
+    if (t.threads.empty())
+        return fail(0, "test has no threads");
+    t.finalize();
+    if (auto err = t.check())
+        return fail(0, *err);
+
+    ParseResult r;
+    r.test = std::move(t);
+    return r;
+}
+
+std::string
+printLitmus(const LitmusTest &t)
+{
+    auto quote = [](const std::string &s) {
+        std::string q = "\"";
+        for (char ch : s) {
+            if (ch == '"' || ch == '\\')
+                q += '\\';
+            q += ch;
+        }
+        q += '"';
+        return q;
+    };
+
+    std::ostringstream os;
+    os << "litmus " << t.name << "\n";
+    if (!t.paperRef.empty())
+        os << "ref " << quote(t.paperRef) << "\n";
+    if (!t.description.empty())
+        os << "desc " << quote(t.description) << "\n";
+    for (const auto &[name, addr] : t.locations)
+        os << "location " << name << " " << hexAddr(addr) << "\n";
+
+    std::vector<std::pair<isa::Addr, isa::Value>> init(
+        t.initialMem.raw().begin(), t.initialMem.raw().end());
+    std::sort(init.begin(), init.end());
+    for (const auto &[addr, value] : init)
+        os << "init [" << hexAddr(addr) << "] " << value << "\n";
+
+    for (size_t tid = 0; tid < t.threads.size(); ++tid) {
+        os << "\nthread " << tid << " {\n"
+           << isa::disassemble(t.threads[tid]) << "}\n";
+    }
+
+    std::ostringstream tail;
+    if (!t.regCond.empty() || !t.memCond.empty()) {
+        tail << "condition ";
+        bool first = true;
+        for (const auto &rc : t.regCond) {
+            if (!first)
+                tail << " & ";
+            first = false;
+            tail << rc.tid << ":" << isa::regName(rc.reg) << "="
+                 << rc.value;
+        }
+        for (const auto &mc : t.memCond) {
+            if (!first)
+                tail << " & ";
+            first = false;
+            tail << "[" << hexAddr(mc.addr) << "]=" << mc.value;
+        }
+        tail << "\n";
+    }
+    if (!t.observedRegs.empty()) {
+        tail << "observe";
+        for (const auto &[tid, reg] : t.observedRegs)
+            tail << " " << tid << ":" << isa::regName(reg);
+        tail << "\n";
+    }
+    if (!t.addressUniverse.empty()) {
+        tail << "universe";
+        for (isa::Addr addr : t.addressUniverse)
+            tail << " " << hexAddr(addr);
+        tail << "\n";
+    }
+    for (const auto &[kind, allowed] : t.expected) {
+        tail << "expect " << model::modelName(kind)
+             << (allowed ? " allowed" : " forbidden") << "\n";
+    }
+    const std::string tail_str = tail.str();
+    if (!tail_str.empty())
+        os << "\n" << tail_str;
+    return os.str();
+}
+
+} // namespace gam::litmus

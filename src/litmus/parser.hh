@@ -1,0 +1,95 @@
+/**
+ * @file
+ * A text format for litmus tests, with a recoverable parser and a
+ * canonical printer.
+ *
+ * The format is line-oriented ('#' starts a comment anywhere outside a
+ * quoted string):
+ *
+ *     litmus mp_fenced
+ *     ref "Figure 2"
+ *     desc "message passing with a store-store fence"
+ *     location a 0x1000
+ *     location b 0x1008
+ *     init [0x1000] 42
+ *
+ *     thread 0 {
+ *         li r8, 4096
+ *         li r7, 1
+ *         st [r8], r7
+ *         fence.ss
+ *     }
+ *
+ *     condition 0:r1=1 & 1:r2=0 & [0x1000]=2
+ *     observe 0:r1 1:r2
+ *     universe 0x1000 0x1008
+ *     expect SC forbidden
+ *     expect GAM allowed
+ *
+ * Sections: `litmus <name>` is mandatory and first; `ref`/`desc` attach
+ * the paper reference and description; `location` names a shared
+ * address; `init` sets a non-zero initial memory word; each
+ * `thread <n> { ... }` block holds one thread's program in the
+ * assembler syntax of isa/assembler.hh; `condition` is the asked-about
+ * behavior (a conjunction of register and memory equalities);
+ * `observe`/`universe` pin the reported registers and addresses
+ * (defaulted by LitmusTest::finalize() when omitted); `expect` records
+ * a per-model verdict for the condition.
+ *
+ * printLitmus() renders canonically (labels resynthesized, combined
+ * fences expanded, init words sorted by address), so
+ * parse(print(t)) == t and print(parse(print(t))) == print(t):
+ * the parse -> print round trip is a fixpoint, which the test suite
+ * checks byte-for-byte on every built-in test.
+ */
+
+#ifndef GAM_LITMUS_PARSER_HH
+#define GAM_LITMUS_PARSER_HH
+
+#include <optional>
+#include <string>
+
+#include "litmus/test.hh"
+
+namespace gam::litmus
+{
+
+/** One parser diagnostic, pointing at the offending source line. */
+struct ParseError
+{
+    /** 1-based source line; 0 when not tied to a single line. */
+    int line = 0;
+    std::string message;
+
+    /** e.g. "line 7: expected ']'". */
+    std::string toString() const;
+};
+
+/** Result of a recoverable parse: a finalized test or a diagnostic. */
+struct ParseResult
+{
+    std::optional<LitmusTest> test;
+    /** Valid only when !test. */
+    ParseError error;
+
+    explicit operator bool() const { return test.has_value(); }
+    LitmusTest &operator*() { return *test; }
+    const LitmusTest &operator*() const { return *test; }
+    LitmusTest *operator->() { return &*test; }
+    const LitmusTest *operator->() const { return &*test; }
+};
+
+/**
+ * Parse one litmus document.  Never aborts: malformed input of any
+ * kind (syntax errors, bad registers, misaligned addresses, backward
+ * branches, out-of-range thread ids) is reported as a diagnostic.
+ * On success the test is finalized and has passed LitmusTest::check().
+ */
+ParseResult parseLitmus(const std::string &source);
+
+/** Render @p test in the canonical text form parsed by parseLitmus. */
+std::string printLitmus(const LitmusTest &test);
+
+} // namespace gam::litmus
+
+#endif // GAM_LITMUS_PARSER_HH

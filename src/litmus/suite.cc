@@ -783,16 +783,25 @@ allTests()
     return all;
 }
 
-const LitmusTest &
-testByName(const std::string &name)
+const LitmusTest *
+findTest(const std::string &name)
 {
     for (const auto &t : paperSuite())
         if (t.name == name)
-            return t;
+            return &t;
     for (const auto &t : classicSuite())
         if (t.name == name)
-            return t;
-    fatal("unknown litmus test '%s'", name.c_str());
+            return &t;
+    return nullptr;
+}
+
+const LitmusTest &
+testByName(const std::string &name)
+{
+    const LitmusTest *t = findTest(name);
+    if (!t)
+        fatal("unknown litmus test '%s'", name.c_str());
+    return *t;
 }
 
 } // namespace gam::litmus

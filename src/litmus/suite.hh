@@ -34,7 +34,13 @@ const std::vector<LitmusTest> &classicSuite();
 /** paperSuite() + classicSuite(). */
 std::vector<LitmusTest> allTests();
 
-/** Look up a test by name across both suites; fatal() if unknown. */
+/**
+ * Look up a test by name across both suites; nullptr if unknown.
+ * The recoverable path for CLIs and batch frontends.
+ */
+const LitmusTest *findTest(const std::string &name);
+
+/** findTest(), but fatal() if unknown. */
 const LitmusTest &testByName(const std::string &name);
 
 } // namespace gam::litmus

@@ -20,6 +20,16 @@ LitmusTest::finalize()
                     regs.insert({static_cast<int>(tid), r});
             }
         }
+        // Condition registers too: a constraint on a register no
+        // thread writes must still be decidable (the register holds
+        // its initial 0, and both engines report it identically).
+        for (const auto &rc : regCond) {
+            if (rc.tid >= 0 && rc.tid < static_cast<int>(threads.size())
+                && rc.reg != isa::REG_ZERO && rc.reg >= 0
+                && rc.reg < isa::NUM_REGS) {
+                regs.insert({rc.tid, rc.reg});
+            }
+        }
         observedRegs.assign(regs.begin(), regs.end());
     }
     if (addressUniverse.empty()) {
@@ -30,6 +40,79 @@ LitmusTest::finalize()
             std::unique(addressUniverse.begin(), addressUniverse.end()),
             addressUniverse.end());
     }
+}
+
+std::optional<std::string>
+LitmusTest::check() const
+{
+    if (threads.empty())
+        return "test has no threads";
+    if (threads.size() > 64)
+        return formatString("test has %zu threads (limit 64)",
+                            threads.size());
+    for (size_t tid = 0; tid < threads.size(); ++tid) {
+        const isa::Program &prog = threads[tid];
+        if (prog.size() >= 1024) {
+            return formatString(
+                "thread %zu has %zu instructions (limit 1023)", tid,
+                prog.size());
+        }
+        if (auto err = prog.check())
+            return formatString("thread %zu: %s", tid, err->c_str());
+        for (size_t i = 0; i < prog.size(); ++i) {
+            const isa::Instruction &instr = prog[i];
+            if (instr.isBranch()
+                && instr.imm <= static_cast<int64_t>(i)) {
+                return formatString(
+                    "thread %zu instruction %zu: backward branch to "
+                    "%lld (engines require forward branches)",
+                    tid, i, static_cast<long long>(instr.imm));
+            }
+        }
+    }
+
+    auto bad_tid = [&](int tid) {
+        return tid < 0 || tid >= static_cast<int>(threads.size());
+    };
+    auto bad_reg = [](isa::Reg r) {
+        return r < 0 || r >= isa::NUM_REGS;
+    };
+    for (const auto &rc : regCond) {
+        if (bad_tid(rc.tid))
+            return formatString("condition references thread %d, but "
+                                "the test has %zu threads",
+                                rc.tid, threads.size());
+        if (bad_reg(rc.reg))
+            return formatString("condition references bad register %d",
+                                int(rc.reg));
+    }
+    for (const auto &[tid, reg] : observedRegs) {
+        if (bad_tid(tid))
+            return formatString("observed register on thread %d, but "
+                                "the test has %zu threads",
+                                tid, threads.size());
+        if (bad_reg(reg))
+            return formatString("observed bad register %d", int(reg));
+    }
+
+    auto misaligned = [](isa::Addr addr) { return (addr & 7) != 0; };
+    for (const auto &[name, addr] : locations) {
+        if (misaligned(addr))
+            return formatString("location '%s' at misaligned address "
+                                "0x%llx", name.c_str(),
+                                static_cast<long long>(addr));
+    }
+    for (const auto &mc : memCond) {
+        if (misaligned(mc.addr))
+            return formatString("condition on misaligned address 0x%llx",
+                                static_cast<long long>(mc.addr));
+    }
+    for (isa::Addr addr : addressUniverse) {
+        if (misaligned(addr))
+            return formatString("observed misaligned address 0x%llx",
+                                static_cast<long long>(addr));
+    }
+    return std::nullopt;
 }
 
 bool

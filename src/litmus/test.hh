@@ -8,6 +8,7 @@
 #define GAM_LITMUS_TEST_HH
 
 #include <map>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -70,6 +71,21 @@ struct LitmusTest
 
     /** Fill in defaulted fields; must be called after construction. */
     void finalize();
+
+    /**
+     * Check that every engine in this library can run the test: at
+     * least one thread, threads short enough for the StoreId encoding,
+     * registers in range, branch targets strictly forward (the
+     * axiomatic checker requires loop-free programs), and all
+     * constraint/observation references resolvable (thread ids in
+     * range, 8-byte-aligned addresses).  Returns a diagnostic on the
+     * first violation, nullopt when the test is runnable.
+     *
+     * Untrusted tests (parsed from text or freshly generated) must
+     * pass this check before being handed to a machine or checker;
+     * the engines themselves still abort on malformed input.
+     */
+    std::optional<std::string> check() const;
 
     /** Does @p outcome satisfy the test's condition? */
     bool conditionMatches(const Outcome &outcome) const;

@@ -18,4 +18,17 @@ modelName(ModelKind kind)
     return "?";
 }
 
+std::optional<ModelKind>
+modelFromName(const std::string &name)
+{
+    for (ModelKind kind : {ModelKind::SC, ModelKind::TSO,
+                           ModelKind::GAM0, ModelKind::GAM,
+                           ModelKind::ARM, ModelKind::AlphaStar,
+                           ModelKind::PerLocSC}) {
+        if (modelName(kind) == name)
+            return kind;
+    }
+    return std::nullopt;
+}
+
 } // namespace gam::model

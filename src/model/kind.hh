@@ -6,6 +6,7 @@
 #ifndef GAM_MODEL_KIND_HH
 #define GAM_MODEL_KIND_HH
 
+#include <optional>
 #include <string>
 
 namespace gam::model
@@ -42,6 +43,12 @@ enum class ModelKind {
 
 /** Display name ("GAM0", "Alpha*", ...). */
 std::string modelName(ModelKind kind);
+
+/**
+ * Inverse of modelName(); nullopt for unrecognised names.  The
+ * recoverable lookup used by text frontends (litmus parser, CLIs).
+ */
+std::optional<ModelKind> modelFromName(const std::string &name);
 
 /** True for models defined through the Definition 6 ppo construction. */
 constexpr bool

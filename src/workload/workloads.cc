@@ -706,13 +706,22 @@ workloadSuite()
     return suite;
 }
 
-const WorkloadSpec &
-workloadByName(const std::string &name)
+const WorkloadSpec *
+findWorkload(const std::string &name)
 {
     for (const auto &w : workloadSuite())
         if (w.name == name)
-            return w;
-    fatal("unknown workload '%s'", name.c_str());
+            return &w;
+    return nullptr;
+}
+
+const WorkloadSpec &
+workloadByName(const std::string &name)
+{
+    const WorkloadSpec *w = findWorkload(name);
+    if (!w)
+        fatal("unknown workload '%s'", name.c_str());
+    return *w;
 }
 
 } // namespace gam::workload

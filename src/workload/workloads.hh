@@ -51,7 +51,10 @@ struct WorkloadSpec
 /** The 16-entry suite used by the Figure 18 / Table II / III benches. */
 const std::vector<WorkloadSpec> &workloadSuite();
 
-/** Look up one workload; fatal() if unknown. */
+/** Look up one workload; nullptr if unknown (the recoverable path). */
+const WorkloadSpec *findWorkload(const std::string &name);
+
+/** findWorkload(), but fatal() if unknown. */
 const WorkloadSpec &workloadByName(const std::string &name);
 
 } // namespace gam::workload

@@ -1,0 +1,67 @@
+/**
+ * The differential fuzzer: cross-checking, budget handling, report
+ * rendering, and a smoke campaign over the generated stream.
+ */
+
+#include <gtest/gtest.h>
+
+#include "harness/fuzz.hh"
+#include "litmus/generator.hh"
+#include "litmus/suite.hh"
+
+namespace gam
+{
+namespace
+{
+
+using model::ModelKind;
+
+TEST(Fuzz, CrossCheckAgreesOnSuiteTests)
+{
+    for (const char *name : {"dekker", "mp_fenced", "iriw", "corr"}) {
+        const litmus::LitmusTest &test = *litmus::findTest(name);
+        for (ModelKind model : {ModelKind::SC, ModelKind::TSO,
+                                ModelKind::GAM0, ModelKind::GAM,
+                                ModelKind::ARM}) {
+            auto diff = harness::crossCheck(test, model, 20'000'000);
+            EXPECT_EQ(diff, std::nullopt)
+                << name << " under " << model::modelName(model) << "\n"
+                << diff.value_or("");
+        }
+    }
+}
+
+TEST(Fuzz, ExhaustedBudgetIsSkippedNotDiverged)
+{
+    const litmus::LitmusTest &test = *litmus::findTest("dekker");
+    bool budget = false;
+    auto diff = harness::crossCheck(test, ModelKind::GAM, 1, &budget);
+    EXPECT_TRUE(budget);
+    EXPECT_EQ(diff, std::nullopt);
+}
+
+TEST(Fuzz, SmokeCampaignFindsNoDivergence)
+{
+    harness::FuzzOptions options;
+    options.tests = 50;
+    options.seed = 7;
+    harness::FuzzReport report = harness::fuzzDifferential(options);
+    EXPECT_TRUE(report.ok()) << report.toString();
+    EXPECT_EQ(report.testsRun, 50u);
+    EXPECT_EQ(report.checksRun, 250u); // 5 models per test
+    EXPECT_NE(report.toString().find("0 divergences"),
+              std::string::npos);
+}
+
+TEST(Fuzz, ReportIsDeterministic)
+{
+    harness::FuzzOptions options;
+    options.tests = 20;
+    options.seed = 9;
+    const std::string a = harness::fuzzDifferential(options).toString();
+    const std::string b = harness::fuzzDifferential(options).toString();
+    EXPECT_EQ(a, b);
+}
+
+} // namespace
+} // namespace gam

@@ -1,0 +1,112 @@
+/**
+ * The diy-style test generator: determinism, validity and diversity of
+ * the generated stream, and its interaction with the text format and
+ * the verdict matrix.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "harness/litmus_runner.hh"
+#include "litmus/generator.hh"
+#include "litmus/parser.hh"
+
+namespace gam
+{
+namespace
+{
+
+using litmus::generateTest;
+using litmus::LitmusTest;
+
+TEST(Generator, DeterministicUnderAFixedSeed)
+{
+    for (uint64_t i = 0; i < 50; ++i) {
+        const LitmusTest a = generateTest(42, i);
+        const LitmusTest b = generateTest(42, i);
+        EXPECT_EQ(litmus::printLitmus(a), litmus::printLitmus(b)) << i;
+    }
+}
+
+TEST(Generator, StreamsWithDifferentSeedsDiffer)
+{
+    size_t different = 0;
+    for (uint64_t i = 0; i < 20; ++i) {
+        if (litmus::printLitmus(generateTest(1, i))
+            != litmus::printLitmus(generateTest(2, i))) {
+            ++different;
+        }
+    }
+    EXPECT_GT(different, 10u);
+}
+
+TEST(Generator, EveryTestIsRunnableAndBounded)
+{
+    std::set<std::string> shapes;
+    for (uint64_t i = 0; i < 200; ++i) {
+        const LitmusTest t = generateTest(3, i);
+        EXPECT_EQ(t.check(), std::nullopt)
+            << t.name << ": " << t.check().value_or("");
+        EXPECT_GE(t.threads.size(), 2u) << t.name;
+        EXPECT_LE(t.threads.size(), 4u) << t.name;
+        EXPECT_LE(t.locations.size(), 4u) << t.name;
+        int loads = 0, stores = 0;
+        for (const auto &prog : t.threads) {
+            for (const auto &instr : prog.code) {
+                loads += instr.isLoad();
+                stores += instr.isStore();
+            }
+        }
+        EXPECT_LE(loads, 4) << t.name;
+        EXPECT_LE(stores, 4) << t.name;
+        EXPECT_FALSE(t.regCond.empty() && t.memCond.empty()) << t.name;
+        // Shape fingerprint: threads are stripped to opcode sequences.
+        std::string shape;
+        for (const auto &prog : t.threads) {
+            for (const auto &instr : prog.code)
+                shape += isa::opcodeName(instr.op) + ";";
+            shape += "|";
+        }
+        shapes.insert(shape);
+    }
+    // The stream explores genuinely different program shapes.
+    EXPECT_GT(shapes.size(), 40u);
+}
+
+TEST(Generator, GeneratedTestsRoundTripThroughTheTextFormat)
+{
+    for (uint64_t i = 0; i < 50; ++i) {
+        const LitmusTest t = generateTest(11, i);
+        const std::string text = litmus::printLitmus(t);
+        auto parsed = litmus::parseLitmus(text);
+        ASSERT_TRUE(parsed) << t.name << ": "
+                            << parsed.error.toString();
+        EXPECT_EQ(text, litmus::printLitmus(*parsed)) << t.name;
+    }
+}
+
+TEST(Generator, AnnotatedVerdictsMatchTheOperationalEngine)
+{
+    // annotateExpected() stamps axiomatic verdicts; the operational
+    // engine must agree wherever the equivalence theorem promises
+    // equality (everything but ARM, where the machine is conservative).
+    const std::vector<model::ModelKind> equal_models = {
+        model::ModelKind::SC, model::ModelKind::TSO,
+        model::ModelKind::GAM0, model::ModelKind::GAM,
+    };
+    std::vector<LitmusTest> tests;
+    for (uint64_t i = 0; i < 10; ++i) {
+        tests.push_back(generateTest(5, i));
+        harness::annotateExpected(tests.back(), equal_models);
+    }
+    const auto verdicts =
+        harness::runLitmusMatrixParallel(tests, equal_models, 0);
+    for (const auto &v : verdicts) {
+        EXPECT_TRUE(v.matchesPaper())
+            << v.test << " under " << model::modelName(v.model);
+    }
+}
+
+} // namespace
+} // namespace gam

@@ -1,0 +1,349 @@
+/**
+ * @file
+ * gam-litmus: the litmus-test command line frontend.
+ *
+ *   gam-litmus list
+ *       List the built-in suites (name, paper reference, description).
+ *
+ *   gam-litmus run <test|file.litmus>... [--model M]... [--threads N]
+ *       Decide each test under both engines and print the verdict
+ *       matrix.  Arguments naming a file (anything with a '.' or '/')
+ *       are parsed from the litmus text format; anything else must be
+ *       a built-in test name.  Exits 1 on a verdict mismatching a
+ *       recorded expectation, 2 on bad input.
+ *
+ *   gam-litmus print <test|file.litmus>...
+ *       Re-emit tests in the canonical litmus text form (exports the
+ *       built-in suites to text; normalises hand-written files).
+ *
+ *   gam-litmus gen [--tests N] [--seed S] [--out DIR] [--no-verdicts]
+ *       Emit generated tests as litmus documents (stdout, or one file
+ *       per test under DIR), annotated with axiomatically-derived
+ *       expect verdicts unless --no-verdicts.
+ *
+ *   gam-litmus fuzz [--tests N] [--seed S] [--threads N]
+ *                   [--max-states M] [--no-shrink]
+ *       Differential-fuzz the operational/axiomatic equivalence on
+ *       generated tests.  Exits 1 if any divergence was found.
+ *
+ * Every input error (unknown test, malformed file, bad flag) is
+ * reported and turned into a nonzero exit; nothing aborts the process.
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "harness/fuzz.hh"
+#include "harness/litmus_runner.hh"
+#include "litmus/generator.hh"
+#include "litmus/parser.hh"
+#include "litmus/suite.hh"
+
+namespace
+{
+
+using namespace gam;
+using model::ModelKind;
+
+int
+usage()
+{
+    std::fprintf(stderr,
+                 "usage: gam-litmus <command> [options]\n"
+                 "\n"
+                 "commands:\n"
+                 "  list                      list built-in tests\n"
+                 "  run <test|file>...        decide tests with both "
+                 "engines\n"
+                 "      [--model M]...        SC TSO GAM0 GAM ARM "
+                 "Alpha* PerLocSC\n"
+                 "      [--threads N]         worker threads (0 = "
+                 "hardware)\n"
+                 "  print <test|file>...      re-emit tests in "
+                 "canonical text form\n"
+                 "  gen [--tests N] [--seed S] [--out DIR] "
+                 "[--no-verdicts]\n"
+                 "                            emit generated litmus "
+                 "documents\n"
+                 "  fuzz [--tests N] [--seed S] [--threads N]\n"
+                 "       [--max-states M] [--no-shrink]\n"
+                 "                            differential-fuzz the "
+                 "engines\n");
+    return 2;
+}
+
+std::optional<uint64_t>
+parseCount(const char *arg)
+{
+    uint64_t value = 0;
+    std::istringstream is(arg);
+    is >> value;
+    if (!is || !is.eof())
+        return std::nullopt;
+    return value;
+}
+
+/** Next flag value or nullptr (with a message) when it is missing. */
+const char *
+flagValue(int argc, char **argv, int &i, const char *flag)
+{
+    if (i + 1 >= argc) {
+        std::fprintf(stderr, "gam-litmus: %s needs a value\n", flag);
+        return nullptr;
+    }
+    return argv[++i];
+}
+
+int
+cmdList()
+{
+    for (const auto &t : litmus::allTests()) {
+        std::printf("  %-20s %-12s %s\n", t.name.c_str(),
+                    t.paperRef.c_str(), t.description.c_str());
+    }
+    return 0;
+}
+
+/** Load one `run` argument: a built-in name or a .litmus file. */
+std::optional<litmus::LitmusTest>
+loadTest(const std::string &arg)
+{
+    const bool is_file =
+        arg.find('.') != std::string::npos
+        || arg.find('/') != std::string::npos;
+    if (!is_file) {
+        if (const litmus::LitmusTest *t = litmus::findTest(arg))
+            return *t;
+        std::fprintf(stderr,
+                     "gam-litmus: unknown test '%s'; available tests:\n",
+                     arg.c_str());
+        for (const auto &t : litmus::allTests())
+            std::fprintf(stderr, "  %s\n", t.name.c_str());
+        return std::nullopt;
+    }
+
+    std::ifstream in(arg);
+    if (!in) {
+        std::fprintf(stderr, "gam-litmus: cannot open '%s'\n",
+                     arg.c_str());
+        return std::nullopt;
+    }
+    std::ostringstream text;
+    text << in.rdbuf();
+    auto parsed = litmus::parseLitmus(text.str());
+    if (!parsed) {
+        std::fprintf(stderr, "gam-litmus: %s: %s\n", arg.c_str(),
+                     parsed.error.toString().c_str());
+        return std::nullopt;
+    }
+    return *std::move(parsed.test);
+}
+
+int
+cmdRun(int argc, char **argv)
+{
+    std::vector<litmus::LitmusTest> tests;
+    std::vector<ModelKind> models;
+    unsigned threads = 0;
+
+    for (int i = 0; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--model") {
+            const char *value = flagValue(argc, argv, i, "--model");
+            if (!value)
+                return 2;
+            auto kind = model::modelFromName(value);
+            if (!kind) {
+                std::fprintf(stderr, "gam-litmus: unknown model '%s'\n",
+                             value);
+                return 2;
+            }
+            models.push_back(*kind);
+        } else if (arg == "--threads") {
+            const char *value = flagValue(argc, argv, i, "--threads");
+            if (!value)
+                return 2;
+            auto n = parseCount(value);
+            if (!n) {
+                std::fprintf(stderr, "gam-litmus: bad thread count "
+                                     "'%s'\n", value);
+                return 2;
+            }
+            threads = static_cast<unsigned>(*n);
+        } else {
+            auto test = loadTest(arg);
+            if (!test)
+                return 2;
+            tests.push_back(*std::move(test));
+        }
+    }
+    if (tests.empty()) {
+        std::fprintf(stderr, "gam-litmus: run needs at least one test "
+                             "name or .litmus file\n");
+        return 2;
+    }
+    if (models.empty()) {
+        models = {ModelKind::SC, ModelKind::TSO, ModelKind::GAM0,
+                  ModelKind::GAM, ModelKind::ARM};
+    }
+
+    auto verdicts =
+        harness::runLitmusMatrixParallel(tests, models, threads);
+    std::printf("%s", harness::formatLitmusMatrix(verdicts).c_str());
+    for (const auto &v : verdicts)
+        if (!v.matchesPaper())
+            return 1;
+    return 0;
+}
+
+int
+cmdPrint(int argc, char **argv)
+{
+    bool first = true;
+    for (int i = 0; i < argc; ++i) {
+        auto test = loadTest(argv[i]);
+        if (!test)
+            return 2;
+        if (!first)
+            std::printf("\n");
+        first = false;
+        std::printf("%s", litmus::printLitmus(*test).c_str());
+    }
+    if (first) {
+        std::fprintf(stderr, "gam-litmus: print needs at least one "
+                             "test name or .litmus file\n");
+        return 2;
+    }
+    return 0;
+}
+
+int
+cmdGen(int argc, char **argv)
+{
+    uint64_t tests = 10, seed = 1;
+    bool verdicts = true;
+    std::string out_dir;
+
+    for (int i = 0; i < argc; ++i) {
+        const std::string arg = argv[i];
+        const char *value = nullptr;
+        if (arg == "--tests" || arg == "--seed") {
+            value = flagValue(argc, argv, i, arg.c_str());
+            if (!value)
+                return 2;
+            auto n = parseCount(value);
+            if (!n) {
+                std::fprintf(stderr, "gam-litmus: bad %s value '%s'\n",
+                             arg.c_str(), value);
+                return 2;
+            }
+            (arg == "--tests" ? tests : seed) = *n;
+        } else if (arg == "--out") {
+            value = flagValue(argc, argv, i, "--out");
+            if (!value)
+                return 2;
+            out_dir = value;
+        } else if (arg == "--no-verdicts") {
+            verdicts = false;
+        } else {
+            std::fprintf(stderr, "gam-litmus: unknown gen option "
+                                 "'%s'\n", arg.c_str());
+            return 2;
+        }
+    }
+
+    const std::vector<ModelKind> models = {
+        ModelKind::SC, ModelKind::TSO, ModelKind::GAM0, ModelKind::GAM,
+        ModelKind::ARM,
+    };
+    for (uint64_t i = 0; i < tests; ++i) {
+        litmus::LitmusTest test = litmus::generateTest(seed, i);
+        if (verdicts)
+            harness::annotateExpected(test, models);
+        const std::string text = litmus::printLitmus(test);
+        if (out_dir.empty()) {
+            if (i > 0)
+                std::printf("\n");
+            std::printf("%s", text.c_str());
+            continue;
+        }
+        const std::string path = out_dir + "/" + test.name + ".litmus";
+        std::ofstream out(path);
+        if (!out) {
+            std::fprintf(stderr, "gam-litmus: cannot write '%s'\n",
+                         path.c_str());
+            return 2;
+        }
+        out << text;
+    }
+    return 0;
+}
+
+int
+cmdFuzz(int argc, char **argv)
+{
+    harness::FuzzOptions options;
+
+    for (int i = 0; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--no-shrink") {
+            options.shrink = false;
+            continue;
+        }
+        if (arg != "--tests" && arg != "--seed" && arg != "--threads"
+            && arg != "--max-states") {
+            std::fprintf(stderr, "gam-litmus: unknown fuzz option "
+                                 "'%s'\n", arg.c_str());
+            return 2;
+        }
+        const char *value = flagValue(argc, argv, i, arg.c_str());
+        if (!value)
+            return 2;
+        auto n = parseCount(value);
+        if (!n) {
+            std::fprintf(stderr, "gam-litmus: bad %s value '%s'\n",
+                         arg.c_str(), value);
+            return 2;
+        }
+        if (arg == "--tests")
+            options.tests = *n;
+        else if (arg == "--seed")
+            options.seed = *n;
+        else if (arg == "--threads")
+            options.threads = static_cast<unsigned>(*n);
+        else
+            options.maxStates = *n;
+    }
+
+    harness::FuzzReport report = harness::fuzzDifferential(options);
+    std::printf("%s", report.toString().c_str());
+    return report.ok() ? 0 : 1;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2)
+        return usage();
+    const std::string command = argv[1];
+    if (command == "list")
+        return cmdList();
+    if (command == "run")
+        return cmdRun(argc - 2, argv + 2);
+    if (command == "print")
+        return cmdPrint(argc - 2, argv + 2);
+    if (command == "gen")
+        return cmdGen(argc - 2, argv + 2);
+    if (command == "fuzz")
+        return cmdFuzz(argc - 2, argv + 2);
+    std::fprintf(stderr, "gam-litmus: unknown command '%s'\n",
+                 command.c_str());
+    return usage();
+}
