@@ -63,14 +63,22 @@ timingReport()
     std::printf("  interned explorer:                   %7.3f s "
                 "(%.2fx)\n", interned, string_set / interned);
 
+    // Time real engine work: the decision cache would otherwise serve
+    // rows warmed by the verdict sections above (bench_decision_cache
+    // measures the cache itself).
+    harness::MatrixOptions uncached;
+    uncached.cache = nullptr;
+
+    uncached.poolThreads = 1;
     const double serial_matrix =
-        timeSweep([&] { harness::runLitmusMatrix(all); });
+        timeSweep([&] { harness::runPaperMatrix(all, uncached); });
     std::printf("  verdict matrix, serial:              %7.3f s\n",
                 serial_matrix);
 
     const unsigned threads = ThreadPool::defaultThreadCount();
+    uncached.poolThreads = threads;
     const double parallel_matrix = timeSweep(
-        [&] { harness::runLitmusMatrixParallel(all, threads); });
+        [&] { harness::runPaperMatrix(all, uncached); });
     std::printf("  verdict matrix, %2u-thread pool:      %7.3f s "
                 "(%.2fx)\n", threads, parallel_matrix,
                 serial_matrix / parallel_matrix);

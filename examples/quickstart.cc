@@ -10,6 +10,7 @@
 #include <cstdio>
 
 #include "axiomatic/checker.hh"
+#include "harness/decision.hh"
 #include "isa/program.hh"
 #include "litmus/test.hh"
 #include "operational/explorer.hh"
@@ -79,5 +80,23 @@ main()
     std::printf("\nGAM allows the r1=r2=0 outcome (all four load/store "
                 "reorderings are legal);\nSC forbids it.  Both engines "
                 "agree -- that is the paper's equivalence theorem.\n");
+
+    // The invocations above are the engines driven by hand.  Everyday
+    // code asks through the unified Decision API instead: one Query,
+    // the registry picks a capable engine, and repeated queries are
+    // served from the decision cache.
+    harness::Query query;
+    query.test = &test;
+    query.model = ModelKind::GAM;
+    query.engine = harness::EngineSelect::Auto;
+    const harness::Decision d = harness::decide(query);
+    const harness::Decision warm = harness::decide(query);
+    std::printf("\ndecide(): %s under GAM via the %s engine "
+                "(%llu candidates, %zu outcomes); warm repeat %s from "
+                "cache\n",
+                d.allowed ? "ALLOWED" : "FORBIDDEN",
+                model::engineName(d.engine).c_str(),
+                (unsigned long long)d.statesVisited, d.outcomes.size(),
+                warm.cacheHit ? "served" : "NOT served");
     return 0;
 }

@@ -637,11 +637,9 @@ Checker::enumerate()
     return outcomes;
 }
 
-bool
-Checker::isAllowed()
+Options
+withConditionSeeds(const litmus::LitmusTest &test, Options options)
 {
-    // Seed undetermined-value candidates with the condition's constants
-    // so OOTA-style conditions are decided by the axioms.
     if (options.seedValues.empty()) {
         std::set<Value> seeds;
         for (const auto &rc : test.regCond)
@@ -650,6 +648,15 @@ Checker::isAllowed()
             seeds.insert(mc.value);
         options.seedValues.assign(seeds.begin(), seeds.end());
     }
+    return options;
+}
+
+bool
+Checker::isAllowed()
+{
+    // Seed undetermined-value candidates with the condition's constants
+    // so OOTA-style conditions are decided by the axioms.
+    options = withConditionSeeds(test, std::move(options));
     litmus::OutcomeSet outcomes = enumerate();
     for (const auto &o : outcomes)
         if (test.conditionMatches(o))

@@ -63,6 +63,16 @@ struct Options
     std::vector<isa::Value> seedValues;
 };
 
+/**
+ * @p options with seedValues defaulted to the constants of @p test's
+ * condition (when not already set): the seeding Checker::isAllowed()
+ * applies so OOTA-style queries are decided by the axioms rather than
+ * by omission.  Shared with harness::decide() so the two paths can
+ * never diverge.
+ */
+Options withConditionSeeds(const litmus::LitmusTest &test,
+                           Options options);
+
 /** Counters describing one enumeration run. */
 struct CheckerStats
 {

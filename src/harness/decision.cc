@@ -1,0 +1,270 @@
+#include "harness/decision.hh"
+
+#include <atomic>
+#include <chrono>
+#include <mutex>
+#include <unordered_map>
+
+#include "base/hashing.hh"
+#include "base/logging.hh"
+#include "operational/explorer.hh"
+#include "operational/gam_machine.hh"
+#include "operational/sc_machine.hh"
+#include "operational/tso_machine.hh"
+
+namespace gam::harness
+{
+
+using model::Engine;
+using model::ModelKind;
+
+uint64_t
+RunOptions::fingerprint() const
+{
+    StateHasher h;
+    h.add(stateBudget);
+    h.add(axiomatic.enforceInstOrder ? 1 : 0);
+    h.separator();
+    for (isa::Value v : axiomatic.seedValues)
+        h.add(uint64_t(v));
+    return h.digest();
+}
+
+// ------------------------------------------------------------- cache
+
+struct DecisionCache::Shard
+{
+    mutable std::mutex mu;
+    std::unordered_map<uint64_t, Decision> map;
+};
+
+DecisionCache::DecisionCache(size_t max_entries)
+    : shards(new Shard[ShardCount]),
+      shardCapacity(max_entries / ShardCount + 1)
+{
+}
+
+DecisionCache::~DecisionCache() = default;
+
+DecisionCache::Shard &
+DecisionCache::shardFor(uint64_t key)
+{
+    // The low bits index the shard map's buckets; route on high bits.
+    static_assert(DecisionCache::ShardCount == 1u << 5,
+                  "the 59-bit shift below routes onto 32 shards");
+    return shards[key >> 59];
+}
+
+std::optional<Decision>
+DecisionCache::lookup(uint64_t key)
+{
+    Shard &shard = shardFor(key);
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.map.find(key);
+    if (it == shard.map.end()) {
+        misses.fetch_add(1, std::memory_order_relaxed);
+        return std::nullopt;
+    }
+    hits.fetch_add(1, std::memory_order_relaxed);
+    return it->second;
+}
+
+void
+DecisionCache::insert(uint64_t key, const Decision &decision)
+{
+    if (!decision.complete) {
+        // A truncated outcome set depends on scheduling and budget;
+        // serving it later would silently weaken other queries.
+        uncached.fetch_add(1, std::memory_order_relaxed);
+        return;
+    }
+    Shard &shard = shardFor(key);
+    std::lock_guard<std::mutex> lock(shard.mu);
+    if (shard.map.size() >= shardCapacity
+        && !shard.map.count(key)) {
+        // Full: evict an arbitrary resident (hash order is as good a
+        // victim policy as any here) so campaigns stay bounded.
+        shard.map.erase(shard.map.begin());
+    }
+    shard.map.insert_or_assign(key, decision);
+}
+
+size_t
+DecisionCache::size() const
+{
+    size_t n = 0;
+    for (unsigned i = 0; i < ShardCount; ++i) {
+        std::lock_guard<std::mutex> lock(shards[i].mu);
+        n += shards[i].map.size();
+    }
+    return n;
+}
+
+DecisionCacheStats
+DecisionCache::stats() const
+{
+    return {hits.load(), misses.load(), uncached.load()};
+}
+
+void
+DecisionCache::clear()
+{
+    for (unsigned i = 0; i < ShardCount; ++i) {
+        std::lock_guard<std::mutex> lock(shards[i].mu);
+        shards[i].map.clear();
+    }
+    hits.store(0);
+    misses.store(0);
+    uncached.store(0);
+}
+
+DecisionCache &
+globalDecisionCache()
+{
+    static DecisionCache cache;
+    return cache;
+}
+
+// ------------------------------------------------------------ decide
+
+uint64_t
+queryKey(const Query &query, Engine engine)
+{
+    // Canonicalize result-irrelevant knobs away before hashing.  Only
+    // complete decisions are ever cached, and a complete outcome set
+    // is independent of the budget that produced it, so *no* key
+    // includes the budget: frontends running with different budgets
+    // (fuzzer vs. runner vs. synthesis) share entries, and a query
+    // whose own budget would have truncated simply gets the better,
+    // exhaustive answer.  Checker knobs cannot affect the explorer,
+    // so operational keys drop those too.
+    RunOptions canonical = query.options;
+    canonical.stateBudget = 0;
+    if (engine == Engine::Operational)
+        canonical.axiomatic = {};
+
+    StateHasher h;
+    h.add(litmus::fingerprint(*query.test));
+    h.add(uint64_t(query.model));
+    h.add(uint64_t(engine));
+    h.add(canonical.fingerprint());
+    return h.digest();
+}
+
+Engine
+resolveEngine(const Query &query)
+{
+    switch (query.engine) {
+      case EngineSelect::Axiomatic:
+        return Engine::Axiomatic;
+      case EngineSelect::Operational:
+        return Engine::Operational;
+      case EngineSelect::Auto:
+        break;
+    }
+    return model::supportsEngine(query.model, Engine::Axiomatic)
+        ? Engine::Axiomatic
+        : Engine::Operational;
+}
+
+namespace
+{
+
+bool
+anyConditionMatch(const litmus::LitmusTest &test,
+                  const litmus::OutcomeSet &outcomes)
+{
+    for (const auto &o : outcomes)
+        if (test.conditionMatches(o))
+            return true;
+    return false;
+}
+
+void
+runAxiomatic(const Query &query, Decision &d)
+{
+    // Seed undetermined-value (OOTA) candidates exactly as
+    // Checker::isAllowed() does, so OOTA-style queries are decided by
+    // the axioms rather than by omission.  Under every shipped model
+    // such candidates are rejected either way, so this does not
+    // change the outcome set.
+    const axiomatic::Options opts = axiomatic::withConditionSeeds(
+        *query.test, query.options.axiomatic);
+    axiomatic::Checker checker(*query.test, query.model, opts);
+    d.outcomes = checker.enumerate();
+    d.allowed = anyConditionMatch(*query.test, d.outcomes);
+    d.statesVisited = checker.stats().coCandidates;
+    d.complete = true;
+}
+
+void
+runOperational(const Query &query, Decision &d)
+{
+    operational::ExploreResult r;
+    const unsigned threads = query.options.threads;
+    const uint64_t budget = query.options.stateBudget;
+    switch (query.model) {
+      case ModelKind::SC:
+        r = operational::exploreAllParallel(
+            operational::ScMachine(*query.test), threads, budget);
+        break;
+      case ModelKind::TSO:
+        r = operational::exploreAllParallel(
+            operational::TsoMachine(*query.test), threads, budget);
+        break;
+      default: {
+        operational::GamOptions opts;
+        opts.kind = query.model;
+        r = operational::exploreAllParallel(
+            operational::GamMachine(*query.test, opts), threads, budget);
+        break;
+      }
+    }
+    d.outcomes = std::move(r.outcomes);
+    d.allowed = anyConditionMatch(*query.test, d.outcomes);
+    d.statesVisited = r.statesVisited;
+    d.complete = r.complete;
+}
+
+} // namespace
+
+Decision
+decide(const Query &query, DecisionCache *cache)
+{
+    GAM_ASSERT(query.test != nullptr, "decide: null test");
+    const Engine engine = resolveEngine(query);
+    GAM_ASSERT(model::supportsEngine(query.model, engine),
+               "decide: the %s engine cannot decide %s",
+               model::engineName(engine).c_str(),
+               model::modelName(query.model).c_str());
+
+    const auto start = std::chrono::steady_clock::now();
+    auto elapsed = [&start] {
+        return std::chrono::duration<double>(
+                   std::chrono::steady_clock::now() - start)
+            .count();
+    };
+
+    const uint64_t key = cache ? queryKey(query, engine) : 0;
+    if (cache) {
+        if (auto hit = cache->lookup(key)) {
+            hit->cacheHit = true;
+            hit->wallSeconds = elapsed();
+            return *std::move(hit);
+        }
+    }
+
+    Decision d;
+    d.engine = engine;
+    if (engine == Engine::Axiomatic)
+        runAxiomatic(query, d);
+    else
+        runOperational(query, d);
+    d.wallSeconds = elapsed();
+
+    if (cache)
+        cache->insert(key, d);
+    return d;
+}
+
+} // namespace gam::harness

@@ -1,0 +1,217 @@
+/**
+ * @file
+ * The unified model-query API: one decide(Query) -> Decision entry
+ * point over both verification engines, plus a memoizing cache.
+ *
+ * The paper's central claim is that the GAM axiomatic definition and
+ * its abstract machine are two views of *one* model.  This API makes
+ * the library reflect that: callers describe *what* they want decided
+ * (a litmus test under a model, with optional budgets and engine
+ * preferences) and the registry dispatches to whichever engine can
+ * answer, reporting back which one ran, the full outcome set, how much
+ * work it did and whether the answer is exhaustive.  Engine capability
+ * comes from model/engine.hh -- there is no per-frontend support
+ * switch anywhere else.
+ *
+ * Repeated queries are endemic: the litmus matrix decides every suite
+ * test under every model, fuzz shrinking re-decides a candidate per
+ * deleted instruction, and fence synthesis probes hundreds of fence
+ * placements over the same base test.  decide() therefore memoizes
+ * complete decisions in a sharded, thread-safe DecisionCache keyed by
+ * (test fingerprint, model, engine, options fingerprint); truncated
+ * (incomplete) results are never cached, which also makes the cached
+ * value independent of the explorer's thread count.
+ */
+
+#ifndef GAM_HARNESS_DECISION_HH
+#define GAM_HARNESS_DECISION_HH
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "axiomatic/checker.hh"
+#include "litmus/outcome.hh"
+#include "litmus/test.hh"
+#include "model/engine.hh"
+#include "model/kind.hh"
+
+namespace gam::harness
+{
+
+/** Engine preference of a Query. */
+enum class EngineSelect {
+    /**
+     * Let the registry pick: the axiomatic checker when the model has
+     * axioms (it is the definition, and almost always cheaper), else
+     * the operational explorer (Alpha*'s only definition).
+     */
+    Auto,
+    Axiomatic,
+    Operational,
+};
+
+/** Knobs shared by every engine invocation. */
+struct RunOptions
+{
+    /**
+     * Explorer worker threads (operational engine only): 1 = serial,
+     * 0 = hardware concurrency.  Does not affect the decision: the
+     * parallel explorer's merge is deterministic, and truncated runs
+     * are never cached.
+     */
+    unsigned threads = 1;
+    /**
+     * Operational visited-state budget.  When exhausted the decision
+     * comes back with complete = false and is not cached.
+     */
+    uint64_t stateBudget = 20'000'000;
+    /** Axiomatic checker knobs (OOTA seeding, axiom ablation). */
+    axiomatic::Options axiomatic;
+
+    /**
+     * 64-bit digest of the option fields (threads excluded, see its
+     * comment).  queryKey() canonicalizes result-irrelevant knobs
+     * away before calling this -- the budget always (cached decisions
+     * are complete, hence budget-independent), and the checker knobs
+     * for operational queries -- so frontends differing only in those
+     * share cache entries.
+     */
+    uint64_t fingerprint() const;
+};
+
+/** One model query: decide @p test under @p model. */
+struct Query
+{
+    const litmus::LitmusTest *test = nullptr;
+    model::ModelKind model = model::ModelKind::GAM;
+    EngineSelect engine = EngineSelect::Auto;
+    RunOptions options;
+};
+
+/** The answer to a Query. */
+struct Decision
+{
+    /** Is the test's asked-about condition reachable? */
+    bool allowed = false;
+    /** Every outcome the deciding engine admits. */
+    litmus::OutcomeSet outcomes;
+    /** The engine that actually decided (Auto resolved). */
+    model::Engine engine = model::Engine::Axiomatic;
+    /**
+     * Work done: states expanded (operational) or (rf, co) execution
+     * candidates checked (axiomatic).
+     */
+    uint64_t statesVisited = 0;
+    /**
+     * True when the outcome set is exhaustive.  False only for
+     * operational runs cut off by RunOptions::stateBudget; such
+     * decisions report the outcomes found so far and `allowed` is
+     * only a lower bound (a "forbidden" answer is *not* conclusive).
+     */
+    bool complete = true;
+    /** Engine wall time; ~0 on a cache hit. */
+    double wallSeconds = 0.0;
+    /** True when the decision was served from the DecisionCache. */
+    bool cacheHit = false;
+};
+
+/** Hit/miss counters of one DecisionCache. */
+struct DecisionCacheStats
+{
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    /** Decisions not stored (truncated by the state budget). */
+    uint64_t uncached = 0;
+};
+
+/**
+ * A sharded, thread-safe map from query keys to complete Decisions.
+ *
+ * The key is a single 64-bit combination of (litmus::fingerprint(test),
+ * model, engine, RunOptions::fingerprint()); as with the explorer's
+ * StateSet, a collision would need ~2^32 distinct queries to become
+ * likely, far beyond any realistic campaign.  Sharding keeps
+ * concurrent decide() calls from serialising on one mutex: a key is
+ * routed to shard (key >> 59), and each shard has its own lock and
+ * map.  Capacity is bounded: when a shard is full an arbitrary
+ * resident entry is evicted first, so unbounded fuzz campaigns cannot
+ * grow the cache without limit.
+ *
+ * Two threads deciding the same cold query race benignly: both
+ * compute, both insert the same value, and both report a miss.
+ */
+class DecisionCache
+{
+  public:
+    /** @param max_entries total capacity across all shards. */
+    explicit DecisionCache(size_t max_entries = 1 << 20);
+    ~DecisionCache();
+
+    DecisionCache(const DecisionCache &) = delete;
+    DecisionCache &operator=(const DecisionCache &) = delete;
+
+    /** The cached decision for @p key, if any (counts a hit/miss). */
+    std::optional<Decision> lookup(uint64_t key);
+
+    /** Memoize @p decision; incomplete decisions are dropped. */
+    void insert(uint64_t key, const Decision &decision);
+
+    /** Decisions currently resident. */
+    size_t size() const;
+
+    DecisionCacheStats stats() const;
+
+    /** Drop every entry and zero the stats. */
+    void clear();
+
+  private:
+    struct Shard;
+    static constexpr unsigned ShardCount = 32;
+
+    Shard &shardFor(uint64_t key);
+
+    std::unique_ptr<Shard[]> shards;
+    size_t shardCapacity;
+    /** Cache-wide counters; atomic so shards never share a stats lock. */
+    std::atomic<uint64_t> hits{0};
+    std::atomic<uint64_t> misses{0};
+    std::atomic<uint64_t> uncached{0};
+};
+
+/**
+ * The process-wide cache used when a caller does not bring its own.
+ * Shared by the litmus runner, the fuzzer, fence synthesis and the
+ * CLI, so e.g. a fuzz run warms the matrix for free.
+ */
+DecisionCache &globalDecisionCache();
+
+/** The cache key decide() uses for @p query (exposed for tests). */
+uint64_t queryKey(const Query &query, model::Engine engine);
+
+/**
+ * The engine Auto resolves to for @p query.  Explicit selections pass
+ * through unchecked here; decide() asserts supportsEngine() for them.
+ */
+model::Engine resolveEngine(const Query &query);
+
+/**
+ * Decide @p query: resolve the engine through the registry, serve from
+ * @p cache when possible, otherwise run the engine and memoize.
+ *
+ * @param cache  the memoization cache; nullptr disables caching
+ *               entirely (every call recomputes).  Defaults to the
+ *               process-wide cache.
+ *
+ * Preconditions (GAM_ASSERT): query.test is non-null and the resolved
+ * engine supports query.model -- gate explicit engine selections with
+ * model::supportsEngine() first.
+ */
+Decision decide(const Query &query,
+                DecisionCache *cache = &globalDecisionCache());
+
+} // namespace gam::harness
+
+#endif // GAM_HARNESS_DECISION_HH

@@ -2,8 +2,8 @@
 
 #include <algorithm>
 
-#include "axiomatic/checker.hh"
 #include "base/logging.hh"
+#include "harness/decision.hh"
 
 namespace gam::harness
 {
@@ -51,8 +51,14 @@ synthesizeFences(const litmus::LitmusTest &test, model::ModelKind model,
 
     auto allowed = [&](const litmus::LitmusTest &t) {
         ++result.queriesIssued;
-        axiomatic::Checker checker(t, model);
-        return checker.isAllowed();
+        Query query;
+        query.test = &t;
+        query.model = model;
+        query.engine = EngineSelect::Axiomatic;
+        const Decision d = decide(query);
+        if (d.cacheHit)
+            ++result.cacheHits;
+        return d.allowed;
     };
 
     if (!allowed(test)) {

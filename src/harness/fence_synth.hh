@@ -43,8 +43,10 @@ struct SynthResult
     std::vector<FenceInsertion> fences;
     /** False when no solution exists within the size bound. */
     bool solved = false;
-    /** Candidates evaluated (axiomatic checker invocations). */
+    /** Candidates evaluated (decide() queries issued). */
     uint64_t queriesIssued = 0;
+    /** Queries served from the decision cache (repeated runs warm). */
+    uint64_t cacheHits = 0;
 };
 
 /** Return @p test with the given fences inserted. */
@@ -56,6 +58,9 @@ litmus::LitmusTest applyFences(const litmus::LitmusTest &test,
  * @p max_fences) that forbids @p test's condition under @p model.
  * Candidate positions are the gaps between consecutive memory
  * instructions of each thread (where fences can order anything).
+ * Every oracle probe goes through decide() with the axiomatic engine,
+ * so repeated syntheses over the same base test (or re-runs after a
+ * shrink) are served from the DecisionCache.
  */
 SynthResult synthesizeFences(const litmus::LitmusTest &test,
                              model::ModelKind model, int max_fences = 2);

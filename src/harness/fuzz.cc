@@ -5,14 +5,11 @@
 #include <mutex>
 #include <sstream>
 
-#include "axiomatic/checker.hh"
 #include "base/logging.hh"
 #include "base/thread_pool.hh"
+#include "harness/decision.hh"
 #include "litmus/parser.hh"
-#include "operational/explorer.hh"
-#include "operational/gam_machine.hh"
-#include "operational/sc_machine.hh"
-#include "operational/tso_machine.hh"
+#include "model/engine.hh"
 
 namespace gam::harness
 {
@@ -21,32 +18,6 @@ using model::ModelKind;
 
 namespace
 {
-
-struct OpResult
-{
-    litmus::OutcomeSet outcomes;
-    bool complete = true;
-};
-
-OpResult
-explore(const litmus::LitmusTest &test, ModelKind model,
-        uint64_t max_states)
-{
-    operational::ExploreResult r;
-    if (model == ModelKind::SC) {
-        r = operational::exploreAll(operational::ScMachine(test),
-                                    max_states);
-    } else if (model == ModelKind::TSO) {
-        r = operational::exploreAll(operational::TsoMachine(test),
-                                    max_states);
-    } else {
-        operational::GamOptions opts;
-        opts.kind = model;
-        r = operational::exploreAll(operational::GamMachine(test, opts),
-                                    max_states);
-    }
-    return {std::move(r.outcomes), r.complete};
-}
 
 std::string
 diffOutcomes(const litmus::OutcomeSet &op, const litmus::OutcomeSet &ax,
@@ -151,38 +122,42 @@ std::optional<std::string>
 crossCheck(const litmus::LitmusTest &test, ModelKind model,
            uint64_t max_states, bool *budget_exceeded)
 {
-    GAM_ASSERT(model != ModelKind::AlphaStar
-                   && model != ModelKind::PerLocSC,
+    GAM_ASSERT(model::hasEnginePair(model),
                "crossCheck: %s has no operational/axiomatic engine pair",
                model::modelName(model).c_str());
     if (budget_exceeded)
         *budget_exceeded = false;
 
-    OpResult op = explore(test, model, max_states);
+    Query query;
+    query.test = &test;
+    query.model = model;
+    query.engine = EngineSelect::Operational;
+    query.options.stateBudget = max_states;
+    const Decision op = decide(query);
     if (!op.complete) {
         if (budget_exceeded)
             *budget_exceeded = true;
         return std::nullopt;
     }
 
-    axiomatic::Checker checker(test, model);
-    litmus::OutcomeSet ax = checker.enumerate();
+    query.engine = EngineSelect::Axiomatic;
+    const Decision ax = decide(query);
 
-    // The ARM machine is sound but conservative: inclusion, not
-    // equality (see the note in operational/gam_machine.hh).
-    const bool inclusion_only = model == ModelKind::ARM;
+    // A conservative machine (ARM) checks by inclusion, not equality
+    // (see model::operationalOutcomesExact).
+    const bool inclusion_only = !model::operationalOutcomesExact(model);
     bool diverges;
     if (inclusion_only) {
         diverges = std::any_of(op.outcomes.begin(), op.outcomes.end(),
                                [&](const litmus::Outcome &o) {
-                                   return !ax.count(o);
+                                   return !ax.outcomes.count(o);
                                });
     } else {
-        diverges = op.outcomes != ax;
+        diverges = op.outcomes != ax.outcomes;
     }
     if (!diverges)
         return std::nullopt;
-    return diffOutcomes(op.outcomes, ax, inclusion_only);
+    return diffOutcomes(op.outcomes, ax.outcomes, inclusion_only);
 }
 
 FuzzReport
@@ -208,10 +183,8 @@ fuzzDifferential(const FuzzOptions &options)
         if (test.check())
             return; // generator guarantees this; stay safe regardless
         for (ModelKind model : options.models) {
-            if (model == ModelKind::AlphaStar
-                || model == ModelKind::PerLocSC) {
-                continue; // no engine pair to compare
-            }
+            if (!model::hasEnginePair(model))
+                continue; // nothing to cross-check
             bool budget = false;
             auto diff = crossCheck(test, model, options.maxStates,
                                    &budget);

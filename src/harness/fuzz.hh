@@ -90,9 +90,15 @@ struct FuzzReport
  * Cross-check one test under one model: nullopt when the engines
  * agree, otherwise a rendering of the outcome-set difference.  Sets
  * @p budget_exceeded (when given) instead of comparing if exhaustive
- * exploration did not fit in @p max_states.  @p model must not be
- * Alpha* or PerLocSC (no engine pair exists).  The test must have
- * passed LitmusTest::check().
+ * exploration did not fit in @p max_states.  @p model must satisfy
+ * model::hasEnginePair() (both engines exist); whether the comparison
+ * is equality or inclusion comes from
+ * model::operationalOutcomesExact().  The test must have passed
+ * LitmusTest::check().  Outcome sets are obtained through decide(), so
+ * repeated checks of the same test (shrinking, re-rendering a
+ * divergence) hit the global DecisionCache -- and a check whose budget
+ * is too small may still succeed when a complete decision is already
+ * cached (cache keys ignore the budget).
  */
 std::optional<std::string>
 crossCheck(const litmus::LitmusTest &test, model::ModelKind model,

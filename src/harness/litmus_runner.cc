@@ -1,57 +1,15 @@
 #include "harness/litmus_runner.hh"
 
-#include "axiomatic/checker.hh"
 #include "base/table.hh"
 #include "base/thread_pool.hh"
-#include "operational/explorer.hh"
-#include "operational/gam_machine.hh"
-#include "operational/sc_machine.hh"
-#include "operational/tso_machine.hh"
 
 namespace gam::harness
 {
 
 using model::ModelKind;
 
-bool
-axiomaticAllowed(const litmus::LitmusTest &test, ModelKind model)
-{
-    axiomatic::Checker checker(test, model);
-    return checker.isAllowed();
-}
-
 namespace
 {
-
-bool
-anyConditionMatch(const litmus::LitmusTest &test,
-                  const litmus::OutcomeSet &outcomes)
-{
-    for (const auto &o : outcomes)
-        if (test.conditionMatches(o))
-            return true;
-    return false;
-}
-
-litmus::OutcomeSet
-exploreOutcomes(const litmus::LitmusTest &test, ModelKind model,
-                unsigned threads)
-{
-    // threads == 1 runs the serial engine; anything else the parallel
-    // one (0 = hardware concurrency).
-    if (model == ModelKind::SC) {
-        return operational::exploreAllParallel(
-            operational::ScMachine(test), threads).outcomes;
-    }
-    if (model == ModelKind::TSO) {
-        return operational::exploreAllParallel(
-            operational::TsoMachine(test), threads).outcomes;
-    }
-    operational::GamOptions opts;
-    opts.kind = model;
-    return operational::exploreAllParallel(
-        operational::GamMachine(test, opts), threads).outcomes;
-}
 
 /** One (test, model, engine) job of the verdict matrix. */
 struct MatrixJob
@@ -62,71 +20,54 @@ struct MatrixJob
     std::optional<bool> expected;
 };
 
-std::vector<MatrixJob>
-matrixJobs(const std::vector<litmus::LitmusTest> &tests)
+/**
+ * Expand one (test, model) pair into jobs per the engine selection:
+ * all supported engines (nullopt), the registry's pick (Auto), or a
+ * specific engine when the model supports it.
+ */
+void
+appendJobs(std::vector<MatrixJob> &jobs, const litmus::LitmusTest &test,
+           ModelKind model, std::optional<bool> expected,
+           const std::optional<EngineSelect> &selection)
 {
-    std::vector<MatrixJob> jobs;
-    for (const auto &test : tests) {
-        for (const auto &[model, expected] : test.expected) {
-            if (model != ModelKind::AlphaStar)
-                jobs.push_back({&test, model, Engine::Axiomatic,
-                                expected});
-            if (model != ModelKind::PerLocSC)
-                jobs.push_back({&test, model, Engine::Operational,
-                                expected});
+    if (!selection) {
+        for (Engine engine : model::allEngines) {
+            if (model::supportsEngine(model, engine))
+                jobs.push_back({&test, model, engine, expected});
         }
+        return;
     }
-    return jobs;
+    Query probe;
+    probe.model = model;
+    probe.engine = *selection;
+    const Engine engine = resolveEngine(probe);
+    if (model::supportsEngine(model, engine))
+        jobs.push_back({&test, model, engine, expected});
 }
 
 LitmusVerdict
-runJob(const MatrixJob &job, unsigned explorer_threads)
+runJob(const MatrixJob &job, const MatrixOptions &options)
 {
-    const bool allowed = job.engine == Engine::Axiomatic
-        ? axiomaticAllowed(*job.test, job.model)
-        : anyConditionMatch(*job.test,
-                            exploreOutcomes(*job.test, job.model,
-                                            explorer_threads));
-    return {job.test->name, job.model, job.engine, allowed,
-            job.expected};
-}
-
-} // namespace
-
-bool
-operationalAllowed(const litmus::LitmusTest &test, ModelKind model)
-{
-    return anyConditionMatch(test, exploreOutcomes(test, model, 1));
-}
-
-bool
-operationalAllowedParallel(const litmus::LitmusTest &test,
-                           ModelKind model, unsigned threads)
-{
-    return anyConditionMatch(test, exploreOutcomes(test, model, threads));
+    Query query;
+    query.test = job.test;
+    query.model = job.model;
+    query.engine = job.engine == Engine::Axiomatic
+        ? EngineSelect::Axiomatic
+        : EngineSelect::Operational;
+    query.options = options.run;
+    const Decision decision = decide(query, options.cache);
+    return {job.test->name, job.model, job.engine, decision.allowed,
+            decision.complete, job.expected};
 }
 
 std::vector<LitmusVerdict>
-runLitmusMatrix(const std::vector<litmus::LitmusTest> &tests)
-{
-    std::vector<LitmusVerdict> verdicts;
-    for (const auto &job : matrixJobs(tests))
-        verdicts.push_back(runJob(job, 1));
-    return verdicts;
-}
-
-namespace
-{
-
-std::vector<LitmusVerdict>
-runJobsParallel(const std::vector<MatrixJob> &jobs, unsigned threads)
+runJobs(const std::vector<MatrixJob> &jobs, const MatrixOptions &options)
 {
     std::vector<LitmusVerdict> verdicts(jobs.size());
-    ThreadPool pool(threads);
+    ThreadPool pool(options.poolThreads);
     // One slot per job: completion order cannot affect the output.
     pool.parallelFor(jobs.size(), [&](size_t i) {
-        // Jobs already saturate the pool; keep each explorer serial.
-        verdicts[i] = runJob(jobs[i], 1);
+        verdicts[i] = runJob(jobs[i], options);
     });
     return verdicts;
 }
@@ -134,16 +75,9 @@ runJobsParallel(const std::vector<MatrixJob> &jobs, unsigned threads)
 } // namespace
 
 std::vector<LitmusVerdict>
-runLitmusMatrixParallel(const std::vector<litmus::LitmusTest> &tests,
-                        unsigned threads)
-{
-    return runJobsParallel(matrixJobs(tests), threads);
-}
-
-std::vector<LitmusVerdict>
-runLitmusMatrixParallel(const std::vector<litmus::LitmusTest> &tests,
-                        const std::vector<model::ModelKind> &models,
-                        unsigned threads)
+runLitmusMatrix(const std::vector<litmus::LitmusTest> &tests,
+                const std::vector<model::ModelKind> &models,
+                const MatrixOptions &options)
 {
     std::vector<MatrixJob> jobs;
     for (const auto &test : tests) {
@@ -153,15 +87,83 @@ runLitmusMatrixParallel(const std::vector<litmus::LitmusTest> &tests,
                 it != test.expected.end()) {
                 expected = it->second;
             }
-            if (model != ModelKind::AlphaStar)
-                jobs.push_back({&test, model, Engine::Axiomatic,
-                                expected});
-            if (model != ModelKind::PerLocSC)
-                jobs.push_back({&test, model, Engine::Operational,
-                                expected});
+            appendJobs(jobs, test, model, expected, options.engine);
         }
     }
-    return runJobsParallel(jobs, threads);
+    return runJobs(jobs, options);
+}
+
+std::vector<LitmusVerdict>
+runPaperMatrix(const std::vector<litmus::LitmusTest> &tests,
+               const MatrixOptions &options)
+{
+    std::vector<MatrixJob> jobs;
+    for (const auto &test : tests) {
+        for (const auto &[model, expected] : test.expected)
+            appendJobs(jobs, test, model, expected, options.engine);
+    }
+    return runJobs(jobs, options);
+}
+
+// --------------------------------------------- legacy bool wrappers
+
+bool
+axiomaticAllowed(const litmus::LitmusTest &test, ModelKind model)
+{
+    Query query;
+    query.test = &test;
+    query.model = model;
+    query.engine = EngineSelect::Axiomatic;
+    return decide(query).allowed;
+}
+
+bool
+operationalAllowed(const litmus::LitmusTest &test, ModelKind model)
+{
+    Query query;
+    query.test = &test;
+    query.model = model;
+    query.engine = EngineSelect::Operational;
+    return decide(query).allowed;
+}
+
+bool
+operationalAllowedParallel(const litmus::LitmusTest &test,
+                           ModelKind model, unsigned threads)
+{
+    Query query;
+    query.test = &test;
+    query.model = model;
+    query.engine = EngineSelect::Operational;
+    query.options.threads = threads;
+    return decide(query).allowed;
+}
+
+std::vector<LitmusVerdict>
+runLitmusMatrix(const std::vector<litmus::LitmusTest> &tests)
+{
+    MatrixOptions options;
+    options.poolThreads = 1;
+    return runPaperMatrix(tests, options);
+}
+
+std::vector<LitmusVerdict>
+runLitmusMatrixParallel(const std::vector<litmus::LitmusTest> &tests,
+                        unsigned threads)
+{
+    MatrixOptions options;
+    options.poolThreads = threads;
+    return runPaperMatrix(tests, options);
+}
+
+std::vector<LitmusVerdict>
+runLitmusMatrixParallel(const std::vector<litmus::LitmusTest> &tests,
+                        const std::vector<model::ModelKind> &models,
+                        unsigned threads)
+{
+    MatrixOptions options;
+    options.poolThreads = threads;
+    return runLitmusMatrix(tests, models, options);
 }
 
 void
@@ -169,15 +171,18 @@ annotateExpected(litmus::LitmusTest &test,
                  const std::vector<model::ModelKind> &models)
 {
     for (ModelKind model : models) {
-        if (model == ModelKind::AlphaStar)
+        if (!model::supportsEngine(model, Engine::Axiomatic))
             continue; // no axiomatic definition to derive from
-        const bool allowed = axiomaticAllowed(test, model);
-        // The operational ARM machine is conservative (inclusion, not
-        // equality): an axiomatically-allowed condition it cannot
-        // reach would read as a spurious mismatch when the file is
-        // re-run.  A 'forbidden' ARM verdict is always sound (the
-        // machine reaches only axiomatically-legal outcomes).
-        if (model == ModelKind::ARM && allowed)
+        Query query;
+        query.test = &test;
+        query.model = model;
+        query.engine = EngineSelect::Axiomatic;
+        const bool allowed = decide(query).allowed;
+        // A conservative operational machine (ARM) cannot reach every
+        // axiomatically-allowed outcome, so recording 'allowed' would
+        // read as a spurious mismatch when the file is re-run; only
+        // 'forbidden' is sound for such models.
+        if (!model::operationalOutcomesExact(model) && allowed)
             continue;
         test.expected[model] = allowed;
     }
@@ -189,19 +194,30 @@ formatLitmusMatrix(const std::vector<LitmusVerdict> &verdicts)
     Table t;
     t.header({"test", "model", "engine", "verdict", "paper", "match"});
     int mismatches = 0;
+    int truncated = 0;
     for (const auto &v : verdicts) {
         const bool ok = v.matchesPaper();
         if (!ok)
             ++mismatches;
+        // An incomplete 'forbidden' is no verdict at all: the budget
+        // ran out before the condition was reached *or* ruled out.
+        const bool inconclusive = !v.conclusive();
+        if (inconclusive)
+            ++truncated;
         t.row({v.test, model::modelName(v.model),
-               v.engine == Engine::Axiomatic ? "axiomatic" : "operational",
-               v.allowed ? "allowed" : "forbidden",
+               model::engineName(v.engine),
+               inconclusive ? "truncated"
+                            : v.allowed ? "allowed" : "forbidden",
                v.expected ? (*v.expected ? "allowed" : "forbidden") : "-",
-               ok ? "yes" : "MISMATCH"});
+               inconclusive ? "?" : ok ? "yes" : "MISMATCH"});
     }
     std::string out = t.render();
     out += formatString("\n%d verdicts, %d mismatches with the paper\n",
                         int(verdicts.size()), mismatches);
+    if (truncated > 0) {
+        out += formatString("%d verdicts truncated by the state budget "
+                            "(inconclusive)\n", truncated);
+    }
     return out;
 }
 

@@ -1,8 +1,8 @@
 /**
  * @file
- * Litmus-test driver: runs a test under a model with the appropriate
- * engine (axiomatic checker, operational explorer, or both) and
- * compares against the paper's verdicts.
+ * Litmus-test driver: batch verdict matrices over the unified
+ * decide(Query) -> Decision API (harness/decision.hh), plus the
+ * legacy single-query bool entry points kept as thin wrappers.
  */
 
 #ifndef GAM_HARNESS_LITMUS_RUNNER_HH
@@ -12,14 +12,20 @@
 #include <string>
 #include <vector>
 
+#include "harness/decision.hh"
 #include "litmus/test.hh"
+#include "model/engine.hh"
 #include "model/kind.hh"
 
 namespace gam::harness
 {
 
-/** Which engine decided a verdict. */
-enum class Engine { Axiomatic, Operational };
+/**
+ * Which engine decided a verdict.  Historically this enum lived here;
+ * it is now model::Engine (next to the capability registry) and this
+ * alias keeps existing callers compiling.
+ */
+using Engine = model::Engine;
 
 /** One (test, model, engine) verdict. */
 struct LitmusVerdict
@@ -28,22 +34,77 @@ struct LitmusVerdict
     model::ModelKind model;
     Engine engine;
     bool allowed;
+    /**
+     * False when the operational state budget truncated exploration.
+     * An allowed=true verdict is still conclusive (a witness was
+     * reached); allowed=false is not, and is rendered as "truncated".
+     */
+    bool complete = true;
     /** The paper's verdict, when the test records one. */
     std::optional<bool> expected;
 
+    /** Is the verdict a definite answer (complete, or a witness)? */
+    bool conclusive() const { return complete || allowed; }
+
+    /** True when conclusive and matching, or when no claim is made. */
     bool matchesPaper() const
     {
-        return !expected.has_value() || *expected == allowed;
+        return !conclusive() || !expected.has_value()
+            || *expected == allowed;
     }
 };
 
-/** Decide @p test under @p model with the axiomatic checker. */
+/** Configuration of one verdict-matrix run. */
+struct MatrixOptions
+{
+    /**
+     * Engine selection per (test, model) job: a specific engine, Auto
+     * (registry picks one), or -- the default, nullopt -- every engine
+     * that supports the model, which reproduces the classic two-row
+     * matrix.  Unsupported (model, engine) pairs are skipped.
+     */
+    std::optional<EngineSelect> engine;
+    /** Per-query knobs (state budget, explorer threads, ...). */
+    RunOptions run;
+    /** Thread-pool workers deciding jobs; 0 = hardware concurrency. */
+    unsigned poolThreads = 0;
+    /** Decision cache; nullptr disables memoization. */
+    DecisionCache *cache = &globalDecisionCache();
+};
+
+/**
+ * Decide every test in @p tests under every model in @p models
+ * (whether or not the test records a paper verdict; recorded verdicts
+ * still show up in the expected column).  Jobs run concurrently on a
+ * thread pool, each verdict written to a pre-assigned slot, so the
+ * result order is deterministic regardless of scheduling.
+ */
+std::vector<LitmusVerdict>
+runLitmusMatrix(const std::vector<litmus::LitmusTest> &tests,
+                const std::vector<model::ModelKind> &models,
+                const MatrixOptions &options = {});
+
+/**
+ * Like the three-argument runLitmusMatrix(), but restricted to the
+ * (test, model) pairs with a recorded paper verdict -- the matrix that
+ * reproduces the paper's claims.
+ */
+std::vector<LitmusVerdict>
+runPaperMatrix(const std::vector<litmus::LitmusTest> &tests,
+               const MatrixOptions &options = {});
+
+/**
+ * @deprecated Thin wrapper over decide(); prefer
+ * `decide({&test, model, EngineSelect::Axiomatic}).allowed`.
+ */
 bool axiomaticAllowed(const litmus::LitmusTest &test,
                       model::ModelKind model);
 
 /**
  * Decide @p test under @p model by exhaustive operational exploration.
  * Supported models: SC, TSO and the GAM family (incl. Alpha*).
+ * @deprecated Thin wrapper over decide(); prefer
+ * `decide({&test, model, EngineSelect::Operational}).allowed`.
  */
 bool operationalAllowed(const litmus::LitmusTest &test,
                         model::ModelKind model);
@@ -51,38 +112,30 @@ bool operationalAllowed(const litmus::LitmusTest &test,
 /**
  * operationalAllowed() on the multi-threaded explorer.
  * @param threads worker count; 0 means hardware concurrency
+ * @deprecated Thin wrapper over decide(); set RunOptions::threads.
  */
 bool operationalAllowedParallel(const litmus::LitmusTest &test,
                                 model::ModelKind model,
                                 unsigned threads = 0);
 
 /**
- * Run every expected verdict of every test in @p tests on the engines
- * that support the model (axiomatic for all models but Alpha*;
- * operational for all but PerLocSC).
+ * @deprecated Serial expected-verdict matrix; prefer runPaperMatrix()
+ * (identical output; poolThreads = 1 reproduces serial execution).
  */
 std::vector<LitmusVerdict>
 runLitmusMatrix(const std::vector<litmus::LitmusTest> &tests);
 
 /**
- * runLitmusMatrix() on a thread pool: every (test, model, engine) job
- * runs concurrently, and each verdict is written to a pre-assigned slot
- * so the returned vector is identical to the serial one, in the same
- * order, regardless of scheduling.
- *
- * @param threads worker count; 0 means hardware concurrency
+ * @deprecated Wrapper over runPaperMatrix() with poolThreads =
+ * @p threads.
  */
 std::vector<LitmusVerdict>
 runLitmusMatrixParallel(const std::vector<litmus::LitmusTest> &tests,
                         unsigned threads = 0);
 
 /**
- * Like runLitmusMatrixParallel(), but decides every test under every
- * model in @p models whether or not the test records a paper verdict
- * (recorded verdicts still show up in the expected column).  This is
- * the entry point for parsed and generated tests, which usually carry
- * no expectations.  Models an engine cannot decide are skipped for
- * that engine (axiomatic: Alpha*; operational: PerLocSC).
+ * @deprecated Wrapper over the three-argument runLitmusMatrix() with
+ * poolThreads = @p threads.
  */
 std::vector<LitmusVerdict>
 runLitmusMatrixParallel(const std::vector<litmus::LitmusTest> &tests,
@@ -94,10 +147,11 @@ runLitmusMatrixParallel(const std::vector<litmus::LitmusTest> &tests,
  * checker whether the test's condition is reachable under each of
  * @p models.  Lets `gam-litmus gen` emit self-checking corpus files:
  * re-running them cross-checks the operational engine against the
- * recorded axiomatic verdicts.  Alpha* is skipped (no axioms), and so
- * are axiomatically-*allowed* ARM verdicts: the operational ARM
- * machine is conservative (outcome-set inclusion, not equality; see
- * operational/gam_machine.hh), so only 'forbidden' is sound to record.
+ * recorded axiomatic verdicts.  Models without an axiomatic engine
+ * (Alpha*) are skipped, and so are axiomatically-*allowed* verdicts of
+ * models whose operational outcomes are conservative (ARM; see
+ * model::operationalOutcomesExact): only 'forbidden' is sound to
+ * record for them.
  */
 void annotateExpected(litmus::LitmusTest &test,
                       const std::vector<model::ModelKind> &models);

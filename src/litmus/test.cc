@@ -4,6 +4,7 @@
 #include <set>
 #include <sstream>
 
+#include "base/hashing.hh"
 #include "base/logging.hh"
 
 namespace gam::litmus
@@ -167,6 +168,46 @@ LitmusTest::toString() const
            << mc.value;
     os << "\n";
     return os.str();
+}
+
+uint64_t
+fingerprint(const LitmusTest &test)
+{
+    StateHasher h;
+    h.add(test.threads.size());
+    for (const auto &program : test.threads) {
+        for (const auto &instr : program.code) {
+            h.add(uint64_t(instr.op));
+            h.add(uint64_t(uint16_t(instr.dst)));
+            h.add(uint64_t(uint16_t(instr.src1)));
+            h.add(uint64_t(uint16_t(instr.src2)));
+            h.add(uint64_t(instr.imm));
+            h.add(uint64_t(instr.fence));
+        }
+        h.separator();
+    }
+    // The memory image iterates in unordered_map order; fold it
+    // order-insensitively so equal images always hash equally.
+    h.add(hashUnorderedPairs(test.initialMem.raw()));
+    for (const auto &rc : test.regCond) {
+        h.add(uint64_t(rc.tid));
+        h.add(uint64_t(uint16_t(rc.reg)));
+        h.add(uint64_t(rc.value));
+    }
+    h.separator();
+    for (const auto &mc : test.memCond) {
+        h.add(uint64_t(mc.addr));
+        h.add(uint64_t(mc.value));
+    }
+    h.separator();
+    for (const auto &[tid, reg] : test.observedRegs) {
+        h.add(uint64_t(tid));
+        h.add(uint64_t(uint16_t(reg)));
+    }
+    h.separator();
+    for (isa::Addr addr : test.addressUniverse)
+        h.add(uint64_t(addr));
+    return h.digest();
 }
 
 LitmusBuilder::LitmusBuilder(std::string name, std::string paper_ref,

@@ -95,6 +95,16 @@ struct LitmusTest
 };
 
 /**
+ * 64-bit fingerprint of everything that can influence an engine's
+ * decision: thread code, initial memory, the asked-about condition and
+ * the observation sets.  Metadata (name, description, paper reference,
+ * recorded verdicts, location names) is deliberately excluded, so a
+ * renamed or re-annotated copy of a test hashes identically -- the
+ * property the DecisionCache keys on (see harness/decision.hh).
+ */
+uint64_t fingerprint(const LitmusTest &test);
+
+/**
  * Convenience builder used by the suite and by tests/examples.
  *
  *     LitmusTest t = LitmusBuilder("mp", "Figure x")

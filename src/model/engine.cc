@@ -1,0 +1,37 @@
+#include "model/engine.hh"
+
+namespace gam::model
+{
+
+std::string
+engineName(Engine engine)
+{
+    switch (engine) {
+      case Engine::Axiomatic: return "axiomatic";
+      case Engine::Operational: return "operational";
+    }
+    return "?";
+}
+
+std::optional<Engine>
+engineFromName(const std::string &name)
+{
+    for (Engine engine : allEngines) {
+        if (engineName(engine) == name)
+            return engine;
+    }
+    return std::nullopt;
+}
+
+std::vector<Engine>
+engines(ModelKind model)
+{
+    std::vector<Engine> out;
+    for (Engine engine : allEngines) {
+        if (supportsEngine(model, engine))
+            out.push_back(engine);
+    }
+    return out;
+}
+
+} // namespace gam::model

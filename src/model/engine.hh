@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Verification engines and their per-model capabilities.
+ *
+ * The library decides "is this outcome allowed?" with two engines: the
+ * axiomatic checker (axiomatic/checker.hh) and the operational
+ * explorer over the abstract machines (operational/).  Which engine
+ * can decide which model -- and how faithfully -- is a property of the
+ * *model*, so it lives here, next to ModelKind, as the single source
+ * of truth.  Frontends (litmus runner, fuzzer, CLI, fence synthesis)
+ * must consult supportsEngine()/engines() instead of hand-rolling
+ * their own switches.
+ */
+
+#ifndef GAM_MODEL_ENGINE_HH
+#define GAM_MODEL_ENGINE_HH
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "model/kind.hh"
+
+namespace gam::model
+{
+
+/** The two ways this library can decide a model query. */
+enum class Engine {
+    /** Enumerate legal executions from the Figure 15 axioms. */
+    Axiomatic,
+    /** Exhaustively explore an abstract machine's state space. */
+    Operational,
+};
+
+/** Engines in registry order. */
+constexpr Engine allEngines[] = {Engine::Axiomatic, Engine::Operational};
+
+/** Display name ("axiomatic" / "operational"). */
+std::string engineName(Engine engine);
+
+/**
+ * Inverse of engineName(); nullopt for unrecognised names.  The
+ * recoverable lookup used by text frontends (CLI flags).
+ */
+std::optional<Engine> engineFromName(const std::string &name);
+
+/**
+ * Can @p engine decide @p model?
+ *
+ *  - Axiomatic: every model except Alpha*, which the paper defines
+ *    only through its implementation (no axioms to check).
+ *  - Operational: every model except PerLocSC, which exists as an
+ *    axiomatic reference property only (no abstract machine).
+ */
+constexpr bool
+supportsEngine(ModelKind model, Engine engine)
+{
+    switch (engine) {
+      case Engine::Axiomatic:
+        return model != ModelKind::AlphaStar;
+      case Engine::Operational:
+        return model != ModelKind::PerLocSC;
+    }
+    return false;
+}
+
+/** The engines that can decide @p model, in registry order. */
+std::vector<Engine> engines(ModelKind model);
+
+/**
+ * Do *both* engines support @p model -- i.e. is there an
+ * operational/axiomatic pair to cross-check?  False for Alpha* (no
+ * axioms) and PerLocSC (no machine), which only one engine decides.
+ */
+constexpr bool
+hasEnginePair(ModelKind model)
+{
+    return supportsEngine(model, Engine::Axiomatic)
+        && supportsEngine(model, Engine::Operational);
+}
+
+/**
+ * Is the operational engine's outcome set *equal* to the axiomatic
+ * definition for @p model, rather than merely included in it?  The
+ * paper proves equivalence for GAM (and our SC/TSO/GAM0 machines are
+ * exact too), but defines no ARM abstract machine: ours is
+ * deliberately conservative, so for ARM the operational set is a
+ * subset of the axiomatic one (see operational/gam_machine.hh).
+ * Differential checks must compare by inclusion, and only *forbidden*
+ * operational verdicts may be recorded as ground truth.
+ */
+constexpr bool
+operationalOutcomesExact(ModelKind model)
+{
+    return model != ModelKind::ARM;
+}
+
+} // namespace gam::model
+
+#endif // GAM_MODEL_ENGINE_HH

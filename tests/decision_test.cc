@@ -1,0 +1,386 @@
+/**
+ * Tests for the unified decide(Query) -> Decision API: engine
+ * registry/capability introspection, parity with the legacy bool
+ * entry points and with the engines invoked directly, and the
+ * correctness of the memoizing DecisionCache.
+ */
+
+#include <gtest/gtest.h>
+
+#include "axiomatic/checker.hh"
+#include "base/hashing.hh"
+#include "base/thread_pool.hh"
+#include "harness/decision.hh"
+#include "harness/experiments.hh"
+#include "harness/litmus_runner.hh"
+#include "litmus/suite.hh"
+#include "model/engine.hh"
+#include "operational/explorer.hh"
+#include "operational/gam_machine.hh"
+#include "operational/sc_machine.hh"
+#include "operational/tso_machine.hh"
+
+namespace gam::harness
+{
+namespace
+{
+
+using model::Engine;
+using model::ModelKind;
+
+constexpr ModelKind allModels[] = {
+    ModelKind::SC,   ModelKind::TSO,       ModelKind::GAM0,
+    ModelKind::GAM,  ModelKind::ARM,       ModelKind::AlphaStar,
+    ModelKind::PerLocSC,
+};
+
+/** The engines' ground truth, bypassing decide() entirely. */
+litmus::OutcomeSet
+directOperationalOutcomes(const litmus::LitmusTest &test, ModelKind model)
+{
+    if (model == ModelKind::SC)
+        return operational::exploreAll(operational::ScMachine(test))
+            .outcomes;
+    if (model == ModelKind::TSO)
+        return operational::exploreAll(operational::TsoMachine(test))
+            .outcomes;
+    operational::GamOptions opts;
+    opts.kind = model;
+    return operational::exploreAll(operational::GamMachine(test, opts))
+        .outcomes;
+}
+
+Query
+queryFor(const litmus::LitmusTest &test, ModelKind model,
+         EngineSelect engine)
+{
+    Query q;
+    q.test = &test;
+    q.model = model;
+    q.engine = engine;
+    return q;
+}
+
+TEST(EngineRegistry, CapabilitiesMatchTheEngines)
+{
+    for (ModelKind model : allModels) {
+        EXPECT_EQ(model::supportsEngine(model, Engine::Axiomatic),
+                  model != ModelKind::AlphaStar);
+        EXPECT_EQ(model::supportsEngine(model, Engine::Operational),
+                  model != ModelKind::PerLocSC);
+        const auto engines = model::engines(model);
+        EXPECT_FALSE(engines.empty());
+        for (Engine engine : engines)
+            EXPECT_TRUE(model::supportsEngine(model, engine));
+    }
+    EXPECT_TRUE(model::hasEnginePair(ModelKind::GAM));
+    EXPECT_FALSE(model::hasEnginePair(ModelKind::AlphaStar));
+    EXPECT_FALSE(model::hasEnginePair(ModelKind::PerLocSC));
+    EXPECT_FALSE(model::operationalOutcomesExact(ModelKind::ARM));
+    EXPECT_TRUE(model::operationalOutcomesExact(ModelKind::GAM));
+}
+
+TEST(EngineRegistry, NamesRoundTrip)
+{
+    for (Engine engine : model::allEngines)
+        EXPECT_EQ(model::engineFromName(model::engineName(engine)),
+                  engine);
+    EXPECT_FALSE(model::engineFromName("axiomatical").has_value());
+}
+
+TEST(EngineRegistry, AutoPrefersAxiomaticWhenDefined)
+{
+    const auto &t = litmus::testByName("mp");
+    EXPECT_EQ(resolveEngine(queryFor(t, ModelKind::GAM,
+                                     EngineSelect::Auto)),
+              Engine::Axiomatic);
+    EXPECT_EQ(resolveEngine(queryFor(t, ModelKind::PerLocSC,
+                                     EngineSelect::Auto)),
+              Engine::Axiomatic);
+    EXPECT_EQ(resolveEngine(queryFor(t, ModelKind::AlphaStar,
+                                     EngineSelect::Auto)),
+              Engine::Operational);
+    EXPECT_EQ(resolveEngine(queryFor(t, ModelKind::GAM,
+                                     EngineSelect::Operational)),
+              Engine::Operational);
+}
+
+TEST(DecisionParity, MatchesLegacyEntryPointsOnAllBuiltins)
+{
+    DecisionCache cache;
+    for (const auto &test : litmus::allTests()) {
+        for (ModelKind model : allModels) {
+            if (model::supportsEngine(model, Engine::Axiomatic)) {
+                const Decision d = decide(
+                    queryFor(test, model, EngineSelect::Axiomatic),
+                    &cache);
+                EXPECT_EQ(d.allowed, axiomaticAllowed(test, model))
+                    << test.name << " " << model::modelName(model);
+                EXPECT_EQ(d.engine, Engine::Axiomatic);
+                EXPECT_TRUE(d.complete);
+            }
+            if (model::supportsEngine(model, Engine::Operational)) {
+                const Decision d = decide(
+                    queryFor(test, model, EngineSelect::Operational),
+                    &cache);
+                EXPECT_EQ(d.allowed, operationalAllowed(test, model))
+                    << test.name << " " << model::modelName(model);
+                EXPECT_EQ(d.allowed,
+                          operationalAllowedParallel(test, model, 4))
+                    << test.name << " " << model::modelName(model);
+                EXPECT_EQ(d.engine, Engine::Operational);
+            }
+        }
+    }
+}
+
+TEST(DecisionParity, MatchesEnginesInvokedDirectly)
+{
+    // Bypass every wrapper: the Decision's outcome set and verdict
+    // must equal the raw Checker / explorer results.
+    for (const char *name : {"dekker", "mp", "sb_fenced", "corr"}) {
+        const auto &test = litmus::testByName(name);
+        for (ModelKind model :
+             {ModelKind::SC, ModelKind::TSO, ModelKind::GAM}) {
+            const Decision ax = decide(
+                queryFor(test, model, EngineSelect::Axiomatic), nullptr);
+            axiomatic::Checker checker(test, model);
+            EXPECT_EQ(ax.outcomes, checker.enumerate())
+                << name << " " << model::modelName(model);
+            axiomatic::Checker oracle(test, model);
+            EXPECT_EQ(ax.allowed, oracle.isAllowed())
+                << name << " " << model::modelName(model);
+
+            const Decision op = decide(
+                queryFor(test, model, EngineSelect::Operational),
+                nullptr);
+            EXPECT_EQ(op.outcomes,
+                      directOperationalOutcomes(test, model))
+                << name << " " << model::modelName(model);
+        }
+    }
+}
+
+TEST(DecisionParity, MatrixEngineSelectionFiltersRows)
+{
+    const std::vector<litmus::LitmusTest> tests{
+        litmus::testByName("mp")};
+    const std::vector<ModelKind> models{ModelKind::SC, ModelKind::GAM,
+                                        ModelKind::AlphaStar};
+    DecisionCache cache;
+
+    MatrixOptions both;
+    both.cache = &cache;
+    // SC and GAM have two engines each, AlphaStar only one: 5 rows.
+    EXPECT_EQ(runLitmusMatrix(tests, models, both).size(), 5u);
+
+    MatrixOptions on_auto;
+    on_auto.engine = EngineSelect::Auto;
+    on_auto.cache = &cache;
+    const auto rows = runLitmusMatrix(tests, models, on_auto);
+    ASSERT_EQ(rows.size(), 3u);
+    EXPECT_EQ(rows[0].engine, Engine::Axiomatic);
+    EXPECT_EQ(rows[2].engine, Engine::Operational); // Alpha*
+
+    MatrixOptions operational_only;
+    operational_only.engine = EngineSelect::Operational;
+    operational_only.cache = &cache;
+    // PerLocSC would be skipped; these three all have machines.
+    EXPECT_EQ(runLitmusMatrix(tests, models, operational_only).size(),
+              3u);
+}
+
+TEST(Fingerprint, IgnoresMetadataButNotSemantics)
+{
+    litmus::LitmusTest a = litmus::testByName("mp");
+    litmus::LitmusTest b = a;
+    b.name = "renamed";
+    b.description = "different prose";
+    b.paperRef = "nowhere";
+    b.expected.clear();
+    EXPECT_EQ(litmus::fingerprint(a), litmus::fingerprint(b));
+
+    litmus::LitmusTest c = a;
+    c.threads[0].code.pop_back();
+    EXPECT_NE(litmus::fingerprint(a), litmus::fingerprint(c));
+
+    litmus::LitmusTest d = a;
+    ASSERT_FALSE(d.regCond.empty());
+    d.regCond[0].value ^= 1;
+    EXPECT_NE(litmus::fingerprint(a), litmus::fingerprint(d));
+}
+
+TEST(DecisionCache, WarmDecisionIdenticalToCold)
+{
+    DecisionCache cache;
+    const auto &test = litmus::testByName("dekker");
+    for (EngineSelect engine :
+         {EngineSelect::Axiomatic, EngineSelect::Operational}) {
+        const Query q = queryFor(test, ModelKind::GAM, engine);
+        const Decision cold = decide(q, &cache);
+        const Decision warm = decide(q, &cache);
+        EXPECT_FALSE(cold.cacheHit);
+        EXPECT_TRUE(warm.cacheHit);
+        EXPECT_EQ(warm.allowed, cold.allowed);
+        EXPECT_EQ(warm.outcomes, cold.outcomes);
+        EXPECT_EQ(warm.engine, cold.engine);
+        EXPECT_EQ(warm.statesVisited, cold.statesVisited);
+        EXPECT_EQ(warm.complete, cold.complete);
+    }
+    const auto stats = cache.stats();
+    EXPECT_EQ(stats.hits, 2u);
+    EXPECT_EQ(stats.misses, 2u);
+    EXPECT_EQ(cache.size(), 2u);
+
+    cache.clear();
+    EXPECT_EQ(cache.size(), 0u);
+    EXPECT_EQ(cache.stats().hits, 0u);
+    EXPECT_EQ(cache.stats().misses, 0u);
+}
+
+TEST(DecisionCache, TruncatedDecisionsAreNotCached)
+{
+    DecisionCache cache;
+    Query q = queryFor(litmus::testByName("dekker"), ModelKind::GAM,
+                       EngineSelect::Operational);
+    q.options.stateBudget = 1;
+    for (int i = 0; i < 2; ++i) {
+        const Decision d = decide(q, &cache);
+        EXPECT_FALSE(d.complete);
+        EXPECT_FALSE(d.cacheHit);
+    }
+    EXPECT_EQ(cache.size(), 0u);
+    EXPECT_EQ(cache.stats().uncached, 2u);
+}
+
+TEST(DecisionCache, KeysSeparateModelEngineAndOptions)
+{
+    const auto &test = litmus::testByName("mp");
+    const Query base = queryFor(test, ModelKind::GAM,
+                                EngineSelect::Axiomatic);
+    const uint64_t k = queryKey(base, Engine::Axiomatic);
+    EXPECT_NE(k, queryKey(base, Engine::Operational));
+
+    Query other_model = base;
+    other_model.model = ModelKind::TSO;
+    EXPECT_NE(k, queryKey(other_model, Engine::Axiomatic));
+
+    // The budget never affects a key: only complete (exhaustive)
+    // decisions are cached and those are budget-independent, so
+    // frontends running with different budgets share entries.
+    Query other_budget = base;
+    other_budget.options.stateBudget = 7;
+    EXPECT_EQ(k, queryKey(other_budget, Engine::Axiomatic));
+    EXPECT_EQ(queryKey(base, Engine::Operational),
+              queryKey(other_budget, Engine::Operational));
+
+    // ... and symmetrically, checker knobs cannot affect the explorer.
+    Query other_axioms = base;
+    other_axioms.options.axiomatic.enforceInstOrder = false;
+    EXPECT_NE(k, queryKey(other_axioms, Engine::Axiomatic));
+    EXPECT_EQ(queryKey(base, Engine::Operational),
+              queryKey(other_axioms, Engine::Operational));
+
+    // threads must NOT affect the key: complete results are
+    // scheduling-independent, so serial and parallel queries share.
+    Query other_threads = base;
+    other_threads.options.threads = 8;
+    EXPECT_EQ(k, queryKey(other_threads, Engine::Axiomatic));
+}
+
+TEST(DecisionCache, CapacityIsBounded)
+{
+    DecisionCache cache(/*max_entries=*/32);
+    Decision filler;
+    filler.complete = true;
+    for (uint64_t key = 0; key < 10'000; ++key)
+        cache.insert(mix64(key), filler);
+    // 32 shards x (32/32 + 1) entries: the cap is approximate but firm.
+    EXPECT_LE(cache.size(), 64u);
+}
+
+TEST(DecisionCache, ConcurrentDecidesOnOneQueryAreRaceFree)
+{
+    DecisionCache cache;
+    const auto &test = litmus::testByName("dekker");
+    const Query q = queryFor(test, ModelKind::GAM,
+                             EngineSelect::Operational);
+    const Decision reference = decide(q, nullptr);
+
+    constexpr size_t N = 64;
+    std::vector<Decision> decisions(N);
+    ThreadPool pool(8);
+    pool.parallelFor(N, [&](size_t i) {
+        decisions[i] = decide(q, &cache);
+    });
+    for (const auto &d : decisions) {
+        EXPECT_EQ(d.allowed, reference.allowed);
+        EXPECT_EQ(d.outcomes, reference.outcomes);
+        EXPECT_EQ(d.complete, reference.complete);
+    }
+    const auto stats = cache.stats();
+    EXPECT_EQ(stats.hits + stats.misses, N);
+    EXPECT_GE(stats.misses, 1u);
+    EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(DecisionParity, TruncatedVerdictsRenderAsInconclusive)
+{
+    const std::vector<litmus::LitmusTest> tests{
+        litmus::testByName("dekker")};
+    DecisionCache cache;
+    MatrixOptions options;
+    options.engine = EngineSelect::Operational;
+    options.run.stateBudget = 10;
+    options.cache = &cache;
+    const auto verdicts =
+        runLitmusMatrix(tests, {ModelKind::GAM}, options);
+    ASSERT_EQ(verdicts.size(), 1u);
+    EXPECT_FALSE(verdicts[0].complete);
+    // An inconclusive row never claims a (mis)match with the paper...
+    EXPECT_TRUE(verdicts[0].matchesPaper());
+    // ... and the rendering flags it instead of printing 'forbidden'.
+    const std::string rendered = formatLitmusMatrix(verdicts);
+    EXPECT_NE(rendered.find("truncated"), std::string::npos);
+    EXPECT_EQ(rendered.find("MISMATCH"), std::string::npos);
+}
+
+TEST(Equivalence, TruncatedRowsAreNotDisagreements)
+{
+    const std::vector<litmus::LitmusTest> tests{
+        litmus::testByName("dekker")};
+    // Cache keys ignore the budget: flush any complete decision other
+    // tests left behind so the tiny budget actually truncates.
+    globalDecisionCache().clear();
+    RunOptions run;
+    run.stateBudget = 10;
+    const auto rows =
+        runEquivalenceExperiment(tests, {ModelKind::GAM}, run);
+    ASSERT_EQ(rows.size(), 1u);
+    EXPECT_FALSE(rows[0].operational.complete);
+    EXPECT_FALSE(rows[0].agree);
+    const std::string rendered = formatEquivalence(rows);
+    EXPECT_NE(rendered.find("truncated"), std::string::npos);
+    EXPECT_NE(rendered.find("0 disagreements"), std::string::npos);
+}
+
+TEST(Equivalence, ExperimentAgreesOnTheClassicSuite)
+{
+    const std::vector<litmus::LitmusTest> tests{
+        litmus::testByName("mp"), litmus::testByName("dekker")};
+    const std::vector<ModelKind> models{
+        ModelKind::SC, ModelKind::GAM, ModelKind::ARM,
+        ModelKind::AlphaStar, // skipped: no axiomatic engine
+    };
+    const auto rows = runEquivalenceExperiment(tests, models);
+    ASSERT_EQ(rows.size(), 6u); // 2 tests x 3 paired models
+    for (const auto &row : rows)
+        EXPECT_TRUE(row.agree)
+            << row.test << " " << model::modelName(row.model);
+    const std::string rendered = formatEquivalence(rows);
+    EXPECT_NE(rendered.find("0 disagreements"), std::string::npos);
+    EXPECT_NE(rendered.find("subset"), std::string::npos); // ARM rows
+}
+
+} // namespace
+} // namespace gam::harness

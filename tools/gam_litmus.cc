@@ -5,11 +5,18 @@
  *   gam-litmus list
  *       List the built-in suites (name, paper reference, description).
  *
- *   gam-litmus run <test|file.litmus>... [--model M]... [--threads N]
- *       Decide each test under both engines and print the verdict
- *       matrix.  Arguments naming a file (anything with a '.' or '/')
- *       are parsed from the litmus text format; anything else must be
- *       a built-in test name.  Exits 1 on a verdict mismatching a
+ *   gam-litmus run <test|file.litmus>... [--model M]...
+ *                  [--engine {axiomatic,operational,auto}]
+ *                  [--threads N] [--budget M] [--stats]
+ *       Decide each test and print the verdict matrix.  By default
+ *       every engine supporting the model runs; --engine restricts to
+ *       one engine or lets the registry pick (auto).  --threads sets
+ *       the decision pool width (MatrixOptions::poolThreads); --budget
+ *       sets the explorer state budget (RunOptions::stateBudget);
+ *       --stats appends decision-cache hit/miss counts.
+ *       Arguments naming a file (anything with a '.' or '/') are
+ *       parsed from the litmus text format; anything else must be a
+ *       built-in test name.  Exits 1 on a verdict mismatching a
  *       recorded expectation, 2 on bad input.
  *
  *   gam-litmus print <test|file.litmus>...
@@ -58,12 +65,18 @@ usage()
                  "\n"
                  "commands:\n"
                  "  list                      list built-in tests\n"
-                 "  run <test|file>...        decide tests with both "
-                 "engines\n"
+                 "  run <test|file>...        decide tests and print "
+                 "the verdict matrix\n"
                  "      [--model M]...        SC TSO GAM0 GAM ARM "
                  "Alpha* PerLocSC\n"
+                 "      [--engine E]          axiomatic, operational "
+                 "or auto (default: all)\n"
                  "      [--threads N]         worker threads (0 = "
                  "hardware)\n"
+                 "      [--budget M]          explorer visited-state "
+                 "budget\n"
+                 "      [--stats]             print decision-cache "
+                 "hit/miss counts\n"
                  "  print <test|file>...      re-emit tests in "
                  "canonical text form\n"
                  "  gen [--tests N] [--seed S] [--out DIR] "
@@ -149,7 +162,8 @@ cmdRun(int argc, char **argv)
 {
     std::vector<litmus::LitmusTest> tests;
     std::vector<ModelKind> models;
-    unsigned threads = 0;
+    harness::MatrixOptions options;
+    bool stats = false;
 
     for (int i = 0; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -164,17 +178,38 @@ cmdRun(int argc, char **argv)
                 return 2;
             }
             models.push_back(*kind);
-        } else if (arg == "--threads") {
-            const char *value = flagValue(argc, argv, i, "--threads");
+        } else if (arg == "--engine") {
+            const char *value = flagValue(argc, argv, i, "--engine");
+            if (!value)
+                return 2;
+            if (std::string(value) == "auto") {
+                options.engine = harness::EngineSelect::Auto;
+            } else if (auto engine = model::engineFromName(value)) {
+                options.engine = *engine == model::Engine::Axiomatic
+                    ? harness::EngineSelect::Axiomatic
+                    : harness::EngineSelect::Operational;
+            } else {
+                std::fprintf(stderr, "gam-litmus: unknown engine '%s' "
+                             "(expected axiomatic, operational or "
+                             "auto)\n", value);
+                return 2;
+            }
+        } else if (arg == "--threads" || arg == "--budget") {
+            const char *value = flagValue(argc, argv, i, arg.c_str());
             if (!value)
                 return 2;
             auto n = parseCount(value);
             if (!n) {
-                std::fprintf(stderr, "gam-litmus: bad thread count "
-                                     "'%s'\n", value);
+                std::fprintf(stderr, "gam-litmus: bad %s value '%s'\n",
+                             arg.c_str(), value);
                 return 2;
             }
-            threads = static_cast<unsigned>(*n);
+            if (arg == "--threads")
+                options.poolThreads = static_cast<unsigned>(*n);
+            else
+                options.run.stateBudget = *n;
+        } else if (arg == "--stats") {
+            stats = true;
         } else {
             auto test = loadTest(arg);
             if (!test)
@@ -192,9 +227,25 @@ cmdRun(int argc, char **argv)
                   ModelKind::GAM, ModelKind::ARM};
     }
 
-    auto verdicts =
-        harness::runLitmusMatrixParallel(tests, models, threads);
+    const auto before = harness::globalDecisionCache().stats();
+    auto verdicts = harness::runLitmusMatrix(tests, models, options);
+    if (verdicts.empty()) {
+        // Everything was skipped (e.g. --model PerLocSC --engine
+        // operational); an empty matrix must not read as success.
+        std::fprintf(stderr, "gam-litmus: no decidable (model, engine) "
+                             "combination for the given tests\n");
+        return 2;
+    }
     std::printf("%s", harness::formatLitmusMatrix(verdicts).c_str());
+    if (stats) {
+        const auto after = harness::globalDecisionCache().stats();
+        std::printf("decision cache: %llu hits, %llu misses, "
+                    "%llu resident\n",
+                    (unsigned long long)(after.hits - before.hits),
+                    (unsigned long long)(after.misses - before.misses),
+                    (unsigned long long)
+                        harness::globalDecisionCache().size());
+    }
     for (const auto &v : verdicts)
         if (!v.matchesPaper())
             return 1;
