@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Cat engine vs. hand-coded axiomatic checker wall time.
+ *
+ * Decides every built-in litmus test under every cat-supported model
+ * (SC, TSO, GAM0, GAM) twice -- once through the hand-coded axiomatic
+ * checker, once through the cat engine evaluating the shipped model
+ * files -- with caching disabled, and reports per-model and total
+ * wall times plus the cat/axiomatic ratio.  Both engines enumerate
+ * the same (rf, co) candidates, so the ratio isolates the cost of
+ * interpreting the model as data (bitset relation algebra per
+ * candidate) against the compiled-in axioms.
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <vector>
+
+#include "harness/decision.hh"
+#include "litmus/suite.hh"
+#include "model/engine.hh"
+
+namespace
+{
+
+using namespace gam;
+
+double
+seconds(std::chrono::steady_clock::time_point start)
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - start)
+        .count();
+}
+
+/** Decide every test under @p model with @p engine; cache disabled. */
+double
+enginePass(const std::vector<litmus::LitmusTest> &tests,
+           model::ModelKind model, harness::EngineSelect engine,
+           uint64_t *candidates)
+{
+    const auto start = std::chrono::steady_clock::now();
+    for (const auto &test : tests) {
+        harness::Query query;
+        query.test = &test;
+        query.model = model;
+        query.engine = engine;
+        const harness::Decision d = harness::decide(query, nullptr);
+        if (candidates)
+            *candidates += d.statesVisited;
+    }
+    return seconds(start);
+}
+
+} // namespace
+
+int
+main()
+{
+    const std::vector<litmus::LitmusTest> tests = litmus::allTests();
+    const std::vector<model::ModelKind> models = {
+        model::ModelKind::SC, model::ModelKind::TSO,
+        model::ModelKind::GAM0, model::ModelKind::GAM,
+    };
+
+    std::printf("cat-engine benchmark: %zu tests x %zu models, "
+                "cache disabled\n\n", tests.size(), models.size());
+    std::printf("%-6s %12s %12s %8s %14s\n", "model", "axiomatic",
+                "cat", "ratio", "candidates");
+
+    double ax_total = 0.0, cat_total = 0.0;
+    for (model::ModelKind model : models) {
+        uint64_t candidates = 0;
+        const double ax = enginePass(tests, model,
+                                     harness::EngineSelect::Axiomatic,
+                                     nullptr);
+        const double ct = enginePass(tests, model,
+                                     harness::EngineSelect::Cat,
+                                     &candidates);
+        ax_total += ax;
+        cat_total += ct;
+        std::printf("%-6s %11.3fs %11.3fs %7.2fx %14llu\n",
+                    model::modelName(model).c_str(), ax, ct,
+                    ax > 0 ? ct / ax : 0.0,
+                    static_cast<unsigned long long>(candidates));
+    }
+
+    const double ratio = ax_total > 0 ? cat_total / ax_total : 0.0;
+    std::printf("\ntotal: axiomatic %.3fs, cat %.3fs -> the cat "
+                "engine costs %.2fx the hand-coded checker\n",
+                ax_total, cat_total, ratio);
+
+    // Sanity floor, not a perf gate: interpreting the model as data
+    // must stay within two orders of magnitude of the compiled axioms
+    // on the built-in suite, or something is broken (e.g. the
+    // trace-level view cache not keying on the rf epoch).
+    if (ratio > 100.0) {
+        std::printf("FAIL: cat/axiomatic ratio %.2fx exceeds 100x\n",
+                    ratio);
+        return 1;
+    }
+    std::printf("PASS\n");
+    return 0;
+}

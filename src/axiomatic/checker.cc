@@ -382,21 +382,11 @@ Checker::computeExecution(const std::vector<StoreId> &rf,
 void
 Checker::checkCandidate(const std::vector<ThreadExec> &exec,
                         const std::vector<StoreId> & /* rf */,
-                        litmus::OutcomeSet &outcomes)
+                        litmus::OutcomeSet &outcomes,
+                        const CandidateFilter *accept, uint64_t rfEpoch)
 {
     // ---- Collect memory events and per-thread ppo. ----
-    struct Event
-    {
-        int tid;
-        int traceIdx;
-        bool isStore;
-        bool isLoad;          // RMWs are both
-        Addr addr;
-        Value value;          // the value supplied to memory/readers
-        StoreId sid;          // store side: own id
-        StoreId rf;           // load side: source of the read
-    };
-    std::vector<Event> events;
+    std::vector<CandidateEvent> events;
     std::map<std::pair<int, int>, int> nodeOf; // (tid, traceIdx) -> node
 
     for (size_t tid = 0; tid < exec.size(); ++tid) {
@@ -405,7 +395,7 @@ Checker::checkCandidate(const std::vector<ThreadExec> &exec,
             const auto &ti = te.trace[k];
             if (!ti.isMem())
                 continue;
-            Event ev;
+            CandidateEvent ev;
             ev.tid = int(tid);
             ev.traceIdx = int(k);
             ev.isStore = ti.isStore();
@@ -421,9 +411,16 @@ Checker::checkCandidate(const std::vector<ThreadExec> &exec,
     }
     const size_t n = events.size();
 
-    // ppo projected onto memory events.
+    // The committed traces, for filters that derive their own
+    // relations (dependencies, fences) from the instruction stream.
+    std::vector<const model::Trace *> traces;
+    for (const auto &te : exec)
+        traces.push_back(&te.trace);
+
+    // ppo projected onto memory events (built-in axiom path only; a
+    // filter embodies its own model).
     std::vector<std::pair<int, int>> ppoEdges;
-    if (options.enforceInstOrder) {
+    if (!accept && options.enforceInstOrder) {
         for (size_t tid = 0; tid < exec.size(); ++tid) {
             const auto &te = exec[tid];
             model::Relation ppo = model::preservedProgramOrder(
@@ -461,8 +458,36 @@ Checker::checkCandidate(const std::vector<ThreadExec> &exec,
 
     std::map<Addr, std::vector<int>> perm = storesByAddr;
 
+    // ---- Accepted-candidate outcome recording (both paths). ----
+    auto record = [&]() {
+        ++_stats.accepted;
+        litmus::Outcome outcome;
+        for (auto [tid, reg] : test.observedRegs) {
+            auto v = exec[size_t(tid)].regs[size_t(reg)];
+            GAM_ASSERT(v.has_value(), "unresolved observed register");
+            outcome.regs.push_back({tid, reg, *v});
+        }
+        for (Addr a : test.addressUniverse) {
+            Value v = initRead(test.initialMem, a);
+            auto it = perm.find(a);
+            if (it != perm.end() && !it->second.empty())
+                v = events[size_t(it->second.back())].value;
+            outcome.mem.push_back({a, v});
+        }
+        outcome.canonicalize();
+        outcomes.insert(outcome);
+    };
+
     auto try_combo = [&]() {
         ++_stats.coCandidates;
+
+        if (accept) {
+            const CandidateExecution candidate{events, perm, traces,
+                                               rfEpoch};
+            if ((*accept)(candidate))
+                record();
+            return;
+        }
 
         std::vector<std::vector<int>> adj(n);
         auto edge = [&](int u, int v) { adj[size_t(u)].push_back(v); };
@@ -479,7 +504,7 @@ Checker::checkCandidate(const std::vector<ThreadExec> &exec,
         // immediate coherence predecessor -- no store may slip between
         // the read and the write.
         for (size_t v = 0; v < n; ++v) {
-            const Event &ev = events[v];
+            const CandidateEvent &ev = events[v];
             if (!(ev.isLoad && ev.isStore))
                 continue;
             const auto &p = perm[ev.addr];
@@ -502,7 +527,7 @@ Checker::checkCandidate(const std::vector<ThreadExec> &exec,
         // every event, including RMWs; an RMW's own store side is
         // always coherence-after its read and is skipped).
         for (size_t v = 0; v < n; ++v) {
-            const Event &ld = events[v];
+            const CandidateEvent &ld = events[v];
             if (!ld.isLoad)
                 continue;
             const auto &p = perm[ld.addr];
@@ -562,23 +587,8 @@ Checker::checkCandidate(const std::vector<ThreadExec> &exec,
             }
         }
 
-        // ---- Accepted: record the outcome. ----
-        ++_stats.accepted;
-        litmus::Outcome outcome;
-        for (auto [tid, reg] : test.observedRegs) {
-            auto v = exec[size_t(tid)].regs[size_t(reg)];
-            GAM_ASSERT(v.has_value(), "unresolved observed register");
-            outcome.regs.push_back({tid, reg, *v});
-        }
-        for (Addr a : test.addressUniverse) {
-            Value v = initRead(test.initialMem, a);
-            auto it = perm.find(a);
-            if (it != perm.end() && !it->second.empty())
-                v = events[size_t(it->second.back())].value;
-            outcome.mem.push_back({a, v});
-        }
-        outcome.canonicalize();
-        outcomes.insert(outcome);
+        // ---- Accepted by the built-in axioms. ----
+        record();
     };
 
     // Recursive product of per-address permutations.
@@ -599,6 +609,19 @@ Checker::checkCandidate(const std::vector<ThreadExec> &exec,
 litmus::OutcomeSet
 Checker::enumerate()
 {
+    return enumerateImpl(nullptr);
+}
+
+litmus::OutcomeSet
+Checker::enumerateFiltered(const CandidateFilter &accept)
+{
+    GAM_ASSERT(accept != nullptr, "enumerateFiltered: null filter");
+    return enumerateImpl(&accept);
+}
+
+litmus::OutcomeSet
+Checker::enumerateImpl(const CandidateFilter *accept)
+{
     _stats = CheckerStats{};
     litmus::OutcomeSet outcomes;
 
@@ -618,7 +641,8 @@ Checker::enumerate()
         std::vector<ThreadExec> exec;
         if (computeExecution(rf, options.seedValues, exec)) {
             ++_stats.valueConsistent;
-            checkCandidate(exec, rf, outcomes);
+            checkCandidate(exec, rf, outcomes, accept,
+                           _stats.valueConsistent);
         } else {
             ++_stats.valueCycles;
         }

@@ -33,6 +33,8 @@
 #define GAM_AXIOMATIC_CHECKER_HH
 
 #include <cstdint>
+#include <functional>
+#include <map>
 #include <optional>
 #include <vector>
 
@@ -83,6 +85,57 @@ struct CheckerStats
     uint64_t valueCycles = 0;       ///< rf maps with undetermined values
 };
 
+/**
+ * One memory event of a candidate execution: an executed load/store
+ * with resolved address, in committed trace order per thread.  RMWs
+ * are a single event that is both a load and a store.
+ */
+struct CandidateEvent
+{
+    int tid;
+    int traceIdx;        ///< index into the thread's committed trace
+    bool isStore;
+    bool isLoad;         ///< RMWs are both
+    isa::Addr addr;
+    isa::Value value;    ///< value the event supplies to memory/readers
+    model::StoreId sid;  ///< store side: own id (InitStore otherwise)
+    model::StoreId rf;   ///< load side: read-from source (or InitStore)
+};
+
+/**
+ * One fully chosen candidate execution: the committed thread traces
+ * plus one read-from map and one per-address coherence order.  This is
+ * the domain over which relational (cat-style) model engines evaluate
+ * their axioms; the Checker enumerates exactly the same candidates for
+ * its hand-coded axioms, so alternative engines built on
+ * enumerateFiltered() are verdict-comparable by construction.
+ *
+ * All references point into enumeration-owned storage and are valid
+ * only for the duration of one filter callback.
+ */
+struct CandidateExecution
+{
+    /** All memory events, thread-major, trace order within a thread. */
+    const std::vector<CandidateEvent> &events;
+    /** Coherence order per address: event indices, first to last. */
+    const std::map<isa::Addr, std::vector<int>> &coOrder;
+    /** Committed per-thread traces (fences/branches included). */
+    const std::vector<const model::Trace *> &traces;
+    /**
+     * Increments once per read-from candidate.  events, traces and
+     * every event's rf are reused across the coherence orders sharing
+     * an epoch -- only coOrder changes -- so callers may cache
+     * trace-derived data (program order, dependencies) keyed on it.
+     */
+    uint64_t rfEpoch;
+};
+
+/**
+ * Accept/reject one candidate execution.  Returning true records the
+ * candidate's outcome exactly as the built-in axioms would.
+ */
+using CandidateFilter = std::function<bool(const CandidateExecution &)>;
+
 /** Axiomatic enumeration for one litmus test under one model. */
 class Checker
 {
@@ -92,6 +145,18 @@ class Checker
 
     /** All outcomes the axioms accept. */
     litmus::OutcomeSet enumerate();
+
+    /**
+     * Enumerate with @p accept deciding candidate legality instead of
+     * the built-in InstOrder/LoadValue/atomicity axioms.  Everything
+     * else -- value-consistent read-from maps, per-address coherence
+     * permutations, outcome recording -- is shared with enumerate(),
+     * which is what makes engines layered on this (src/cat/) directly
+     * comparable with the hand-coded checker.  The `model` passed to
+     * the constructor is ignored on this path: the filter embodies the
+     * model.
+     */
+    litmus::OutcomeSet enumerateFiltered(const CandidateFilter &accept);
 
     /**
      * Is the test's asked-about condition reachable?  Seeds
@@ -110,10 +175,17 @@ class Checker
                           const std::vector<isa::Value> &seeds,
                           std::vector<ThreadExec> &out) const;
 
-    /** Check axioms for one (rf, co) candidate; record outcomes. */
+    /** Shared enumeration loop; @p accept null = built-in axioms. */
+    litmus::OutcomeSet enumerateImpl(const CandidateFilter *accept);
+
+    /**
+     * Check one (rf, co) candidate family -- built-in axioms or
+     * @p accept -- and record accepted outcomes.
+     */
     void checkCandidate(const std::vector<ThreadExec> &exec,
                         const std::vector<model::StoreId> &rf,
-                        litmus::OutcomeSet &outcomes);
+                        litmus::OutcomeSet &outcomes,
+                        const CandidateFilter *accept, uint64_t rfEpoch);
 
     const litmus::LitmusTest &test;
     model::ModelKind model;

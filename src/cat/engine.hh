@@ -1,0 +1,98 @@
+/**
+ * @file
+ * The cat model engine: deciding litmus tests from a memory model
+ * written as data.
+ *
+ * A CatEngine pairs one litmus test with one parsed CatModel and
+ * enumerates the outcomes the model's axioms accept.  Candidate
+ * executions come from the axiomatic checker's enumeration
+ * (axiomatic::Checker::enumerateFiltered), so the cat engine and the
+ * hand-coded checker see byte-identical candidate streams -- any
+ * verdict difference is a difference between the model file and the
+ * hand-coded axioms, which is exactly what differential validation
+ * wants to measure.
+ *
+ * The models shipped in .cat files under models/ are also embedded into the
+ * library at build time (the registry below), so Engine::Cat works
+ * without any runtime file lookup; custom model files are loaded and
+ * parsed by the frontends.
+ */
+
+#ifndef GAM_CAT_ENGINE_HH
+#define GAM_CAT_ENGINE_HH
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "axiomatic/checker.hh"
+#include "cat/parser.hh"
+#include "litmus/outcome.hh"
+#include "litmus/test.hh"
+#include "model/kind.hh"
+
+namespace gam::cat
+{
+
+/** Cat-model enumeration for one litmus test. */
+class CatEngine
+{
+  public:
+    /**
+     * @p options carries the shared candidate-builder knobs (OOTA
+     * seed values); enforceInstOrder is meaningless here -- the model
+     * file is the axioms.  @p test and @p model must outlive the
+     * engine.
+     */
+    CatEngine(const litmus::LitmusTest &test, const CatModel &model,
+              axiomatic::Options options = {});
+
+    /** All outcomes the model's axioms accept. */
+    litmus::OutcomeSet enumerate();
+
+    /**
+     * Is the test's asked-about condition reachable?  Seeds
+     * undetermined-value candidates from the condition's constants,
+     * mirroring axiomatic::Checker::isAllowed().
+     */
+    bool isAllowed();
+
+    /** Counters of the last enumeration (shared Checker stats). */
+    const axiomatic::CheckerStats &stats() const { return _stats; }
+
+  private:
+    const litmus::LitmusTest &test;
+    const CatModel &model;
+    axiomatic::Options options;
+    axiomatic::CheckerStats _stats;
+};
+
+/**
+ * The models shipped with the library (.cat files under models/, embedded at
+ * build time), parsed once, in name order.
+ */
+const std::vector<const CatModel *> &builtinCatModels();
+
+/**
+ * The builtin model named @p name (case-insensitive); nullptr when
+ * unknown.  The recoverable lookup used by text frontends.
+ */
+const CatModel *findBuiltinCatModel(const std::string &name);
+
+/**
+ * The builtin cat model expressing @p kind.  Asserts
+ * model::supportsEngine(kind, model::Engine::Cat): the registry and
+ * the shipped model files must agree.
+ */
+const CatModel &builtinCatModel(model::ModelKind kind);
+
+/**
+ * The ModelKind @p model claims to express, matched by name against
+ * the library's models (case-insensitive); nullopt for custom models.
+ * Used by differential validation to pick the reference checker.
+ */
+std::optional<model::ModelKind> catModelKind(const CatModel &model);
+
+} // namespace gam::cat
+
+#endif // GAM_CAT_ENGINE_HH

@@ -1,0 +1,297 @@
+#include "cat/eval.hh"
+
+#include "base/logging.hh"
+
+namespace gam::cat
+{
+
+namespace
+{
+
+Value
+setValue(EventSet s)
+{
+    Value v;
+    v.type = Type::Set;
+    v.set = std::move(s);
+    return v;
+}
+
+Value
+relValue(Rel r)
+{
+    Value v;
+    v.type = Type::Rel;
+    v.rel = std::move(r);
+    return v;
+}
+
+/** A 0 literal adapts to the sort its context inferred. */
+Value
+emptyOfType(Type t, size_t n)
+{
+    return t == Type::Set ? setValue(EventSet(n)) : relValue(Rel(n));
+}
+
+const Rel &
+asRel(const Value &v)
+{
+    GAM_ASSERT(v.type == Type::Rel, "cat eval: expected a relation");
+    return v.rel;
+}
+
+const EventSet &
+asSet(const Value &v)
+{
+    GAM_ASSERT(v.type == Type::Set, "cat eval: expected a set");
+    return v.set;
+}
+
+} // anonymous namespace
+
+Evaluator::Evaluator(const CatModel &model) : model(model)
+{
+    slots.resize(size_t(model.slotCount));
+}
+
+Value
+Evaluator::evalExpr(const Expr &e, const ExecView &view) const
+{
+    switch (e.kind) {
+      case Expr::Kind::Name: {
+        if (e.slot >= 0)
+            return slots[size_t(e.slot)];
+        GAM_ASSERT(e.builtin.has_value(), "cat eval: unresolved name");
+        switch (*e.builtin) {
+          case Builtin::R: return setValue(view.R);
+          case Builtin::W: return setValue(view.W);
+          case Builtin::M: return setValue(view.M);
+          case Builtin::F: return setValue(view.F);
+          case Builtin::RMW: return setValue(view.RMW);
+          case Builtin::FLL: return setValue(view.FLL);
+          case Builtin::FLS: return setValue(view.FLS);
+          case Builtin::FSL: return setValue(view.FSL);
+          case Builtin::FSS: return setValue(view.FSS);
+          case Builtin::Po: return relValue(view.po);
+          case Builtin::Rf: return relValue(view.rf);
+          case Builtin::Co: return relValue(view.co);
+          case Builtin::Fr: return relValue(view.fr);
+          case Builtin::Loc: return relValue(view.loc);
+          case Builtin::Ext: return relValue(view.ext);
+          case Builtin::Int: return relValue(view.int_);
+          case Builtin::Addr: return relValue(view.addr);
+          case Builtin::Data: return relValue(view.data);
+          case Builtin::Ctrl: return relValue(view.ctrl);
+          case Builtin::Id: return relValue(view.id);
+          case Builtin::NUM: break;
+        }
+        panic("cat eval: bad builtin");
+      }
+      case Expr::Kind::EmptyRel:
+        return emptyOfType(e.type, view.n);
+      case Expr::Kind::Union: {
+        Value a = evalExpr(*e.a, view), b = evalExpr(*e.b, view);
+        // A polymorphic 0 operand adopts the other side's sort.
+        if (a.type != b.type) {
+            if (e.a->type == Type::Any)
+                a = emptyOfType(b.type, view.n);
+            else if (e.b->type == Type::Any)
+                b = emptyOfType(a.type, view.n);
+        }
+        return a.type == Type::Set
+            ? setValue(asSet(a) | asSet(b))
+            : relValue(asRel(a) | asRel(b));
+      }
+      case Expr::Kind::Inter: {
+        Value a = evalExpr(*e.a, view), b = evalExpr(*e.b, view);
+        if (a.type != b.type) {
+            if (e.a->type == Type::Any)
+                a = emptyOfType(b.type, view.n);
+            else if (e.b->type == Type::Any)
+                b = emptyOfType(a.type, view.n);
+        }
+        return a.type == Type::Set
+            ? setValue(asSet(a) & asSet(b))
+            : relValue(asRel(a) & asRel(b));
+      }
+      case Expr::Kind::Diff: {
+        Value a = evalExpr(*e.a, view), b = evalExpr(*e.b, view);
+        if (a.type != b.type) {
+            if (e.a->type == Type::Any)
+                a = emptyOfType(b.type, view.n);
+            else if (e.b->type == Type::Any)
+                b = emptyOfType(a.type, view.n);
+        }
+        return a.type == Type::Set
+            ? setValue(asSet(a).minus(asSet(b)))
+            : relValue(asRel(a).minus(asRel(b)));
+      }
+      case Expr::Kind::Seq:
+        return relValue(asRel(evalExpr(*e.a, view))
+                            .compose(asRel(evalExpr(*e.b, view))));
+      case Expr::Kind::Product:
+        return relValue(
+            Rel::product(asSet(evalSet(*e.a, view)),
+                         asSet(evalSet(*e.b, view))));
+      case Expr::Kind::Compl: {
+        const Value a = evalExpr(*e.a, view);
+        return a.type == Type::Set ? setValue(a.set.complement())
+                                   : relValue(a.rel.complement());
+      }
+      case Expr::Kind::Plus:
+        return relValue(
+            asRel(evalExpr(*e.a, view)).transitiveClosure());
+      case Expr::Kind::Star:
+        return relValue(
+            asRel(evalExpr(*e.a, view)).reflexiveTransitiveClosure());
+      case Expr::Kind::Inverse:
+        return relValue(asRel(evalExpr(*e.a, view)).inverse());
+      case Expr::Kind::Diag:
+        return relValue(Rel::diag(asSet(evalSet(*e.a, view))));
+    }
+    panic("cat eval: bad expression kind");
+}
+
+Value
+Evaluator::evalSet(const Expr &e, const ExecView &view) const
+{
+    // A subtree the static checker left polymorphic (built from 0
+    // literals only) denotes the empty value; in a set-demanding
+    // context that is the empty set, not the default empty relation.
+    if (e.type == Type::Any)
+        return setValue(EventSet(view.n));
+    return evalExpr(e, view);
+}
+
+bool
+Evaluator::check(const ExecView &view)
+{
+    lastEpoch.reset();
+    return checkImpl(view, /*reuse_stable=*/false);
+}
+
+bool
+Evaluator::check(const ExecView &view, uint64_t rfEpoch)
+{
+    const bool reuse = lastEpoch.has_value() && *lastEpoch == rfEpoch;
+    lastEpoch = rfEpoch;
+    return checkImpl(view, reuse);
+}
+
+bool
+Evaluator::checkImpl(const ExecView &view, bool reuse_stable)
+{
+    _failedAxiom.clear();
+    lastView = &view;
+
+    // Phase 1: evaluate every definition.  A binding can only
+    // reference earlier bindings (each resolved to its own slot at
+    // parse time, so shadowing is unaffected), which makes it safe to
+    // fill all slots before testing any axiom -- and necessary for
+    // the epoch reuse below: an axiom failing early must never leave
+    // later slots unevaluated for the next candidate of the epoch.
+    for (const Stmt &stmt : model.statements) {
+        // Within one rf epoch only co and fr change between candidate
+        // executions; definitions not touching them still hold their
+        // previous slot values.
+        switch (stmt.kind) {
+          case Stmt::Kind::Let:
+            for (const Binding &b : stmt.bindings) {
+                if (!reuse_stable || b.coDependent)
+                    slots[size_t(b.slot)] = evalExpr(*b.body, view);
+            }
+            break;
+          case Stmt::Kind::LetRec: {
+            // Coherence dependence taints whole groups, so one flag
+            // decides (see the static checker).
+            if (reuse_stable && !stmt.bindings.front().coDependent)
+                break;
+            // Least fixpoint from the empty relation.  Monotone
+            // bodies (statically enforced) grow by at least one pair
+            // per round, so |E|^2 * group size + 1 rounds suffice.
+            for (const Binding &b : stmt.bindings)
+                slots[size_t(b.slot)] = relValue(Rel(view.n));
+            const size_t cap =
+                view.n * view.n * stmt.bindings.size() + 2;
+            bool changed = true;
+            for (size_t round = 0; changed && round < cap; ++round) {
+                changed = false;
+                for (const Binding &b : stmt.bindings) {
+                    Value next = evalExpr(*b.body, view);
+                    if (!(asRel(next)
+                          == asRel(slots[size_t(b.slot)]))) {
+                        slots[size_t(b.slot)] = std::move(next);
+                        changed = true;
+                    }
+                }
+            }
+            GAM_ASSERT(!changed,
+                       "cat eval: let rec did not converge (the "
+                       "static monotonicity check should prevent "
+                       "this)");
+            break;
+          }
+          default:
+            break;
+        }
+    }
+
+    // Phase 2: test the axioms in order; the first failure rejects.
+    for (const Stmt &stmt : model.statements) {
+        switch (stmt.kind) {
+          case Stmt::Kind::Let:
+          case Stmt::Kind::LetRec:
+            break;
+          case Stmt::Kind::Acyclic:
+            if (!asRel(evalExpr(*stmt.check, view)).acyclic()) {
+                _failedAxiom = stmt.axiomName;
+                return false;
+            }
+            break;
+          case Stmt::Kind::Irreflexive:
+            if (!asRel(evalExpr(*stmt.check, view)).irreflexive()) {
+                _failedAxiom = stmt.axiomName;
+                return false;
+            }
+            break;
+          case Stmt::Kind::Empty: {
+            const Value value = evalExpr(*stmt.check, view);
+            const bool empty = value.type == Type::Set
+                ? value.set.empty() : value.rel.empty();
+            if (!empty) {
+                _failedAxiom = stmt.axiomName;
+                return false;
+            }
+            break;
+          }
+        }
+    }
+    return true;
+}
+
+Value
+Evaluator::valueOf(const std::string &name) const
+{
+    GAM_ASSERT(lastView != nullptr,
+               "cat eval: valueOf before any check()");
+    // Let-bound names shadow builtins, latest binding wins.
+    int slot = -1;
+    for (const Stmt &stmt : model.statements) {
+        for (const Binding &b : stmt.bindings) {
+            if (b.name == name)
+                slot = b.slot;
+        }
+    }
+    if (slot >= 0)
+        return slots[size_t(slot)];
+
+    // Builtins: parse a one-line probe so name resolution is shared.
+    auto parsed = parseCat("let probe-value = " + name);
+    GAM_ASSERT(parsed.ok(), "valueOf: '%s' is not a builtin",
+               name.c_str());
+    return evalExpr(*parsed.model->statements.front().bindings.front()
+                         .body,
+                    *lastView);
+}
+
+} // namespace gam::cat

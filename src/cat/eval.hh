@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Evaluating a parsed cat model over one candidate execution.
+ *
+ * The evaluator walks the model's statements in order: `let` bindings
+ * evaluate into pre-assigned slots, `let rec` groups iterate from the
+ * empty relation to their least fixpoint (the static checker only
+ * admits monotone recursion, so at most |E|^2 + 1 rounds converge),
+ * and each axiom tests its relation.  The first failing axiom rejects
+ * the candidate.
+ *
+ * Models that pass parseCat()'s static checks cannot fail here; the
+ * evaluator asserts rather than diagnoses.
+ */
+
+#ifndef GAM_CAT_EVAL_HH
+#define GAM_CAT_EVAL_HH
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cat/exec.hh"
+#include "cat/parser.hh"
+#include "cat/rel.hh"
+
+namespace gam::cat
+{
+
+/** A DSL value: a set or a relation over the execution's events. */
+struct Value
+{
+    Type type = Type::Rel;
+    EventSet set;
+    Rel rel;
+};
+
+/** Evaluates one model over candidate executions. */
+class Evaluator
+{
+  public:
+    /** @p model must outlive the evaluator. */
+    explicit Evaluator(const CatModel &model);
+
+    /**
+     * Do all axioms of the model hold for @p view?  On failure
+     * failedAxiom() names the first violated axiom.
+     *
+     * @p rfEpoch enables incremental evaluation over a candidate
+     * stream: definitions that do not (transitively) mention co or fr
+     * are constant across the coherence permutations of one read-from
+     * candidate (CandidateExecution::rfEpoch), so they are re-derived
+     * only when the epoch changes.  The overload without an epoch
+     * always evaluates everything.
+     */
+    bool check(const ExecView &view, uint64_t rfEpoch);
+    bool check(const ExecView &view);
+
+    /** The axiom the last check() run violated ("" when it passed). */
+    const std::string &failedAxiom() const { return _failedAxiom; }
+
+    /**
+     * The value a definition or builtin evaluated to in the last
+     * check() run (introspection for tests and diagnostics; the run
+     * must have evaluated it, i.e. not failed on an earlier axiom).
+     */
+    Value valueOf(const std::string &name) const;
+
+  private:
+    bool checkImpl(const ExecView &view, bool reuse_stable);
+    Value evalExpr(const Expr &e, const ExecView &view) const;
+    /** evalExpr() with a polymorphic-0 subtree coerced to a set. */
+    Value evalSet(const Expr &e, const ExecView &view) const;
+
+    const CatModel &model;
+    std::vector<Value> slots;
+    const ExecView *lastView = nullptr;
+    std::optional<uint64_t> lastEpoch;
+    std::string _failedAxiom;
+};
+
+} // namespace gam::cat
+
+#endif // GAM_CAT_EVAL_HH

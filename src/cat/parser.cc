@@ -1,0 +1,779 @@
+#include "cat/parser.hh"
+
+#include <algorithm>
+#include <cctype>
+#include <map>
+
+#include "base/hashing.hh"
+#include "base/logging.hh"
+
+namespace gam::cat
+{
+
+std::string
+CatError::toString() const
+{
+    return formatString("line %d:%d: %s", line, col, message.c_str());
+}
+
+std::string
+typeName(Type t)
+{
+    switch (t) {
+      case Type::Set: return "set";
+      case Type::Rel: return "relation";
+      case Type::Any: return "any";
+    }
+    return "?";
+}
+
+namespace
+{
+
+/** Internal unwind carrying a diagnostic out of the recursive descent. */
+struct ParseAbort
+{
+    CatError error;
+};
+
+[[noreturn]] void
+fail(int line, int col, std::string message)
+{
+    throw ParseAbort{CatError{std::move(message), line, col}};
+}
+
+// ------------------------------------------------------------- lexer
+
+enum class Tok {
+    Ident, String, Zero,
+    KwLet, KwRec, KwAnd, KwAs, KwAcyclic, KwIrreflexive, KwEmpty,
+    Pipe, Semi, Amp, Diff, Star, Plus, Tilde, Inverse,
+    LParen, RParen, LBracket, RBracket, Equals,
+    End,
+};
+
+struct Token
+{
+    Tok kind;
+    std::string text;
+    int line;
+    int col;
+};
+
+const std::map<std::string, Tok> keywords = {
+    {"let", Tok::KwLet},           {"rec", Tok::KwRec},
+    {"and", Tok::KwAnd},           {"as", Tok::KwAs},
+    {"acyclic", Tok::KwAcyclic},   {"irreflexive", Tok::KwIrreflexive},
+    {"empty", Tok::KwEmpty},
+};
+
+std::vector<Token>
+lex(const std::string &src)
+{
+    std::vector<Token> out;
+    size_t i = 0;
+    int line = 1, col = 1;
+
+    auto advance = [&](size_t k) {
+        for (size_t j = 0; j < k && i < src.size(); ++j, ++i) {
+            if (src[i] == '\n') {
+                ++line;
+                col = 1;
+            } else {
+                ++col;
+            }
+        }
+    };
+    auto peek = [&](size_t k = 0) -> char {
+        return i + k < src.size() ? src[i + k] : '\0';
+    };
+
+    while (i < src.size()) {
+        const char c = peek();
+        if (c == ' ' || c == '\t' || c == '\r' || c == '\n') {
+            advance(1);
+            continue;
+        }
+        if (c == '/' && peek(1) == '/') {
+            while (i < src.size() && peek() != '\n')
+                advance(1);
+            continue;
+        }
+        if (c == '(' && peek(1) == '*') {
+            const int open_line = line, open_col = col;
+            advance(2);
+            int depth = 1;
+            while (i < src.size() && depth > 0) {
+                if (peek() == '(' && peek(1) == '*') {
+                    ++depth;
+                    advance(2);
+                } else if (peek() == '*' && peek(1) == ')') {
+                    --depth;
+                    advance(2);
+                } else {
+                    advance(1);
+                }
+            }
+            if (depth > 0)
+                fail(open_line, open_col, "unterminated comment '(*'");
+            continue;
+        }
+
+        const int tl = line, tc = col;
+        auto push = [&](Tok kind, std::string text, size_t width) {
+            advance(width);
+            out.push_back({kind, std::move(text), tl, tc});
+        };
+
+        if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+            size_t len = 1;
+            while (true) {
+                const char d = peek(len);
+                if (std::isalnum(static_cast<unsigned char>(d))
+                    || d == '_' || d == '-' || d == '.') {
+                    ++len;
+                } else {
+                    break;
+                }
+            }
+            std::string word = src.substr(i, len);
+            auto kw = keywords.find(word);
+            push(kw != keywords.end() ? kw->second : Tok::Ident,
+                 std::move(word), len);
+            continue;
+        }
+        if (c == '"') {
+            size_t len = 1;
+            while (peek(len) != '"' && peek(len) != '\n'
+                   && i + len < src.size()) {
+                ++len;
+            }
+            if (peek(len) != '"')
+                fail(tl, tc, "unterminated string literal");
+            push(Tok::String, src.substr(i + 1, len - 1), len + 1);
+            continue;
+        }
+        if (c == '0'
+            && !std::isalnum(static_cast<unsigned char>(peek(1)))) {
+            push(Tok::Zero, "0", 1);
+            continue;
+        }
+        if (c == '^') {
+            if (peek(1) == '-' && peek(2) == '1') {
+                push(Tok::Inverse, "^-1", 3);
+                continue;
+            }
+            fail(tl, tc, "expected '^-1' after '^'");
+        }
+        switch (c) {
+          case '|': push(Tok::Pipe, "|", 1); continue;
+          case ';': push(Tok::Semi, ";", 1); continue;
+          case '&': push(Tok::Amp, "&", 1); continue;
+          case '\\': push(Tok::Diff, "\\", 1); continue;
+          case '*': push(Tok::Star, "*", 1); continue;
+          case '+': push(Tok::Plus, "+", 1); continue;
+          case '~': push(Tok::Tilde, "~", 1); continue;
+          case '(': push(Tok::LParen, "(", 1); continue;
+          case ')': push(Tok::RParen, ")", 1); continue;
+          case '[': push(Tok::LBracket, "[", 1); continue;
+          case ']': push(Tok::RBracket, "]", 1); continue;
+          case '=': push(Tok::Equals, "=", 1); continue;
+          default:
+            fail(tl, tc,
+                 formatString("unexpected character '%c'", c));
+        }
+    }
+    out.push_back({Tok::End, "", line, col});
+    return out;
+}
+
+// ------------------------------------------------------------ parser
+
+class Parser
+{
+  public:
+    explicit Parser(std::vector<Token> tokens)
+        : tokens(std::move(tokens))
+    {}
+
+    CatModel
+    parseModel(const std::string &default_name)
+    {
+        CatModel model;
+        model.name = default_name;
+        // Optional header line: a bare identifier or string that is
+        // not the start of a statement names the model.
+        if (at(Tok::Ident) || at(Tok::String))
+            model.name = next().text;
+        while (!at(Tok::End))
+            model.statements.push_back(parseStmt(model));
+        return model;
+    }
+
+  private:
+    const Token &peek(size_t k = 0) const
+    {
+        const size_t i = pos + k;
+        return i < tokens.size() ? tokens[i] : tokens.back();
+    }
+    bool at(Tok kind) const { return peek().kind == kind; }
+    const Token &next() { return tokens[pos++]; }
+
+    const Token &
+    expect(Tok kind, const char *what)
+    {
+        if (!at(kind)) {
+            fail(peek().line, peek().col,
+                 formatString("expected %s, found '%s'", what,
+                              at(Tok::End) ? "end of file"
+                                           : peek().text.c_str()));
+        }
+        return next();
+    }
+
+    Stmt
+    parseStmt(CatModel &model)
+    {
+        const Token &t = peek();
+        switch (t.kind) {
+          case Tok::KwLet:
+            return parseLet(model);
+          case Tok::KwAcyclic:
+          case Tok::KwIrreflexive:
+          case Tok::KwEmpty:
+            return parseAxiom(model);
+          default:
+            fail(t.line, t.col,
+                 formatString("expected 'let', 'acyclic', "
+                              "'irreflexive' or 'empty', found '%s'",
+                              at(Tok::End) ? "end of file"
+                                           : t.text.c_str()));
+        }
+    }
+
+    Stmt
+    parseLet(CatModel &model)
+    {
+        Stmt stmt;
+        stmt.line = peek().line;
+        next(); // let
+        stmt.kind = Stmt::Kind::Let;
+        if (at(Tok::KwRec)) {
+            next();
+            stmt.kind = Stmt::Kind::LetRec;
+        }
+        while (true) {
+            Binding b;
+            const Token &name = expect(Tok::Ident, "a definition name");
+            b.name = name.text;
+            b.line = name.line;
+            b.col = name.col;
+            expect(Tok::Equals, "'='");
+            b.body = parseExpr();
+            model.definitionNames.push_back(b.name);
+            stmt.bindings.push_back(std::move(b));
+            if (!at(Tok::KwAnd))
+                break;
+            next();
+        }
+        return stmt;
+    }
+
+    Stmt
+    parseAxiom(CatModel &model)
+    {
+        Stmt stmt;
+        const Token &t = next();
+        stmt.line = t.line;
+        switch (t.kind) {
+          case Tok::KwAcyclic: stmt.kind = Stmt::Kind::Acyclic; break;
+          case Tok::KwIrreflexive:
+            stmt.kind = Stmt::Kind::Irreflexive;
+            break;
+          default: stmt.kind = Stmt::Kind::Empty; break;
+        }
+        stmt.check = parseExpr();
+        if (at(Tok::KwAs)) {
+            next();
+            stmt.axiomName = expect(Tok::Ident, "an axiom name").text;
+        } else {
+            stmt.axiomName = formatString(
+                "%s #%zu", t.text.c_str(), model.axiomNames.size() + 1);
+        }
+        model.axiomNames.push_back(stmt.axiomName);
+        return stmt;
+    }
+
+    // Expression grammar, loosest binding first:
+    //   union ('|') < sequence (';') < difference ('\') <
+    //   intersection ('&') < product ('*') < prefix '~' <
+    //   postfix '+' '*' '^-1' < atoms.
+    std::unique_ptr<Expr> parseExpr() { return parseUnion(); }
+
+    std::unique_ptr<Expr>
+    makeBinary(Expr::Kind kind, std::unique_ptr<Expr> a,
+               std::unique_ptr<Expr> b, const Token &op)
+    {
+        auto e = std::make_unique<Expr>();
+        e->kind = kind;
+        e->line = op.line;
+        e->col = op.col;
+        e->a = std::move(a);
+        e->b = std::move(b);
+        return e;
+    }
+
+    std::unique_ptr<Expr>
+    parseUnion()
+    {
+        auto e = parseSeq();
+        while (at(Tok::Pipe)) {
+            const Token op = next();
+            e = makeBinary(Expr::Kind::Union, std::move(e), parseSeq(),
+                           op);
+        }
+        return e;
+    }
+
+    std::unique_ptr<Expr>
+    parseSeq()
+    {
+        auto e = parseDiff();
+        while (at(Tok::Semi)) {
+            const Token op = next();
+            e = makeBinary(Expr::Kind::Seq, std::move(e), parseDiff(),
+                           op);
+        }
+        return e;
+    }
+
+    std::unique_ptr<Expr>
+    parseDiff()
+    {
+        auto e = parseInter();
+        while (at(Tok::Diff)) {
+            const Token op = next();
+            e = makeBinary(Expr::Kind::Diff, std::move(e), parseInter(),
+                           op);
+        }
+        return e;
+    }
+
+    std::unique_ptr<Expr>
+    parseInter()
+    {
+        auto e = parseProduct();
+        while (at(Tok::Amp)) {
+            const Token op = next();
+            e = makeBinary(Expr::Kind::Inter, std::move(e),
+                           parseProduct(), op);
+        }
+        return e;
+    }
+
+    /** Can @p kind start an expression atom? (disambiguates '*') */
+    static bool
+    startsAtom(Tok kind)
+    {
+        return kind == Tok::Ident || kind == Tok::Zero
+            || kind == Tok::LParen || kind == Tok::LBracket
+            || kind == Tok::Tilde;
+    }
+
+    std::unique_ptr<Expr>
+    parseProduct()
+    {
+        auto e = parseUnary();
+        while (at(Tok::Star) && startsAtom(peek(1).kind)) {
+            const Token op = next();
+            e = makeBinary(Expr::Kind::Product, std::move(e),
+                           parseUnary(), op);
+        }
+        return e;
+    }
+
+    std::unique_ptr<Expr>
+    parseUnary()
+    {
+        if (at(Tok::Tilde)) {
+            const Token op = next();
+            auto e = std::make_unique<Expr>();
+            e->kind = Expr::Kind::Compl;
+            e->line = op.line;
+            e->col = op.col;
+            e->a = parseUnary();
+            return e;
+        }
+        return parsePostfix();
+    }
+
+    std::unique_ptr<Expr>
+    parsePostfix()
+    {
+        auto e = parseAtom();
+        while (true) {
+            if (at(Tok::Plus) || at(Tok::Inverse)
+                || (at(Tok::Star) && !startsAtom(peek(1).kind))) {
+                const Token op = next();
+                auto p = std::make_unique<Expr>();
+                p->kind = op.kind == Tok::Plus ? Expr::Kind::Plus
+                    : op.kind == Tok::Star    ? Expr::Kind::Star
+                                              : Expr::Kind::Inverse;
+                p->line = op.line;
+                p->col = op.col;
+                p->a = std::move(e);
+                e = std::move(p);
+                continue;
+            }
+            break;
+        }
+        return e;
+    }
+
+    std::unique_ptr<Expr>
+    parseAtom()
+    {
+        const Token &t = peek();
+        if (t.kind == Tok::Ident) {
+            next();
+            auto e = std::make_unique<Expr>();
+            e->kind = Expr::Kind::Name;
+            e->line = t.line;
+            e->col = t.col;
+            e->name = t.text;
+            return e;
+        }
+        if (t.kind == Tok::Zero) {
+            next();
+            auto e = std::make_unique<Expr>();
+            e->kind = Expr::Kind::EmptyRel;
+            e->line = t.line;
+            e->col = t.col;
+            return e;
+        }
+        if (t.kind == Tok::LParen) {
+            next();
+            auto e = parseExpr();
+            if (!at(Tok::RParen))
+                fail(t.line, t.col, "unbalanced '('");
+            next();
+            return e;
+        }
+        if (t.kind == Tok::LBracket) {
+            next();
+            auto inner = parseExpr();
+            if (!at(Tok::RBracket))
+                fail(t.line, t.col, "unbalanced '['");
+            next();
+            auto e = std::make_unique<Expr>();
+            e->kind = Expr::Kind::Diag;
+            e->line = t.line;
+            e->col = t.col;
+            e->a = std::move(inner);
+            return e;
+        }
+        fail(t.line, t.col,
+             formatString("expected an expression, found '%s'",
+                          t.kind == Tok::End ? "end of file"
+                                             : t.text.c_str()));
+    }
+
+    std::vector<Token> tokens;
+    size_t pos = 0;
+};
+
+// -------------------------------------------- static checks (resolve)
+
+struct BuiltinInfo
+{
+    Builtin builtin;
+    Type type;
+};
+
+const std::map<std::string, BuiltinInfo> &
+builtins()
+{
+    static const std::map<std::string, BuiltinInfo> table = {
+        {"R", {Builtin::R, Type::Set}},
+        {"W", {Builtin::W, Type::Set}},
+        {"M", {Builtin::M, Type::Set}},
+        {"F", {Builtin::F, Type::Set}},
+        {"RMW", {Builtin::RMW, Type::Set}},
+        {"FLL", {Builtin::FLL, Type::Set}},
+        {"FLS", {Builtin::FLS, Type::Set}},
+        {"FSL", {Builtin::FSL, Type::Set}},
+        {"FSS", {Builtin::FSS, Type::Set}},
+        {"po", {Builtin::Po, Type::Rel}},
+        {"rf", {Builtin::Rf, Type::Rel}},
+        {"co", {Builtin::Co, Type::Rel}},
+        {"fr", {Builtin::Fr, Type::Rel}},
+        {"loc", {Builtin::Loc, Type::Rel}},
+        {"ext", {Builtin::Ext, Type::Rel}},
+        {"int", {Builtin::Int, Type::Rel}},
+        {"addr", {Builtin::Addr, Type::Rel}},
+        {"data", {Builtin::Data, Type::Rel}},
+        {"ctrl", {Builtin::Ctrl, Type::Rel}},
+        {"id", {Builtin::Id, Type::Rel}},
+    };
+    return table;
+}
+
+/** Resolves names to slots/builtins and infers sorts. */
+class Checker
+{
+  public:
+    void
+    run(CatModel &model)
+    {
+        for (Stmt &stmt : model.statements) {
+            switch (stmt.kind) {
+              case Stmt::Kind::Let:
+                for (Binding &b : stmt.bindings) {
+                    const Type t = checkExpr(*b.body);
+                    b.slot = model.slotCount++;
+                    b.coDependent = dependsOnCoherence(*b.body);
+                    slotCoDep.push_back(b.coDependent);
+                    scope[b.name] = {b.slot, t};
+                }
+                break;
+              case Stmt::Kind::LetRec: {
+                // Pre-bind the whole group as relations, then check
+                // each body against that environment.
+                for (Binding &b : stmt.bindings) {
+                    b.slot = model.slotCount++;
+                    slotCoDep.push_back(false);
+                    scope[b.name] = {b.slot, Type::Rel};
+                }
+                for (Binding &b : stmt.bindings) {
+                    const Type t = checkExpr(*b.body);
+                    if (t == Type::Set) {
+                        fail(b.line, b.col,
+                             formatString("recursive definition '%s' "
+                                          "must be a relation, not a "
+                                          "set", b.name.c_str()));
+                    }
+                    checkMonotone(*b.body, stmt.bindings);
+                }
+                // Coherence dependence is a property of the whole
+                // group: any co/fr mention taints every member.
+                bool depends = false;
+                for (Binding &b : stmt.bindings)
+                    depends = depends || dependsOnCoherence(*b.body);
+                for (Binding &b : stmt.bindings) {
+                    b.coDependent = depends;
+                    slotCoDep[size_t(b.slot)] = depends;
+                }
+                break;
+              }
+              case Stmt::Kind::Acyclic:
+              case Stmt::Kind::Irreflexive: {
+                const Type t = checkExpr(*stmt.check);
+                if (t == Type::Set) {
+                    fail(stmt.check->line, stmt.check->col,
+                         "this axiom needs a relation, not a set");
+                }
+                break;
+              }
+              case Stmt::Kind::Empty:
+                checkExpr(*stmt.check);
+                break;
+            }
+        }
+    }
+
+  private:
+    struct Local
+    {
+        int slot;
+        Type type;
+    };
+
+    /** Does @p e (transitively) mention the co or fr primitive? */
+    bool
+    dependsOnCoherence(const Expr &e) const
+    {
+        if (e.kind == Expr::Kind::Name) {
+            if (e.builtin == Builtin::Co || e.builtin == Builtin::Fr)
+                return true;
+            if (e.slot >= 0 && size_t(e.slot) < slotCoDep.size())
+                return slotCoDep[size_t(e.slot)];
+            return false;
+        }
+        return (e.a && dependsOnCoherence(*e.a))
+            || (e.b && dependsOnCoherence(*e.b));
+    }
+
+    Type
+    unify(Type a, Type b, const Expr &at, const char *op)
+    {
+        if (a == Type::Any)
+            return b;
+        if (b == Type::Any)
+            return a;
+        if (a != b) {
+            fail(at.line, at.col,
+                 formatString("type mismatch: '%s' applied to a %s "
+                              "and a %s", op, typeName(a).c_str(),
+                              typeName(b).c_str()));
+        }
+        return a;
+    }
+
+    Type
+    requireRel(Type t, const Expr &at, const char *op)
+    {
+        if (t == Type::Set) {
+            fail(at.line, at.col,
+                 formatString("type mismatch: '%s' needs a relation, "
+                              "got a set", op));
+        }
+        return Type::Rel;
+    }
+
+    Type
+    requireSet(Type t, const Expr &at, const char *op)
+    {
+        if (t == Type::Rel) {
+            fail(at.line, at.col,
+                 formatString("type mismatch: '%s' needs a set, got a "
+                              "relation", op));
+        }
+        return Type::Set;
+    }
+
+    Type
+    checkExpr(Expr &e)
+    {
+        switch (e.kind) {
+          case Expr::Kind::Name: {
+            if (auto it = scope.find(e.name); it != scope.end()) {
+                e.slot = it->second.slot;
+                e.type = it->second.type;
+                return e.type;
+            }
+            if (auto it = builtins().find(e.name);
+                it != builtins().end()) {
+                e.builtin = it->second.builtin;
+                e.type = it->second.type;
+                return e.type;
+            }
+            fail(e.line, e.col,
+                 formatString("unbound name '%s' (not a primitive, "
+                              "base set, or prior definition)",
+                              e.name.c_str()));
+          }
+          case Expr::Kind::EmptyRel:
+            return e.type = Type::Any;
+          case Expr::Kind::Union:
+            return e.type = unify(checkExpr(*e.a), checkExpr(*e.b), e,
+                                  "|");
+          case Expr::Kind::Inter:
+            return e.type = unify(checkExpr(*e.a), checkExpr(*e.b), e,
+                                  "&");
+          case Expr::Kind::Diff:
+            return e.type = unify(checkExpr(*e.a), checkExpr(*e.b), e,
+                                  "\\");
+          case Expr::Kind::Seq:
+            requireRel(checkExpr(*e.a), *e.a, ";");
+            requireRel(checkExpr(*e.b), *e.b, ";");
+            return e.type = Type::Rel;
+          case Expr::Kind::Product:
+            requireSet(checkExpr(*e.a), *e.a, "*");
+            requireSet(checkExpr(*e.b), *e.b, "*");
+            return e.type = Type::Rel;
+          case Expr::Kind::Compl: {
+            const Type t = checkExpr(*e.a);
+            return e.type = (t == Type::Any ? Type::Rel : t);
+          }
+          case Expr::Kind::Plus:
+          case Expr::Kind::Star:
+          case Expr::Kind::Inverse:
+            requireRel(checkExpr(*e.a), *e.a,
+                       e.kind == Expr::Kind::Plus   ? "+"
+                       : e.kind == Expr::Kind::Star ? "*"
+                                                    : "^-1");
+            return e.type = Type::Rel;
+          case Expr::Kind::Diag:
+            requireSet(checkExpr(*e.a), *e.a, "[...]");
+            return e.type = Type::Rel;
+        }
+        panic("unreachable expression kind");
+    }
+
+    /**
+     * Reject non-monotone recursion: a name of the current `let rec`
+     * group under '~' or on the right of '\' could make the fixpoint
+     * oscillate forever; monotone bodies converge within |E|^2 steps.
+     */
+    void
+    checkMonotone(const Expr &e, const std::vector<Binding> &group)
+    {
+        const bool is_rec_name = e.kind == Expr::Kind::Name
+            && std::any_of(group.begin(), group.end(),
+                           [&](const Binding &b) {
+                               return b.slot == e.slot && e.slot >= 0;
+                           });
+        if (is_rec_name)
+            return; // a bare positive occurrence is fine
+        if (e.kind == Expr::Kind::Compl) {
+            requireNoRecName(*e.a, group, "under '~'");
+            return;
+        }
+        if (e.kind == Expr::Kind::Diff) {
+            checkMonotone(*e.a, group);
+            requireNoRecName(*e.b, group, "on the right of '\\'");
+            return;
+        }
+        if (e.a)
+            checkMonotone(*e.a, group);
+        if (e.b)
+            checkMonotone(*e.b, group);
+    }
+
+    void
+    requireNoRecName(const Expr &e, const std::vector<Binding> &group,
+                     const char *where)
+    {
+        if (e.kind == Expr::Kind::Name) {
+            for (const Binding &b : group) {
+                if (b.slot >= 0 && b.slot == e.slot) {
+                    fail(e.line, e.col,
+                         formatString("recursive name '%s' used "
+                                      "non-monotonically (%s): the "
+                                      "fixpoint may not terminate",
+                                      e.name.c_str(), where));
+                }
+            }
+            return;
+        }
+        if (e.a)
+            requireNoRecName(*e.a, group, where);
+        if (e.b)
+            requireNoRecName(*e.b, group, where);
+    }
+
+    std::map<std::string, Local> scope;
+    /** Coherence-dependence per binding slot (parallel to slot ids). */
+    std::vector<bool> slotCoDep;
+};
+
+} // anonymous namespace
+
+CatParseResult
+parseCat(const std::string &source, const std::string &defaultName)
+{
+    CatParseResult result;
+    try {
+        Parser parser(lex(source));
+        CatModel model = parser.parseModel(defaultName);
+        Checker().run(model);
+        model.source = source;
+        model.sourceHash = hashString(source);
+        result.model = std::move(model);
+    } catch (ParseAbort &abort) {
+        result.error = std::move(abort.error);
+    }
+    return result;
+}
+
+} // namespace gam::cat

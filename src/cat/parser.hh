@@ -1,0 +1,174 @@
+/**
+ * @file
+ * The cat-style memory-model DSL: syntax, parser and static checks.
+ *
+ * A memory model is a data file in a small relation-algebra language
+ * (after Alglave et al.'s "Herding Cats" cat language): named relations
+ * are derived from a fixed set of primitives over one candidate
+ * execution, and the model is the conjunction of acyclicity /
+ * irreflexivity / emptiness axioms over them.
+ *
+ *   model      := [name] statement*
+ *   name       := identifier | "string"          (first line only)
+ *   statement  := "let" ["rec"] bind ("and" bind)*
+ *               | ("acyclic" | "irreflexive" | "empty") expr ["as" id]
+ *   bind       := identifier "=" expr
+ *   expr       := expr "|" expr                  (union, loosest)
+ *               | expr ";" expr                  (composition)
+ *               | expr "\" expr                  (difference)
+ *               | expr "&" expr                  (intersection)
+ *               | set "*" set                    (cartesian product)
+ *               | "~" expr                       (complement)
+ *               | expr "+"                       (transitive closure)
+ *               | expr "*"                       (refl-trans closure)
+ *               | expr "^-1"                     (inverse)
+ *               | "[" set "]"                    (identity over a set)
+ *               | "(" expr ")" | identifier | "0"
+ *
+ * Base sets: R W M F RMW FLL FLS FSL FSS.  Primitive relations: po rf
+ * co fr loc ext int addr data ctrl id.  Comments are `(* ... *)`
+ * (nesting) and `//` to end of line.  A trailing `*` is the closure
+ * when nothing that can start an expression follows, and the cartesian
+ * product otherwise.
+ *
+ * parseCat() never aborts the process: every syntax error, unbound
+ * name, type mismatch, or non-monotone `let rec` (a recursive name
+ * under `~` or on the right of `\`, whose fixpoint need not exist)
+ * comes back as a CatError with 1-based line/column, ready for CLI
+ * display.  A model that parses is fully statically checked: every
+ * name resolves, every operator is applied to operands of the right
+ * sort (set vs relation), every recursion is monotone -- so evaluation
+ * over a candidate execution cannot fail.
+ */
+
+#ifndef GAM_CAT_PARSER_HH
+#define GAM_CAT_PARSER_HH
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace gam::cat
+{
+
+/** Sort of a DSL value: a set of events or a binary relation. */
+enum class Type { Set, Rel, Any };
+
+/** The builtin sets and relations the evaluator provides. */
+enum class Builtin {
+    // Sets.
+    R, W, M, F, RMW, FLL, FLS, FSL, FSS,
+    // Relations.
+    Po, Rf, Co, Fr, Loc, Ext, Int, Addr, Data, Ctrl, Id,
+    NUM,
+};
+
+/** Expression AST node. */
+struct Expr
+{
+    enum class Kind {
+        Name,       ///< builtin or let-bound name
+        EmptyRel,   ///< 0
+        Union, Seq, Inter, Diff, Product,
+        Compl,      ///< ~e
+        Plus,       ///< e+
+        Star,       ///< e*
+        Inverse,    ///< e^-1
+        Diag,       ///< [e]
+    };
+
+    Kind kind;
+    int line = 0, col = 0;
+    std::unique_ptr<Expr> a, b;
+
+    // Kind::Name only; resolved by the static checker.
+    std::string name;
+    std::optional<Builtin> builtin;
+    int slot = -1;              ///< let-binding slot when not builtin
+
+    Type type = Type::Any;      ///< inferred sort
+};
+
+/** One `let` binding. */
+struct Binding
+{
+    std::string name;
+    int line = 0, col = 0;
+    std::unique_ptr<Expr> body;
+    int slot = -1;              ///< evaluator slot, assigned in order
+    /**
+     * Does the body (transitively) mention co or fr?  Only those
+     * relations change between the coherence permutations of one
+     * read-from candidate, so the evaluator re-derives co-independent
+     * definitions once per rf epoch instead of once per candidate.
+     */
+    bool coDependent = true;
+};
+
+/** Top-level statement. */
+struct Stmt
+{
+    enum class Kind { Let, LetRec, Acyclic, Irreflexive, Empty };
+
+    Kind kind;
+    int line = 0;
+    std::vector<Binding> bindings;  ///< Let / LetRec
+    std::unique_ptr<Expr> check;    ///< axioms
+    std::string axiomName;          ///< `as NAME`, or a default
+};
+
+/** A parsed, statically checked memory model. */
+struct CatModel
+{
+    /** Model name: the header line, else the caller-supplied default. */
+    std::string name;
+    /** The verbatim source text. */
+    std::string source;
+    /** 64-bit digest of the source (decision-cache fingerprinting). */
+    uint64_t sourceHash = 0;
+
+    std::vector<Stmt> statements;
+    /** Number of let-binding slots the evaluator must allocate. */
+    int slotCount = 0;
+    /** Axiom names in order of appearance. */
+    std::vector<std::string> axiomNames;
+    /** Let-bound definition names in order of appearance. */
+    std::vector<std::string> definitionNames;
+};
+
+/** A diagnostic with a 1-based source position. */
+struct CatError
+{
+    std::string message;
+    int line = 0;
+    int col = 0;
+
+    /** "line 3:7: unbalanced '('" (display form). */
+    std::string toString() const;
+};
+
+/** Result of parseCat(): a model or a diagnostic, never both. */
+struct CatParseResult
+{
+    std::optional<CatModel> model;
+    CatError error;
+
+    bool ok() const { return model.has_value(); }
+};
+
+/**
+ * Parse and statically check @p source.  @p defaultName names the
+ * model when the file has no header line (conventionally the file
+ * stem).  Recoverable: malformed input yields an error diagnostic.
+ */
+CatParseResult parseCat(const std::string &source,
+                        const std::string &defaultName = "anonymous");
+
+/** Display name of a DSL sort ("set" / "relation"). */
+std::string typeName(Type t);
+
+} // namespace gam::cat
+
+#endif // GAM_CAT_PARSER_HH

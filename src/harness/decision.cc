@@ -7,6 +7,7 @@
 
 #include "base/hashing.hh"
 #include "base/logging.hh"
+#include "cat/engine.hh"
 #include "operational/explorer.hh"
 #include "operational/gam_machine.hh"
 #include "operational/sc_machine.hh"
@@ -137,17 +138,28 @@ queryKey(const Query &query, Engine engine)
     // (fuzzer vs. runner vs. synthesis) share entries, and a query
     // whose own budget would have truncated simply gets the better,
     // exhaustive answer.  Checker knobs cannot affect the explorer,
-    // so operational keys drop those too.
+    // so operational keys drop those too; the cat engine shares the
+    // checker's candidate builder (seed values matter) but not its
+    // axioms (enforceInstOrder does not).
     RunOptions canonical = query.options;
     canonical.stateBudget = 0;
     if (engine == Engine::Operational)
         canonical.axiomatic = {};
+    if (engine == Engine::Cat)
+        canonical.axiomatic.enforceInstOrder = true;
 
     StateHasher h;
     h.add(litmus::fingerprint(*query.test));
     h.add(uint64_t(query.model));
     h.add(uint64_t(engine));
     h.add(canonical.fingerprint());
+    if (engine == Engine::Cat) {
+        // The model is data: fold its content hash into the key so a
+        // cached decision can never outlive an edit to the file.
+        const cat::CatModel &m = query.catModel
+            ? *query.catModel : cat::builtinCatModel(query.model);
+        h.add(m.sourceHash);
+    }
     return h.digest();
 }
 
@@ -159,6 +171,8 @@ resolveEngine(const Query &query)
         return Engine::Axiomatic;
       case EngineSelect::Operational:
         return Engine::Operational;
+      case EngineSelect::Cat:
+        return Engine::Cat;
       case EngineSelect::Auto:
         break;
     }
@@ -198,6 +212,23 @@ runAxiomatic(const Query &query, Decision &d)
 }
 
 void
+runCat(const Query &query, Decision &d)
+{
+    const cat::CatModel &m = query.catModel
+        ? *query.catModel : cat::builtinCatModel(query.model);
+    // Seed OOTA candidates exactly as runAxiomatic() does: the two
+    // engines share the candidate builder, so this keeps them
+    // verdict-comparable query-for-query.
+    const axiomatic::Options opts = axiomatic::withConditionSeeds(
+        *query.test, query.options.axiomatic);
+    cat::CatEngine engine(*query.test, m, opts);
+    d.outcomes = engine.enumerate();
+    d.allowed = anyConditionMatch(*query.test, d.outcomes);
+    d.statesVisited = engine.stats().coCandidates;
+    d.complete = true;
+}
+
+void
 runOperational(const Query &query, Decision &d)
 {
     operational::ExploreResult r;
@@ -233,7 +264,10 @@ decide(const Query &query, DecisionCache *cache)
 {
     GAM_ASSERT(query.test != nullptr, "decide: null test");
     const Engine engine = resolveEngine(query);
-    GAM_ASSERT(model::supportsEngine(query.model, engine),
+    // A custom cat model brings its own axioms: the (model, engine)
+    // capability gate only applies when the builtin file is implied.
+    GAM_ASSERT((engine == Engine::Cat && query.catModel != nullptr)
+                   || model::supportsEngine(query.model, engine),
                "decide: the %s engine cannot decide %s",
                model::engineName(engine).c_str(),
                model::modelName(query.model).c_str());
@@ -256,10 +290,17 @@ decide(const Query &query, DecisionCache *cache)
 
     Decision d;
     d.engine = engine;
-    if (engine == Engine::Axiomatic)
+    switch (engine) {
+      case Engine::Axiomatic:
         runAxiomatic(query, d);
-    else
+        break;
+      case Engine::Operational:
         runOperational(query, d);
+        break;
+      case Engine::Cat:
+        runCat(query, d);
+        break;
+    }
     d.wallSeconds = elapsed();
 
     if (cache)

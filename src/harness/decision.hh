@@ -1,7 +1,8 @@
 /**
  * @file
  * The unified model-query API: one decide(Query) -> Decision entry
- * point over both verification engines, plus a memoizing cache.
+ * point over all verification engines (axiomatic, operational, cat),
+ * plus a memoizing cache.
  *
  * The paper's central claim is that the GAM axiomatic definition and
  * its abstract machine are two views of *one* model.  This API makes
@@ -38,6 +39,11 @@
 #include "model/engine.hh"
 #include "model/kind.hh"
 
+namespace gam::cat
+{
+struct CatModel;
+} // namespace gam::cat
+
 namespace gam::harness
 {
 
@@ -46,11 +52,15 @@ enum class EngineSelect {
     /**
      * Let the registry pick: the axiomatic checker when the model has
      * axioms (it is the definition, and almost always cheaper), else
-     * the operational explorer (Alpha*'s only definition).
+     * the operational explorer (Alpha*'s only definition).  Auto
+     * never picks the cat engine: the hand-coded checker decides the
+     * same candidates faster.
      */
     Auto,
     Axiomatic,
     Operational,
+    /** The cat-DSL engine over Query::catModel or the builtin file. */
+    Cat,
 };
 
 /** Knobs shared by every engine invocation. */
@@ -89,6 +99,15 @@ struct Query
     model::ModelKind model = model::ModelKind::GAM;
     EngineSelect engine = EngineSelect::Auto;
     RunOptions options;
+    /**
+     * The model file for the cat engine: nullptr decides the builtin
+     * cat model expressing `model` (.cat files under models/), a non-null pointer
+     * overrides it with a custom parsed model (whose source hash then
+     * keys the decision cache -- two different files never share an
+     * entry, re-deciding after an edit really re-runs).  Ignored by
+     * the other engines.  Not owned; must outlive the query.
+     */
+    const cat::CatModel *catModel = nullptr;
 };
 
 /** The answer to a Query. */

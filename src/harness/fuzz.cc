@@ -21,8 +21,9 @@ namespace
 
 std::string
 diffOutcomes(const litmus::OutcomeSet &op, const litmus::OutcomeSet &ax,
-             bool inclusion_only)
+             bool inclusion_only, model::Engine spec)
 {
+    const std::string spec_name = model::engineName(spec);
     std::string s;
     for (const auto &o : op) {
         if (!ax.count(o))
@@ -31,10 +32,21 @@ diffOutcomes(const litmus::OutcomeSet &op, const litmus::OutcomeSet &ax,
     if (!inclusion_only) {
         for (const auto &o : ax) {
             if (!op.count(o))
-                s += "axiomatic only: " + o.toString() + "\n";
+                s += spec_name + " only: " + o.toString() + "\n";
         }
     }
     return s;
+}
+
+/** The EngineSelect pinning a spec engine (never the explorer). */
+EngineSelect
+specSelect(model::Engine spec)
+{
+    GAM_ASSERT(spec != model::Engine::Operational,
+               "fuzz: the spec engine cannot be the operational "
+               "explorer itself");
+    return spec == model::Engine::Axiomatic ? EngineSelect::Axiomatic
+                                            : EngineSelect::Cat;
 }
 
 /**
@@ -96,7 +108,7 @@ shrinkCandidates(const litmus::LitmusTest &t)
 /** Greedily minimise @p test while the divergence reproduces. */
 litmus::LitmusTest
 shrinkDivergent(litmus::LitmusTest test, ModelKind model,
-                uint64_t max_states)
+                uint64_t max_states, model::Engine spec)
 {
     bool progress = true;
     while (progress) {
@@ -105,7 +117,7 @@ shrinkDivergent(litmus::LitmusTest test, ModelKind model,
             if (candidate.check())
                 continue;
             bool budget = false;
-            if (crossCheck(candidate, model, max_states, &budget)
+            if (crossCheck(candidate, model, max_states, &budget, spec)
                 && !budget) {
                 test = std::move(candidate);
                 progress = true;
@@ -120,11 +132,14 @@ shrinkDivergent(litmus::LitmusTest test, ModelKind model,
 
 std::optional<std::string>
 crossCheck(const litmus::LitmusTest &test, ModelKind model,
-           uint64_t max_states, bool *budget_exceeded)
+           uint64_t max_states, bool *budget_exceeded,
+           model::Engine spec)
 {
-    GAM_ASSERT(model::hasEnginePair(model),
-               "crossCheck: %s has no operational/axiomatic engine pair",
-               model::modelName(model).c_str());
+    GAM_ASSERT(model::supportsEngine(model, model::Engine::Operational)
+                   && model::supportsEngine(model, spec),
+               "crossCheck: %s has no operational/%s engine pair",
+               model::modelName(model).c_str(),
+               model::engineName(spec).c_str());
     if (budget_exceeded)
         *budget_exceeded = false;
 
@@ -140,7 +155,7 @@ crossCheck(const litmus::LitmusTest &test, ModelKind model,
         return std::nullopt;
     }
 
-    query.engine = EngineSelect::Axiomatic;
+    query.engine = specSelect(spec);
     const Decision ax = decide(query);
 
     // A conservative machine (ARM) checks by inclusion, not equality
@@ -157,7 +172,7 @@ crossCheck(const litmus::LitmusTest &test, ModelKind model,
     }
     if (!diverges)
         return std::nullopt;
-    return diffOutcomes(op.outcomes, ax.outcomes, inclusion_only);
+    return diffOutcomes(op.outcomes, ax.outcomes, inclusion_only, spec);
 }
 
 FuzzReport
@@ -165,6 +180,7 @@ fuzzDifferential(const FuzzOptions &options)
 {
     FuzzReport report;
     report.testsRun = options.tests;
+    report.spec = options.spec;
 
     struct Hit
     {
@@ -183,11 +199,13 @@ fuzzDifferential(const FuzzOptions &options)
         if (test.check())
             return; // generator guarantees this; stay safe regardless
         for (ModelKind model : options.models) {
-            if (!model::hasEnginePair(model))
-                continue; // nothing to cross-check
+            if (!model::supportsEngine(model, model::Engine::Operational)
+                || !model::supportsEngine(model, options.spec)) {
+                continue; // nothing to cross-check under this spec
+            }
             bool budget = false;
             auto diff = crossCheck(test, model, options.maxStates,
-                                   &budget);
+                                   &budget, options.spec);
             checks.fetch_add(1, std::memory_order_relaxed);
             if (budget) {
                 skipped.fetch_add(1, std::memory_order_relaxed);
@@ -217,9 +235,10 @@ fuzzDifferential(const FuzzOptions &options)
                                       options.generator);
         if (options.shrink) {
             d.test = shrinkDivergent(std::move(d.test), hit.model,
-                                     options.maxStates);
+                                     options.maxStates, options.spec);
         }
-        d.detail = crossCheck(d.test, hit.model, options.maxStates)
+        d.detail = crossCheck(d.test, hit.model, options.maxStates,
+                              nullptr, options.spec)
                        .value_or("");
         report.divergences.push_back(std::move(d));
     }
@@ -230,8 +249,10 @@ std::string
 FuzzReport::toString() const
 {
     std::ostringstream os;
-    os << formatString("fuzz: %llu tests, %llu checks, %llu skipped "
-                       "(state budget), %zu divergences\n",
+    os << formatString("fuzz (%s vs operational): %llu tests, %llu "
+                       "checks, %llu skipped (state budget), %zu "
+                       "divergences\n",
+                       model::engineName(spec).c_str(),
                        static_cast<unsigned long long>(testsRun),
                        static_cast<unsigned long long>(checksRun),
                        static_cast<unsigned long long>(skippedBudget),

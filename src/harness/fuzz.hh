@@ -27,8 +27,10 @@
 #include <string>
 #include <vector>
 
+#include "harness/decision.hh"
 #include "litmus/generator.hh"
 #include "litmus/test.hh"
+#include "model/engine.hh"
 #include "model/kind.hh"
 
 namespace gam::harness
@@ -58,6 +60,14 @@ struct FuzzOptions
     litmus::GeneratorOptions generator;
     /** Minimise divergent tests before reporting. */
     bool shrink = true;
+    /**
+     * The specification-side engine the operational explorer is
+     * cross-checked against: the axiomatic checker (default) or the
+     * cat engine over the builtin model files.  (model, engine)
+     * pairs the spec engine cannot decide are skipped, so the cat
+     * spec checks SC/TSO/GAM0/GAM and skips ARM.
+     */
+    model::Engine spec = model::Engine::Axiomatic;
 };
 
 /** One operational/axiomatic disagreement, minimised. */
@@ -78,6 +88,8 @@ struct FuzzReport
     uint64_t testsRun = 0;
     uint64_t checksRun = 0;
     uint64_t skippedBudget = 0;
+    /** The spec engine the run compared the explorer against. */
+    model::Engine spec = model::Engine::Axiomatic;
     std::vector<FuzzDivergence> divergences;
 
     bool ok() const { return divergences.empty(); }
@@ -87,22 +99,24 @@ struct FuzzReport
 };
 
 /**
- * Cross-check one test under one model: nullopt when the engines
- * agree, otherwise a rendering of the outcome-set difference.  Sets
- * @p budget_exceeded (when given) instead of comparing if exhaustive
- * exploration did not fit in @p max_states.  @p model must satisfy
- * model::hasEnginePair() (both engines exist); whether the comparison
- * is equality or inclusion comes from
- * model::operationalOutcomesExact().  The test must have passed
- * LitmusTest::check().  Outcome sets are obtained through decide(), so
- * repeated checks of the same test (shrinking, re-rendering a
- * divergence) hit the global DecisionCache -- and a check whose budget
- * is too small may still succeed when a complete decision is already
- * cached (cache keys ignore the budget).
+ * Cross-check the operational explorer against @p spec (the axiomatic
+ * checker or the cat engine) on one test under one model: nullopt when
+ * the engines agree, otherwise a rendering of the outcome-set
+ * difference.  Sets @p budget_exceeded (when given) instead of
+ * comparing if exhaustive exploration did not fit in @p max_states.
+ * Both the operational engine and @p spec must support @p model
+ * (model::supportsEngine); whether the comparison is equality or
+ * inclusion comes from model::operationalOutcomesExact().  The test
+ * must have passed LitmusTest::check().  Outcome sets are obtained
+ * through decide(), so repeated checks of the same test (shrinking,
+ * re-rendering a divergence) hit the global DecisionCache -- and a
+ * check whose budget is too small may still succeed when a complete
+ * decision is already cached (cache keys ignore the budget).
  */
 std::optional<std::string>
 crossCheck(const litmus::LitmusTest &test, model::ModelKind model,
-           uint64_t max_states, bool *budget_exceeded = nullptr);
+           uint64_t max_states, bool *budget_exceeded = nullptr,
+           model::Engine spec = model::Engine::Axiomatic);
 
 /** Run a differential fuzzing campaign. */
 FuzzReport fuzzDifferential(const FuzzOptions &options = {});

@@ -1,5 +1,6 @@
 #include "harness/litmus_runner.hh"
 
+#include "base/logging.hh"
 #include "base/table.hh"
 #include "base/thread_pool.hh"
 
@@ -51,9 +52,7 @@ runJob(const MatrixJob &job, const MatrixOptions &options)
     Query query;
     query.test = job.test;
     query.model = job.model;
-    query.engine = job.engine == Engine::Axiomatic
-        ? EngineSelect::Axiomatic
-        : EngineSelect::Operational;
+    query.engine = engineSelectOf(job.engine);
     query.options = options.run;
     const Decision decision = decide(query, options.cache);
     return {job.test->name, job.model, job.engine, decision.allowed,
@@ -73,6 +72,17 @@ runJobs(const std::vector<MatrixJob> &jobs, const MatrixOptions &options)
 }
 
 } // namespace
+
+EngineSelect
+engineSelectOf(model::Engine engine)
+{
+    switch (engine) {
+      case Engine::Axiomatic: return EngineSelect::Axiomatic;
+      case Engine::Operational: return EngineSelect::Operational;
+      case Engine::Cat: return EngineSelect::Cat;
+    }
+    panic("engineSelectOf: bad engine");
+}
 
 std::vector<LitmusVerdict>
 runLitmusMatrix(const std::vector<litmus::LitmusTest> &tests,

@@ -27,6 +27,13 @@ namespace gam::harness
  */
 using Engine = model::Engine;
 
+/**
+ * The EngineSelect that pins @p engine (never Auto).  The single
+ * Engine -> EngineSelect mapping, shared by the matrix runner and the
+ * CLI's --engine flag.
+ */
+EngineSelect engineSelectOf(model::Engine engine);
+
 /** One (test, model, engine) verdict. */
 struct LitmusVerdict
 {
@@ -60,8 +67,9 @@ struct MatrixOptions
     /**
      * Engine selection per (test, model) job: a specific engine, Auto
      * (registry picks one), or -- the default, nullopt -- every engine
-     * that supports the model, which reproduces the classic two-row
-     * matrix.  Unsupported (model, engine) pairs are skipped.
+     * that supports the model (axiomatic/operational rows plus a cat
+     * row for the models shipped as .cat files).  Unsupported (model,
+     * engine) pairs are skipped.
      */
     std::optional<EngineSelect> engine;
     /** Per-query knobs (state budget, explorer threads, ...). */

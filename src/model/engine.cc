@@ -9,6 +9,7 @@ engineName(Engine engine)
     switch (engine) {
       case Engine::Axiomatic: return "axiomatic";
       case Engine::Operational: return "operational";
+      case Engine::Cat: return "cat";
     }
     return "?";
 }

@@ -2,9 +2,10 @@
  * @file
  * Verification engines and their per-model capabilities.
  *
- * The library decides "is this outcome allowed?" with two engines: the
- * axiomatic checker (axiomatic/checker.hh) and the operational
- * explorer over the abstract machines (operational/).  Which engine
+ * The library decides "is this outcome allowed?" with three engines:
+ * the axiomatic checker (axiomatic/checker.hh), the operational
+ * explorer over the abstract machines (operational/), and the cat
+ * model-DSL evaluator (cat/) over the model files.  Which engine
  * can decide which model -- and how faithfully -- is a property of the
  * *model*, so it lives here, next to ModelKind, as the single source
  * of truth.  Frontends (litmus runner, fuzzer, CLI, fence synthesis)
@@ -24,18 +25,26 @@
 namespace gam::model
 {
 
-/** The two ways this library can decide a model query. */
+/** The three ways this library can decide a model query. */
 enum class Engine {
     /** Enumerate legal executions from the Figure 15 axioms. */
     Axiomatic,
     /** Exhaustively explore an abstract machine's state space. */
     Operational,
+    /**
+     * Evaluate a cat-DSL model file (src/cat/) over the same
+     * candidate executions the axiomatic checker enumerates.  The
+     * model is data: the builtin .cat files under models/ by default, or any
+     * user-supplied file.
+     */
+    Cat,
 };
 
 /** Engines in registry order. */
-constexpr Engine allEngines[] = {Engine::Axiomatic, Engine::Operational};
+constexpr Engine allEngines[] = {Engine::Axiomatic, Engine::Operational,
+                                 Engine::Cat};
 
-/** Display name ("axiomatic" / "operational"). */
+/** Display name ("axiomatic" / "operational" / "cat"). */
 std::string engineName(Engine engine);
 
 /**
@@ -51,6 +60,11 @@ std::optional<Engine> engineFromName(const std::string &name);
  *    only through its implementation (no axioms to check).
  *  - Operational: every model except PerLocSC, which exists as an
  *    axiomatic reference property only (no abstract machine).
+ *  - Cat: the models shipped as cat files (.cat files under models/): SC, TSO,
+ *    GAM0 and GAM.  ARM's SALdLdARM constraint compares the stores
+ *    two loads read from, which the DSL's primitives do not express,
+ *    and Alpha* and PerLocSC ship no file.  (Custom cat files can still
+ *    be run against any test through cat::CatEngine directly.)
  */
 constexpr bool
 supportsEngine(ModelKind model, Engine engine)
@@ -60,6 +74,9 @@ supportsEngine(ModelKind model, Engine engine)
         return model != ModelKind::AlphaStar;
       case Engine::Operational:
         return model != ModelKind::PerLocSC;
+      case Engine::Cat:
+        return model == ModelKind::SC || model == ModelKind::TSO
+            || model == ModelKind::GAM0 || model == ModelKind::GAM;
     }
     return false;
 }

@@ -58,6 +58,13 @@ isGamFamily(ModelKind kind)
         || kind == ModelKind::ARM || kind == ModelKind::AlphaStar;
 }
 
+/** Every ModelKind, in declaration order (frontend listings). */
+constexpr ModelKind allModelKinds[] = {
+    ModelKind::SC,  ModelKind::TSO,       ModelKind::GAM0,
+    ModelKind::GAM, ModelKind::ARM,       ModelKind::AlphaStar,
+    ModelKind::PerLocSC,
+};
+
 /** All models with an axiomatic definition in this library. */
 constexpr ModelKind axiomaticModels[] = {
     ModelKind::SC,   ModelKind::TSO, ModelKind::GAM0,

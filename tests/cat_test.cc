@@ -1,0 +1,439 @@
+/**
+ * Unit tests for the cat model DSL: the bitset relation algebra, the
+ * lexer/parser and its recoverable diagnostics (line/column, unbound
+ * names, type mismatches, non-monotone recursion), evaluator
+ * semantics including `let rec` fixpoints, the builtin model registry
+ * and its agreement with both the engine registry and the shipped
+ * files under models/.
+ */
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+
+#include "cat/engine.hh"
+#include "cat/eval.hh"
+#include "cat/exec.hh"
+#include "cat/parser.hh"
+#include "cat/rel.hh"
+#include "model/engine.hh"
+
+namespace gam::cat
+{
+namespace
+{
+
+// ------------------------------------------------- relation algebra
+
+Rel
+fromPairs(size_t n, std::initializer_list<std::pair<int, int>> pairs)
+{
+    Rel r(n);
+    for (auto [i, j] : pairs)
+        r.set(size_t(i), size_t(j));
+    return r;
+}
+
+TEST(CatRel, BasicOps)
+{
+    const Rel a = fromPairs(3, {{0, 1}, {1, 2}});
+    const Rel b = fromPairs(3, {{1, 2}, {2, 0}});
+
+    EXPECT_EQ((a | b), fromPairs(3, {{0, 1}, {1, 2}, {2, 0}}));
+    EXPECT_EQ((a & b), fromPairs(3, {{1, 2}}));
+    EXPECT_EQ(a.minus(b), fromPairs(3, {{0, 1}}));
+    EXPECT_EQ(a.compose(b), fromPairs(3, {{0, 2}, {1, 0}}));
+    EXPECT_EQ(a.inverse(), fromPairs(3, {{1, 0}, {2, 1}}));
+    EXPECT_EQ(a.transitiveClosure(),
+              fromPairs(3, {{0, 1}, {1, 2}, {0, 2}}));
+    EXPECT_EQ(a.reflexiveTransitiveClosure(),
+              fromPairs(3, {{0, 0}, {1, 1}, {2, 2},
+                            {0, 1}, {1, 2}, {0, 2}}));
+    EXPECT_TRUE(a.acyclic());
+    EXPECT_FALSE((a | b).acyclic());
+    EXPECT_TRUE(a.irreflexive());
+    EXPECT_FALSE(fromPairs(2, {{1, 1}}).irreflexive());
+    EXPECT_TRUE(Rel(4).empty());
+    EXPECT_EQ(a.count(), 2u);
+}
+
+TEST(CatRel, ComplementRespectsUniverse)
+{
+    // A 65-event universe exercises the word-boundary tail mask.
+    const size_t n = 65;
+    Rel r(n);
+    r.set(0, 64);
+    const Rel c = r.complement();
+    EXPECT_FALSE(c.test(0, 64));
+    EXPECT_TRUE(c.test(64, 0));
+    EXPECT_EQ(c.count(), n * n - 1);
+    EXPECT_EQ(c.complement(), r);
+}
+
+TEST(CatRel, DiagAndProduct)
+{
+    EventSet s(4), t(4);
+    s.set(1);
+    s.set(3);
+    t.set(0);
+    EXPECT_EQ(Rel::diag(s), fromPairs(4, {{1, 1}, {3, 3}}));
+    EXPECT_EQ(Rel::product(s, t), fromPairs(4, {{1, 0}, {3, 0}}));
+    EXPECT_EQ(s.complement().count(), 2u);
+    EXPECT_EQ((s | t).count(), 3u);
+    EXPECT_TRUE((s & t).empty());
+    EXPECT_EQ(s.minus(t).count(), 2u);
+}
+
+// ---------------------------------------------------------- parsing
+
+TEST(CatParse, AcceptsAModelWithHeaderAndAxioms)
+{
+    const auto r = parseCat("\"MyModel\"\n"
+                            "let hb = po | rf\n"
+                            "acyclic hb as Happens\n"
+                            "irreflexive hb; hb\n"
+                            "empty 0 as Nothing\n");
+    ASSERT_TRUE(r.ok()) << r.error.toString();
+    EXPECT_EQ(r.model->name, "MyModel");
+    EXPECT_EQ(r.model->definitionNames,
+              std::vector<std::string>{"hb"});
+    EXPECT_EQ(r.model->axiomNames,
+              (std::vector<std::string>{"Happens", "irreflexive #2",
+                                        "Nothing"}));
+}
+
+TEST(CatParse, DefaultNameComesFromTheCaller)
+{
+    const auto r = parseCat("acyclic po", "my-file");
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(r.model->name, "my-file");
+}
+
+TEST(CatParse, CommentsNestAndLineCommentsWork)
+{
+    const auto r = parseCat("(* outer (* inner *) still out *)\n"
+                            "// a line comment\n"
+                            "acyclic po // trailing\n");
+    EXPECT_TRUE(r.ok()) << r.error.toString();
+}
+
+/** Expect a diagnostic mentioning @p what at @p line. */
+void
+expectError(const std::string &source, int line,
+            const std::string &what)
+{
+    const auto r = parseCat(source);
+    ASSERT_FALSE(r.ok()) << "'" << source << "' parsed unexpectedly";
+    EXPECT_EQ(r.error.line, line) << r.error.toString();
+    EXPECT_NE(r.error.message.find(what), std::string::npos)
+        << r.error.toString();
+    // The display form always carries the position.
+    EXPECT_NE(r.error.toString().find("line"), std::string::npos);
+}
+
+TEST(CatParse, DiagnosesUnbalancedParens)
+{
+    expectError("let x = (po | rf\nacyclic x", 1, "unbalanced '('");
+    expectError("let x = [R\nacyclic x", 1, "unbalanced '['");
+    expectError("let x = po)\nacyclic x", 1, "expected");
+}
+
+TEST(CatParse, DiagnosesUnknownPrimitivesAndUnboundNames)
+{
+    expectError("acyclic fencedep", 1, "unbound name 'fencedep'");
+    expectError("let a = po\nacyclic b", 2, "unbound name 'b'");
+    // Use before definition is unbound too (lets are ordered).
+    expectError("acyclic hb\nlet hb = po", 1, "unbound name 'hb'");
+}
+
+TEST(CatParse, DiagnosesTypeMismatches)
+{
+    expectError("acyclic po & R", 1, "type mismatch");
+    expectError("acyclic R; W", 1, "needs a relation");
+    expectError("acyclic [po]", 1, "needs a set");
+    expectError("acyclic po * W", 1, "needs a set");
+    expectError("acyclic R", 1, "needs a relation, not a set");
+    expectError("acyclic R+", 1, "needs a relation");
+}
+
+TEST(CatParse, DiagnosesNonTerminatingLookingLetRec)
+{
+    // Complement of the recursive name: the fixpoint may oscillate.
+    expectError("let rec x = ~x\nacyclic x", 1,
+                "non-monotonically");
+    // Recursive name on the right of a difference.
+    expectError("let rec x = po \\ x\nacyclic x", 1,
+                "non-monotonically");
+    // ... even nested, or through the group partner.
+    expectError("let rec a = po and b = rf \\ (a; po)\nacyclic b", 1,
+                "non-monotonically");
+    // Recursive sets are not supported.
+    expectError("let rec s = R\nacyclic [s]", 1,
+                "must be a relation");
+    // Positive recursion is fine.
+    EXPECT_TRUE(parseCat("let rec x = po | (x; x)\nacyclic x").ok());
+    // A non-recursive difference inside a let rec body is fine too.
+    EXPECT_TRUE(
+        parseCat("let rec x = (po \\ id) | (x; x)\nacyclic x").ok());
+}
+
+TEST(CatParse, DiagnosesLexicalErrors)
+{
+    expectError("acyclic po ^ rf", 1, "expected '^-1'");
+    expectError("let x = po @ rf", 1, "unexpected character");
+    expectError("\"unterminated\nacyclic po", 1,
+                "unterminated string");
+    expectError("(* never closed\nacyclic po", 1,
+                "unterminated comment");
+    expectError("let = po", 1, "expected a definition name");
+    expectError("po | rf", 1, "expected 'let'");
+}
+
+TEST(CatParse, PositionsAreOneBasedAndColumnAware)
+{
+    const auto r = parseCat("let ok = po\nlet bad = nosuch\n");
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.error.line, 2);
+    EXPECT_EQ(r.error.col, 11);
+}
+
+// ------------------------------------------------------- evaluation
+
+/** A tiny hand-built execution: 2 threads, 4 memory events.
+ *  t0: W x (0), R x (1);  t1: W x (2), F.ll (3), R y (4). */
+ExecView
+tinyView()
+{
+    ExecView v;
+    const size_t n = 5;
+    v.n = n;
+    v.R = EventSet(n);
+    v.W = EventSet(n);
+    v.M = EventSet(n);
+    v.F = EventSet(n);
+    v.RMW = EventSet(n);
+    v.FLL = EventSet(n);
+    v.FLS = EventSet(n);
+    v.FSL = EventSet(n);
+    v.FSS = EventSet(n);
+    v.po = Rel(n);
+    v.rf = Rel(n);
+    v.co = Rel(n);
+    v.fr = Rel(n);
+    v.loc = Rel(n);
+    v.ext = Rel(n);
+    v.int_ = Rel(n);
+    v.addr = Rel(n);
+    v.data = Rel(n);
+    v.ctrl = Rel(n);
+    v.id = Rel::identity(n);
+
+    v.W.set(0);
+    v.R.set(1);
+    v.W.set(2);
+    v.F.set(3);
+    v.FLL.set(3);
+    v.R.set(4);
+    v.M = v.R | v.W;
+
+    v.po.set(0, 1);
+    v.po.set(2, 3);
+    v.po.set(2, 4);
+    v.po.set(3, 4);
+    // x events: 0, 1, 2; y events: 4.
+    v.loc.set(0, 1);
+    v.loc.set(1, 0);
+    v.loc.set(0, 2);
+    v.loc.set(2, 0);
+    v.loc.set(1, 2);
+    v.loc.set(2, 1);
+    v.rf.set(2, 1);  // t0's read takes t1's store
+    v.co.set(0, 2);
+    v.fr.set(1, 2);  // placeholder fr; not used by these tests
+    for (size_t i = 0; i < n; ++i) {
+        for (size_t j = 0; j < n; ++j) {
+            if (i == j)
+                continue;
+            const bool same = (i <= 1) == (j <= 1);
+            (same ? v.int_ : v.ext).set(i, j);
+        }
+    }
+    return v;
+}
+
+/** Evaluate @p name in @p source over the tiny execution. */
+Value
+evalName(const std::string &source, const std::string &name)
+{
+    const auto parsed = parseCat(source);
+    EXPECT_TRUE(parsed.ok()) << parsed.error.toString();
+    Evaluator eval(*parsed.model);
+    const ExecView v = tinyView();
+    EXPECT_TRUE(eval.check(v)) << eval.failedAxiom();
+    return eval.valueOf(name);
+}
+
+TEST(CatEval, OperatorsMatchTheAlgebra)
+{
+    const ExecView v = tinyView();
+    EXPECT_EQ(evalName("let x = po | rf\nacyclic x", "x").rel,
+              (v.po | v.rf));
+    EXPECT_EQ(evalName("let x = po; rf\nacyclic x", "x").rel,
+              v.po.compose(v.rf));
+    EXPECT_EQ(evalName("let x = po & loc\nacyclic x", "x").rel,
+              (v.po & v.loc));
+    EXPECT_EQ(evalName("let x = po \\ loc\nacyclic x", "x").rel,
+              v.po.minus(v.loc));
+    EXPECT_EQ(evalName("let x = rf^-1\nacyclic x", "x").rel,
+              v.rf.inverse());
+    EXPECT_EQ(evalName("let x = po+\nacyclic x", "x").rel,
+              v.po.transitiveClosure());
+    EXPECT_EQ(evalName("let x = po*\nempty x & 0", "x").rel,
+              v.po.reflexiveTransitiveClosure());
+    EXPECT_EQ(evalName("let x = ~po\nempty x & 0", "x").rel,
+              v.po.complement());
+    EXPECT_EQ(evalName("let x = W * R\nacyclic x & po", "x").rel,
+              Rel::product(v.W, v.R));
+    EXPECT_EQ(evalName("let x = [W]; po; [R]\nacyclic x", "x").rel,
+              Rel::diag(v.W).compose(v.po).compose(Rel::diag(v.R)));
+    EXPECT_EQ(evalName("let s = M \\ W\nirreflexive [s] \\ id", "s")
+                  .set,
+              v.M.minus(v.W));
+    EXPECT_EQ(evalName("let x = id\nirreflexive x \\ id", "x").rel,
+              Rel::identity(v.n));
+}
+
+TEST(CatEval, ProductVersusClosureDisambiguation)
+{
+    // 'W * R' is a product; 'po*' a closure; both in one expression.
+    const Value val =
+        evalName("let x = po* & (M * M)\nempty x & 0", "x");
+    const ExecView v = tinyView();
+    EXPECT_EQ(val.rel, (v.po.reflexiveTransitiveClosure()
+                        & Rel::product(v.M, v.M)));
+}
+
+TEST(CatEval, PolymorphicZeroAdaptsInEveryContext)
+{
+    // 0 denotes the empty set in set-demanding contexts and the empty
+    // relation elsewhere -- including nested all-zero subtrees, which
+    // once crashed the evaluator instead of coercing.
+    const ExecView v = tinyView();
+    EXPECT_EQ(evalName("let x = [0]\nempty x", "x").rel, Rel(v.n));
+    EXPECT_EQ(evalName("let x = 0 * W\nempty x", "x").rel, Rel(v.n));
+    EXPECT_EQ(evalName("let x = W * 0\nempty x", "x").rel, Rel(v.n));
+    EXPECT_EQ(evalName("let x = [0 | 0]\nempty x", "x").rel, Rel(v.n));
+    EXPECT_EQ(evalName("let x = [(0 & 0) \\ 0]\nempty x", "x").rel,
+              Rel(v.n));
+    EXPECT_EQ(evalName("let x = R | 0\nempty [x] \\ [R]", "x").set,
+              v.R);
+    EXPECT_EQ(evalName("let x = 0 | po\nacyclic x", "x").rel, v.po);
+    EXPECT_EQ(evalName("let x = 0; po\nempty x", "x").rel, Rel(v.n));
+    EXPECT_EQ(evalName("let x = 0+\nempty x | ~~0", "x").rel,
+              Rel(v.n));
+    EXPECT_EQ(evalName("let y = 0\nlet x = [y]\nempty x", "x").rel,
+              Rel(v.n));
+}
+
+TEST(CatEval, LetRecComputesTheLeastFixpoint)
+{
+    // Recursive transitive closure must equal the builtin '+'.
+    const Value rec = evalName(
+        "let rec tc = (po | rf) | (tc; (po | rf))\nacyclic tc", "tc");
+    const ExecView v = tinyView();
+    EXPECT_EQ(rec.rel, (v.po | v.rf).transitiveClosure());
+
+    // A mutually recursive group.
+    const Value mut = evalName(
+        "let rec a = po | (b; po) and b = rf | (a; rf)\nacyclic 0",
+        "a");
+    EXPECT_FALSE(mut.rel.empty());
+}
+
+TEST(CatEval, AxiomsRejectAndReportByName)
+{
+    const auto parsed = parseCat("irreflexive po\n"
+                                 "acyclic po | po^-1 as NoTurning\n");
+    ASSERT_TRUE(parsed.ok());
+    Evaluator eval(*parsed.model);
+    EXPECT_FALSE(eval.check(tinyView()));
+    // irreflexive po passes; the cycle po | po^-1 fails by name.
+    EXPECT_EQ(eval.failedAxiom(), "NoTurning");
+
+    const auto empties = parseCat("empty rf as NoReads");
+    ASSERT_TRUE(empties.ok());
+    Evaluator eval2(*empties.model);
+    EXPECT_FALSE(eval2.check(tinyView()));
+    EXPECT_EQ(eval2.failedAxiom(), "NoReads");
+
+    const auto passing = parseCat("acyclic po | rf | co\n"
+                                  "empty rf & co\n"
+                                  "empty [F] & [M]\n");
+    ASSERT_TRUE(passing.ok());
+    Evaluator eval3(*passing.model);
+    EXPECT_TRUE(eval3.check(tinyView())) << eval3.failedAxiom();
+    EXPECT_EQ(eval3.failedAxiom(), "");
+}
+
+// ------------------------------------------------ builtin registry
+
+TEST(CatRegistry, BuiltinModelsAgreeWithTheEngineRegistry)
+{
+    using model::Engine;
+    using model::ModelKind;
+    // Every kind the registry claims Engine::Cat supports must have a
+    // builtin model, and vice versa.
+    for (ModelKind kind : model::allModelKinds) {
+        const bool supported = model::supportsEngine(kind, Engine::Cat);
+        const CatModel *m =
+            findBuiltinCatModel(model::modelName(kind));
+        EXPECT_EQ(supported, m != nullptr)
+            << model::modelName(kind);
+        if (m) {
+            EXPECT_EQ(catModelKind(*m), kind);
+        }
+    }
+    EXPECT_EQ(builtinCatModels().size(), 4u);
+    EXPECT_EQ(findBuiltinCatModel("nope"), nullptr);
+    // Case-insensitive lookup.
+    EXPECT_NE(findBuiltinCatModel("gam0"), nullptr);
+    EXPECT_NE(findBuiltinCatModel("GAM0"), nullptr);
+}
+
+TEST(CatRegistry, EngineNameRoundTrips)
+{
+    EXPECT_EQ(model::engineName(model::Engine::Cat), "cat");
+    EXPECT_EQ(model::engineFromName("cat"), model::Engine::Cat);
+}
+
+TEST(CatRegistry, EmbeddedModelsMatchTheShippedFiles)
+{
+    // The library embeds models/*.cat at build time; the files on
+    // disk are the source of truth and must be in sync.
+    for (const CatModel *m : builtinCatModels()) {
+        std::string stem = m->name;
+        for (char &c : stem)
+            c = char(std::tolower(static_cast<unsigned char>(c)));
+        const std::string path =
+            std::string(GAM_MODELS_DIR) + "/" + stem + ".cat";
+        std::ifstream in(path);
+        ASSERT_TRUE(in.good()) << path;
+        std::ostringstream text;
+        text << in.rdbuf();
+        EXPECT_EQ(text.str(), m->source) << path;
+    }
+}
+
+TEST(CatRegistry, ShippedSourcesReparseToEqualHashes)
+{
+    for (const CatModel *m : builtinCatModels()) {
+        const auto again = parseCat(m->source, m->name);
+        ASSERT_TRUE(again.ok()) << m->name;
+        EXPECT_EQ(again.model->sourceHash, m->sourceHash);
+        EXPECT_EQ(again.model->name, m->name);
+    }
+}
+
+} // namespace
+} // namespace gam::cat

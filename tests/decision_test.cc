@@ -68,6 +68,12 @@ TEST(EngineRegistry, CapabilitiesMatchTheEngines)
                   model != ModelKind::AlphaStar);
         EXPECT_EQ(model::supportsEngine(model, Engine::Operational),
                   model != ModelKind::PerLocSC);
+        // The cat engine decides exactly the models shipped as .cat
+        // files: SC, TSO, GAM0 and GAM.
+        EXPECT_EQ(model::supportsEngine(model, Engine::Cat),
+                  model == ModelKind::SC || model == ModelKind::TSO
+                      || model == ModelKind::GAM0
+                      || model == ModelKind::GAM);
         const auto engines = model::engines(model);
         EXPECT_FALSE(engines.empty());
         for (Engine engine : engines)
@@ -171,8 +177,9 @@ TEST(DecisionParity, MatrixEngineSelectionFiltersRows)
 
     MatrixOptions both;
     both.cache = &cache;
-    // SC and GAM have two engines each, AlphaStar only one: 5 rows.
-    EXPECT_EQ(runLitmusMatrix(tests, models, both).size(), 5u);
+    // SC and GAM have three engines each (axiomatic, operational,
+    // cat), AlphaStar only the machine: 7 rows.
+    EXPECT_EQ(runLitmusMatrix(tests, models, both).size(), 7u);
 
     MatrixOptions on_auto;
     on_auto.engine = EngineSelect::Auto;

@@ -29,27 +29,47 @@
  *       expect verdicts unless --no-verdicts.
  *
  *   gam-litmus fuzz [--tests N] [--seed S] [--threads N]
- *                   [--max-states M] [--no-shrink]
- *       Differential-fuzz the operational/axiomatic equivalence on
- *       generated tests.  Exits 1 if any divergence was found.
+ *                   [--max-states M] [--no-shrink] [--engine E]
+ *       Differential-fuzz the operational explorer against a spec
+ *       engine (axiomatic by default, or the cat engine over the
+ *       shipped model files) on generated tests.  Exits 1 if any
+ *       divergence was found.
+ *
+ *   gam-litmus model list
+ *       List the cat models shipped with the library.
+ *
+ *   gam-litmus model show <name|file.cat>
+ *       Print a model's source.
+ *
+ *   gam-litmus model check <name|file.cat>
+ *       Parse and statically check a model, then run it over every
+ *       built-in litmus test; when the model names a built-in
+ *       ModelKind, cross-check each verdict against the hand-coded
+ *       axiomatic checker.  Exits 1 on a diagnostic or mismatch.
  *
  * Every input error (unknown test, malformed file, bad flag) is
  * reported and turned into a nonzero exit; nothing aborts the process.
+ * Unknown --engine/--model values list what is available.
  */
 
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <memory>
 #include <optional>
 #include <sstream>
 #include <string>
 #include <vector>
 
+#include "base/table.hh"
+#include "cat/engine.hh"
 #include "harness/fuzz.hh"
 #include "harness/litmus_runner.hh"
 #include "litmus/generator.hh"
 #include "litmus/parser.hh"
 #include "litmus/suite.hh"
+#include "model/engine.hh"
 
 namespace
 {
@@ -69,8 +89,8 @@ usage()
                  "the verdict matrix\n"
                  "      [--model M]...        SC TSO GAM0 GAM ARM "
                  "Alpha* PerLocSC\n"
-                 "      [--engine E]          axiomatic, operational "
-                 "or auto (default: all)\n"
+                 "      [--engine E]          axiomatic, operational, "
+                 "cat or auto (default: all)\n"
                  "      [--threads N]         worker threads (0 = "
                  "hardware)\n"
                  "      [--budget M]          explorer visited-state "
@@ -84,10 +104,51 @@ usage()
                  "                            emit generated litmus "
                  "documents\n"
                  "  fuzz [--tests N] [--seed S] [--threads N]\n"
-                 "       [--max-states M] [--no-shrink]\n"
-                 "                            differential-fuzz the "
-                 "engines\n");
+                 "       [--max-states M] [--no-shrink] [--engine E]\n"
+                 "                            differential-fuzz a spec "
+                 "engine (axiomatic or\n"
+                 "                            cat) against the "
+                 "operational explorer\n"
+                 "  model list                list the shipped cat "
+                 "models\n"
+                 "  model show <name|file>    print a cat model's "
+                 "source\n"
+                 "  model check <name|file>   validate a cat model "
+                 "and cross-check its\n"
+                 "                            verdicts on the "
+                 "built-in tests\n");
     return 2;
+}
+
+/** Print every engine name a frontend flag accepts. */
+void
+listEngines(bool include_auto = true)
+{
+    std::fprintf(stderr, "available engines:\n");
+    for (model::Engine engine : model::allEngines)
+        std::fprintf(stderr, "  %s\n",
+                     model::engineName(engine).c_str());
+    if (include_auto)
+        std::fprintf(stderr, "  auto\n");
+}
+
+/** Print every memory-model name --model accepts. */
+void
+listModels()
+{
+    std::fprintf(stderr, "available models:\n");
+    for (ModelKind kind : model::allModelKinds)
+        std::fprintf(stderr, "  %s\n",
+                     model::modelName(kind).c_str());
+}
+
+/** Print every shipped cat model name. */
+void
+listCatModels()
+{
+    std::fprintf(stderr, "shipped cat models:\n");
+    for (const cat::CatModel *m : cat::builtinCatModels())
+        std::fprintf(stderr, "  %s\n", m->name.c_str());
 }
 
 std::optional<uint64_t>
@@ -175,6 +236,7 @@ cmdRun(int argc, char **argv)
             if (!kind) {
                 std::fprintf(stderr, "gam-litmus: unknown model '%s'\n",
                              value);
+                listModels();
                 return 2;
             }
             models.push_back(*kind);
@@ -185,13 +247,11 @@ cmdRun(int argc, char **argv)
             if (std::string(value) == "auto") {
                 options.engine = harness::EngineSelect::Auto;
             } else if (auto engine = model::engineFromName(value)) {
-                options.engine = *engine == model::Engine::Axiomatic
-                    ? harness::EngineSelect::Axiomatic
-                    : harness::EngineSelect::Operational;
+                options.engine = harness::engineSelectOf(*engine);
             } else {
-                std::fprintf(stderr, "gam-litmus: unknown engine '%s' "
-                             "(expected axiomatic, operational or "
-                             "auto)\n", value);
+                std::fprintf(stderr, "gam-litmus: unknown engine "
+                             "'%s'\n", value);
+                listEngines();
                 return 2;
             }
         } else if (arg == "--threads" || arg == "--budget") {
@@ -346,6 +406,28 @@ cmdFuzz(int argc, char **argv)
             options.shrink = false;
             continue;
         }
+        if (arg == "--engine") {
+            const char *value = flagValue(argc, argv, i, "--engine");
+            if (!value)
+                return 2;
+            auto engine = model::engineFromName(value);
+            if (!engine || *engine == model::Engine::Operational) {
+                std::fprintf(stderr, "gam-litmus: fuzz --engine picks "
+                             "the spec side checked against the "
+                             "operational explorer; '%s' is not one\n",
+                             value);
+                std::fprintf(stderr, "available spec engines:\n");
+                for (model::Engine spec : model::allEngines) {
+                    if (spec != model::Engine::Operational) {
+                        std::fprintf(stderr, "  %s\n",
+                                     model::engineName(spec).c_str());
+                    }
+                }
+                return 2;
+            }
+            options.spec = *engine;
+            continue;
+        }
         if (arg != "--tests" && arg != "--seed" && arg != "--threads"
             && arg != "--max-states") {
             std::fprintf(stderr, "gam-litmus: unknown fuzz option "
@@ -376,6 +458,174 @@ cmdFuzz(int argc, char **argv)
     return report.ok() ? 0 : 1;
 }
 
+/**
+ * Load a cat model: a shipped name or (anything with a '.' or '/') a
+ * file parsed from source.  Diagnoses failures and lists the shipped
+ * models on an unknown name.  Returns nullptr on failure; shipped
+ * models alias the library's registry (no-op deleter).
+ */
+std::shared_ptr<const cat::CatModel>
+loadCatModel(const std::string &arg)
+{
+    const bool is_file = arg.find('.') != std::string::npos
+        || arg.find('/') != std::string::npos;
+    if (!is_file) {
+        if (const cat::CatModel *m = cat::findBuiltinCatModel(arg)) {
+            return std::shared_ptr<const cat::CatModel>(
+                m, [](const cat::CatModel *) {});
+        }
+        std::fprintf(stderr, "gam-litmus: unknown cat model '%s'\n",
+                     arg.c_str());
+        listCatModels();
+        return nullptr;
+    }
+    std::ifstream in(arg);
+    if (!in) {
+        std::fprintf(stderr, "gam-litmus: cannot open '%s'\n",
+                     arg.c_str());
+        return nullptr;
+    }
+    std::ostringstream text;
+    text << in.rdbuf();
+    // Default the model name to the file stem.
+    std::string stem = arg;
+    if (auto slash = stem.find_last_of('/'); slash != std::string::npos)
+        stem = stem.substr(slash + 1);
+    if (auto dot = stem.find_last_of('.'); dot != std::string::npos)
+        stem = stem.substr(0, dot);
+    cat::CatParseResult parsed = cat::parseCat(text.str(), stem);
+    if (!parsed.ok()) {
+        std::fprintf(stderr, "gam-litmus: %s: %s\n", arg.c_str(),
+                     parsed.error.toString().c_str());
+        return nullptr;
+    }
+    return std::make_shared<cat::CatModel>(std::move(*parsed.model));
+}
+
+int
+cmdModelList()
+{
+    for (const cat::CatModel *m : cat::builtinCatModels()) {
+        std::string axioms;
+        for (const std::string &name : m->axiomNames) {
+            if (!axioms.empty())
+                axioms += ", ";
+            axioms += name;
+        }
+        std::printf("  %-8s %2zu definitions, %zu axioms (%s)\n",
+                    m->name.c_str(), m->definitionNames.size(),
+                    m->axiomNames.size(), axioms.c_str());
+    }
+    return 0;
+}
+
+int
+cmdModelShow(const std::string &arg)
+{
+    auto m = loadCatModel(arg);
+    if (!m)
+        return 2;
+    std::printf("%s", m->source.c_str());
+    return 0;
+}
+
+int
+cmdModelCheck(const std::string &arg)
+{
+    auto m = loadCatModel(arg);
+    if (!m)
+        return 2;
+    std::printf("model %s: parsed OK (%zu definitions, %zu axioms)\n",
+                m->name.c_str(), m->definitionNames.size(),
+                m->axiomNames.size());
+
+    // Run every built-in litmus test under the model; when the model
+    // names a built-in kind with an axiomatic definition, cross-check
+    // verdict-for-verdict against the hand-coded checker.
+    const auto kind = cat::catModelKind(*m);
+    const bool compare = kind.has_value()
+        && model::supportsEngine(*kind, model::Engine::Axiomatic);
+    if (compare) {
+        std::printf("cross-checking against the hand-coded axiomatic "
+                    "checker for %s\n",
+                    model::modelName(*kind).c_str());
+    } else {
+        std::printf("custom model (no hand-coded reference); "
+                    "reporting verdicts only\n");
+    }
+
+    Table t;
+    t.header(compare
+                 ? std::vector<std::string>{"test", "cat", "axiomatic",
+                                            "match"}
+                 : std::vector<std::string>{"test", "cat"});
+    int mismatches = 0;
+    for (const auto &test : litmus::allTests()) {
+        // Both sides go through the unified decide() API (and its
+        // cache); the explicit catModel also covers custom files
+        // whose name maps to no builtin ModelKind.
+        harness::Query query;
+        query.test = &test;
+        query.model = kind.value_or(model::ModelKind::GAM);
+        query.engine = harness::EngineSelect::Cat;
+        query.catModel = m.get();
+        const bool cat_allowed = harness::decide(query).allowed;
+        const char *cat_text = cat_allowed ? "allowed" : "forbidden";
+        if (!compare) {
+            t.row({test.name, cat_text});
+            continue;
+        }
+        query.engine = harness::EngineSelect::Axiomatic;
+        query.catModel = nullptr;
+        const bool ax_allowed = harness::decide(query).allowed;
+        const bool ok = cat_allowed == ax_allowed;
+        if (!ok)
+            ++mismatches;
+        t.row({test.name, cat_text,
+               ax_allowed ? "allowed" : "forbidden",
+               ok ? "yes" : "MISMATCH"});
+    }
+    std::printf("%s", t.render().c_str());
+    if (compare) {
+        std::printf("%zu tests, %d mismatches\n",
+                    litmus::allTests().size(), mismatches);
+        return mismatches == 0 ? 0 : 1;
+    }
+    return 0;
+}
+
+int
+cmdModel(int argc, char **argv)
+{
+    if (argc < 1) {
+        std::fprintf(stderr, "gam-litmus: model needs a subcommand "
+                             "(list, show, check)\n");
+        return 2;
+    }
+    const std::string sub = argv[0];
+    if (sub == "list")
+        return cmdModelList();
+    if (sub == "show" || sub == "check") {
+        if (argc < 2) {
+            std::fprintf(stderr, "gam-litmus: model %s needs a model "
+                         "name or .cat file\n", sub.c_str());
+            listCatModels();
+            return 2;
+        }
+        int rc = 0;
+        for (int i = 1; i < argc; ++i) {
+            const int one = sub == "show" ? cmdModelShow(argv[i])
+                                          : cmdModelCheck(argv[i]);
+            rc = std::max(rc, one);
+        }
+        return rc;
+    }
+    std::fprintf(stderr, "gam-litmus: unknown model subcommand '%s' "
+                         "(expected list, show or check)\n",
+                 sub.c_str());
+    return 2;
+}
+
 } // namespace
 
 int
@@ -394,6 +644,8 @@ main(int argc, char **argv)
         return cmdGen(argc - 2, argv + 2);
     if (command == "fuzz")
         return cmdFuzz(argc - 2, argv + 2);
+    if (command == "model")
+        return cmdModel(argc - 2, argv + 2);
     std::fprintf(stderr, "gam-litmus: unknown command '%s'\n",
                  command.c_str());
     return usage();
