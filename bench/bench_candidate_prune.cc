@@ -1,0 +1,222 @@
+/**
+ * @file
+ * Pruned vs. legacy candidate enumeration.
+ *
+ * Runs the hand-coded axiomatic checker both ways over the 3-thread
+ * suite -- every built-in litmus test with at most three threads plus
+ * three store-heavy 3-thread stressors -- under SC, TSO, GAM0 and GAM,
+ * asserting outcome-set equality and comparing
+ *
+ *   - complete candidates materialized (the deterministic measure:
+ *     the legacy pipeline builds every value-consistent (rf, co)
+ *     combination; the incremental search only reaches the leaves its
+ *     partial-candidate checks could not rule out), and
+ *   - wall time.
+ *
+ * The CI acceptance bar is a >= 5x reduction in candidates
+ * materialized across the suite (wall time is reported but not gated:
+ * it tracks the same ratio on the stressors while the tiny builtins
+ * are noise-bound).  The cat engine is run over the same suite and
+ * reported for reference.
+ */
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <vector>
+
+#include "axiomatic/checker.hh"
+#include "cat/engine.hh"
+#include "isa/program.hh"
+#include "litmus/generator.hh"
+#include "litmus/suite.hh"
+#include "model/engine.hh"
+
+namespace
+{
+
+using namespace gam;
+using litmus::LitmusTest;
+using model::ModelKind;
+
+double
+seconds(std::chrono::steady_clock::time_point start)
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - start)
+        .count();
+}
+
+/**
+ * A 3-thread coherence stressor: every thread issues two stores to
+ * one shared location, then reads it.  One location keeps the
+ * coherence enumeration maximal (6! = 720 legacy permutations per
+ * read-from candidate) while per-thread same-address store chains
+ * give every model ppo edges to prune on.
+ */
+LitmusTest
+storeStress()
+{
+    using isa::ProgramBuilder;
+    using isa::R;
+    litmus::LitmusBuilder builder("store_stress", "generated");
+    builder.location("a", litmus::LOC_A);
+    for (int tid = 0; tid < 3; ++tid) {
+        ProgramBuilder b;
+        b.li(R(8), litmus::LOC_A);
+        for (int s = 0; s < 2; ++s) {
+            b.li(R(12), tid * 2 + s + 1);
+            b.st(R(8), R(12));
+        }
+        b.ld(R(1), R(8));
+        builder.thread(b.build());
+    }
+    return builder.requireReg(0, R(1), 1).done();
+}
+
+/**
+ * A 3-thread read-from stressor: four loads over two locations, so
+ * the legacy odometer tries 5^4 = 625 read-from maps while the static
+ * address-feasibility analysis collapses each load to its three
+ * same-address choices (81 maps).
+ */
+LitmusTest
+loadStress()
+{
+    using isa::ProgramBuilder;
+    using isa::R;
+    litmus::LitmusBuilder builder("load_stress", "generated");
+    builder.location("a", litmus::LOC_A).location("b", litmus::LOC_B);
+    ProgramBuilder t0;
+    t0.li(R(8), litmus::LOC_A).li(R(9), litmus::LOC_B);
+    t0.li(R(12), 1).st(R(8), R(12)).ld(R(1), R(9)).ld(R(2), R(8));
+    ProgramBuilder t1;
+    t1.li(R(8), litmus::LOC_A).li(R(9), litmus::LOC_B);
+    t1.li(R(12), 1).st(R(9), R(12)).ld(R(1), R(8)).ld(R(2), R(9));
+    ProgramBuilder t2;
+    t2.li(R(8), litmus::LOC_A).li(R(9), litmus::LOC_B);
+    t2.li(R(12), 2).st(R(8), R(12)).st(R(9), R(12));
+    return builder.thread(t0.build()).thread(t1.build())
+        .thread(t2.build())
+        .requireReg(0, R(1), 0).requireReg(1, R(1), 0)
+        .done();
+}
+
+struct Totals
+{
+    uint64_t legacyCandidates = 0;
+    uint64_t prunedCandidates = 0;
+    uint64_t partialsPruned = 0;
+    uint64_t subtreesSkipped = 0;
+    double legacySeconds = 0;
+    double prunedSeconds = 0;
+};
+
+} // namespace
+
+int
+main()
+{
+    constexpr ModelKind models[] = {ModelKind::SC, ModelKind::TSO,
+                                    ModelKind::GAM0, ModelKind::GAM};
+
+    std::vector<LitmusTest> suite;
+    for (const LitmusTest &test : litmus::allTests())
+        if (test.threads.size() <= 3)
+            suite.push_back(test);
+    const size_t builtin_count = suite.size();
+    suite.push_back(storeStress());
+    suite.push_back(loadStress());
+    const auto &four = litmus::fourThreadSuite();
+    const auto wrc = std::find_if(
+        four.begin(), four.end(),
+        [](const LitmusTest &t) { return t.name == "wrc_data_addr"; });
+    if (wrc == four.end()) {
+        std::printf("wrc_data_addr missing from fourThreadSuite()\n");
+        return 1;
+    }
+    suite.push_back(*wrc);
+
+    std::printf("candidate-pruning benchmark: %zu tests "
+                "(%zu 3-thread builtins + %zu stressors) x %zu models, "
+                "axiomatic engine\n\n",
+                suite.size(), builtin_count,
+                suite.size() - builtin_count, std::size(models));
+
+    Totals ax, cat;
+    int mismatches = 0;
+    for (const LitmusTest &test : suite) {
+        for (ModelKind model : models) {
+            axiomatic::Checker legacy(test, model);
+            auto t0 = std::chrono::steady_clock::now();
+            const litmus::OutcomeSet legacy_out =
+                legacy.enumerateLegacy();
+            ax.legacySeconds += seconds(t0);
+            ax.legacyCandidates += legacy.stats().coCandidates;
+
+            axiomatic::Checker pruned(test, model);
+            t0 = std::chrono::steady_clock::now();
+            const litmus::OutcomeSet pruned_out = pruned.enumerate();
+            ax.prunedSeconds += seconds(t0);
+            ax.prunedCandidates += pruned.stats().coCandidates;
+            ax.partialsPruned += pruned.stats().partialsPruned;
+            ax.subtreesSkipped += pruned.stats().subtreesSkipped;
+
+            if (legacy_out != pruned_out) {
+                ++mismatches;
+                std::printf("  OUTCOME MISMATCH: %s under %s\n",
+                            test.name.c_str(),
+                            model::modelName(model).c_str());
+            }
+
+            // The cat engine drives the same pruned search; time both
+            // of its paths for the reference report.
+            const cat::CatModel &cm = cat::builtinCatModel(model);
+            cat::CatEngine legacy_cat(test, cm);
+            t0 = std::chrono::steady_clock::now();
+            (void)legacy_cat.enumerateLegacy();
+            cat.legacySeconds += seconds(t0);
+            cat.legacyCandidates += legacy_cat.stats().coCandidates;
+
+            cat::CatEngine pruned_cat(test, cm);
+            t0 = std::chrono::steady_clock::now();
+            (void)pruned_cat.enumerate();
+            cat.prunedSeconds += seconds(t0);
+            cat.prunedCandidates += pruned_cat.stats().coCandidates;
+        }
+    }
+
+    const double work_ratio = ax.prunedCandidates
+        ? double(ax.legacyCandidates) / double(ax.prunedCandidates)
+        : 0.0;
+    const double time_ratio = ax.prunedSeconds > 0
+        ? ax.legacySeconds / ax.prunedSeconds : 0.0;
+    const double cat_work_ratio = cat.prunedCandidates
+        ? double(cat.legacyCandidates) / double(cat.prunedCandidates)
+        : 0.0;
+    const double cat_time_ratio = cat.prunedSeconds > 0
+        ? cat.legacySeconds / cat.prunedSeconds : 0.0;
+
+    std::printf("  axiomatic legacy: %10llu candidates  %8.3f s\n",
+                (unsigned long long)ax.legacyCandidates,
+                ax.legacySeconds);
+    std::printf("  axiomatic pruned: %10llu candidates  %8.3f s  "
+                "(%llu partials pruned, %llu subtrees skipped)\n",
+                (unsigned long long)ax.prunedCandidates,
+                ax.prunedSeconds,
+                (unsigned long long)ax.partialsPruned,
+                (unsigned long long)ax.subtreesSkipped);
+    std::printf("  axiomatic ratios: %.1fx fewer candidates, "
+                "%.1fx wall time\n\n", work_ratio, time_ratio);
+    std::printf("  cat legacy:       %10llu candidates  %8.3f s\n",
+                (unsigned long long)cat.legacyCandidates,
+                cat.legacySeconds);
+    std::printf("  cat pruned:       %10llu candidates  %8.3f s  "
+                "(%.1fx fewer, %.1fx wall time)\n\n",
+                (unsigned long long)cat.prunedCandidates,
+                cat.prunedSeconds, cat_work_ratio, cat_time_ratio);
+    std::printf("  gate: axiomatic candidate reduction %.1fx "
+                "(target: >= 5x), outcome mismatches %d\n",
+                work_ratio, mismatches);
+    return work_ratio >= 5.0 && mismatches == 0 ? 0 : 1;
+}

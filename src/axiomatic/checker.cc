@@ -7,6 +7,7 @@
 #include <set>
 
 #include "base/logging.hh"
+#include "cat/rel.hh"
 #include "isa/semantics.hh"
 #include "model/ppo.hh"
 
@@ -19,41 +20,207 @@ using isa::Value;
 using model::InitStore;
 using model::StoreId;
 
-/** Per-thread symbolic execution state for one rf candidate. */
-struct Checker::ThreadExec
-{
-    /** Reached the end of the program (no value-blocked branch). */
-    bool complete = false;
-    /** Static indices of executed instructions, in order. */
-    std::vector<int> executedIdx;
-    /** Committed trace (parallel to executedIdx). */
-    model::Trace trace;
-    /** rf per trace entry (loads only; InitStore elsewhere). */
-    model::RfMap rfTrace;
-    /** Final register values (all known when complete). */
-    std::array<std::optional<Value>, isa::NUM_REGS> regs;
-};
-
 namespace
 {
 
-/** Alignment-tolerant initial-memory read (bogus rf guesses may compute
- *  unaligned addresses; those candidates are discarded later). */
-Value
-initRead(const isa::MemImage &mem, Addr addr)
+/**
+ * The hand-coded Figure-15 axioms as an incremental filter.
+ *
+ * The constraint graph of the classic reduction -- ppo edges, rf
+ * edges, LoadValue (fr) edges and coherence edges -- is maintained as
+ * a transitively-closed bitset reachability relation (cat::Rel).
+ * Permutation-independent constraints are installed once per read-from
+ * candidate in beginRf(); each coherence extension adds its co edge,
+ * its newly-implied fr edges and the RMW atomicity check in
+ * pushStore(), failing the instant an edge closes a cycle.  accept()
+ * is then trivially true: a complete candidate that survived every
+ * extension has an acyclic constraint graph, i.e. a witness mo exists.
+ */
+class BuiltinAxiomFilter final : public IncrementalFilter
 {
-    if (addr & 7)
-        return 0;
-    return mem.load(addr);
-}
+  public:
+    BuiltinAxiomFilter(model::ModelKind model, bool enforce_inst_order)
+        : model(model), enforceInstOrder(enforce_inst_order)
+    {}
 
-/** Per static site: resolved address / data where known. */
-struct SiteVals
-{
-    bool executed = false;
-    std::optional<Value> addr;  // memory instructions
-    std::optional<Value> data;  // store data or load(ed) value
-    std::optional<Value> data2; // RMWs: the value written to memory
+    bool
+    beginRf(const CandidateExecution &cand) override
+    {
+        n = cand.events.size();
+        reach = cat::Rel(n);
+        snapshots.clear();
+        nodeOfStore.clear();
+        for (size_t v = 0; v < n; ++v)
+            if (cand.events[v].isStore)
+                nodeOfStore[cand.events[v].sid] = int(v);
+
+        // ppo projected onto memory events (InstOrder axiom).
+        if (enforceInstOrder) {
+            for (size_t tid = 0; tid < cand.traces.size(); ++tid) {
+                const model::Trace &trace = *cand.traces[tid];
+                // Events carry their rf; rebuild the per-trace rf map
+                // ppo computation expects (ARM's SALdLdARM reads it).
+                model::RfMap rfTrace(trace.size(), InitStore);
+                std::map<int, int> nodeAt; // traceIdx -> event index
+                for (size_t v = 0; v < n; ++v) {
+                    const CandidateEvent &ev = cand.events[v];
+                    if (ev.tid != int(tid))
+                        continue;
+                    nodeAt[ev.traceIdx] = int(v);
+                    if (ev.isLoad)
+                        rfTrace[size_t(ev.traceIdx)] = ev.rf;
+                }
+                model::Relation ppo = model::preservedProgramOrder(
+                    trace, model, &rfTrace);
+                for (auto [i, j] : ppo.pairs()) {
+                    auto it1 = nodeAt.find(int(i));
+                    auto it2 = nodeAt.find(int(j));
+                    if (it1 == nodeAt.end() || it2 == nodeAt.end())
+                        continue;
+                    if (!addEdge(size_t(it1->second),
+                                 size_t(it2->second)))
+                        return false;
+                }
+            }
+        }
+
+        // Permutation-independent halves of LoadValue: the rf edge
+        // itself, and -- for loads reading the initial memory -- the
+        // requirement that *no* same-address store is po-before or
+        // mo-before the load (the store *set* per address is fixed;
+        // only its order varies).
+        for (size_t l = 0; l < n; ++l) {
+            const CandidateEvent &ld = cand.events[l];
+            if (!ld.isLoad)
+                continue;
+            if (ld.rf == InitStore) {
+                for (size_t s = 0; s < n; ++s) {
+                    const CandidateEvent &st = cand.events[s];
+                    if (!st.isStore || st.addr != ld.addr || s == l)
+                        continue;
+                    if (poBefore(cand, s, l))
+                        return false; // rejected: C(L) nonempty
+                    if (!addEdge(l, s))
+                        return false;
+                }
+            } else {
+                auto sit = nodeOfStore.find(ld.rf);
+                GAM_ASSERT(sit != nodeOfStore.end(), "rf store missing");
+                const size_t s = size_t(sit->second);
+                if (!poBefore(cand, s, l) && !addEdge(s, l))
+                    return false;
+            }
+        }
+        return true;
+    }
+
+    bool
+    pushStore(const CandidateExecution &cand, Addr addr,
+              int eventIdx) override
+    {
+        snapshots.push_back(reach);
+        const auto &p = cand.coOrder.at(addr);
+        const size_t v = size_t(eventIdx);
+
+        // Coherence edge from the previous store in this address's
+        // order.
+        if (p.size() >= 2
+            && !addEdge(size_t(p[p.size() - 2]), v))
+            return false;
+
+        // Atomicity (Section III-C): an RMW's read source must be its
+        // immediate coherence predecessor -- no store may slip between
+        // the read and the write.
+        const CandidateEvent &ev = cand.events[v];
+        if (ev.isLoad && ev.isStore) {
+            if (ev.rf == InitStore) {
+                if (p.size() != 1)
+                    return false; // something precedes the write
+            } else {
+                auto sit = nodeOfStore.find(ev.rf);
+                GAM_ASSERT(sit != nodeOfStore.end(), "rf store missing");
+                if (p.size() < 2 || p[p.size() - 2] != sit->second)
+                    return false; // read and write not co-adjacent
+            }
+        }
+
+        // LoadValue: every load whose source now precedes this store
+        // in coherence must be mo-before it (fr), and must not be
+        // po-after it.
+        for (size_t l = 0; l < n; ++l) {
+            const CandidateEvent &ld = cand.events[l];
+            if (!ld.isLoad || ld.addr != addr || l == v
+                || ld.rf == InitStore) // handled in beginRf
+                continue;
+            auto sit = nodeOfStore.find(ld.rf);
+            GAM_ASSERT(sit != nodeOfStore.end(), "rf store missing");
+            if (sit->second == eventIdx)
+                continue; // stores after the source arrive later
+            const bool source_placed_before =
+                std::find(p.begin(), p.end() - 1, sit->second)
+                != p.end() - 1;
+            if (!source_placed_before)
+                continue;
+            if (poBefore(cand, v, l))
+                return false; // rejected: a newer po-before store
+            if (!addEdge(l, v))
+                return false;
+        }
+        return true;
+    }
+
+    void
+    popStore(const CandidateExecution &, Addr, int) override
+    {
+        reach = std::move(snapshots.back());
+        snapshots.pop_back();
+    }
+
+    bool
+    accept(const CandidateExecution &) override
+    {
+        // Every constraint was checked as it appeared.
+        return true;
+    }
+
+  private:
+    static bool
+    poBefore(const CandidateExecution &cand, size_t a, size_t b)
+    {
+        return cand.events[a].tid == cand.events[b].tid
+            && cand.events[a].traceIdx < cand.events[b].traceIdx;
+    }
+
+    /**
+     * Add u -> v to the closed reachability relation.  False when the
+     * edge closes a cycle (including u == v); the relation is left
+     * unchanged in that case only up to the snapshot discipline --
+     * pushStore() snapshots before any mutation, so a failed push is
+     * rolled back wholesale by popStore().
+     */
+    bool
+    addEdge(size_t u, size_t v)
+    {
+        if (u == v || reach.test(v, u))
+            return false;
+        if (reach.test(u, v))
+            return true; // already implied
+        for (size_t x = 0; x < n; ++x) {
+            if (x != u && !reach.test(x, u))
+                continue;
+            reach.orRowInto(v, x);
+            reach.set(x, v);
+        }
+        return true;
+    }
+
+    const model::ModelKind model;
+    const bool enforceInstOrder;
+
+    size_t n = 0;
+    cat::Rel reach;
+    std::vector<cat::Rel> snapshots;
+    std::map<StoreId, int> nodeOfStore;
 };
 
 } // anonymous namespace
@@ -62,353 +229,102 @@ Checker::Checker(const litmus::LitmusTest &test, model::ModelKind model,
                  Options options)
     : test(test), model(model), options(std::move(options))
 {
+    // Screen programmatic misuse eagerly, exactly as the pre-refactor
+    // constructor did (CandidateBuilder repeats this screen, but each
+    // enumerate*() call constructs its own -- too late for a
+    // constructor-time contract and too wasteful to run here in full).
     for (size_t tid = 0; tid < test.threads.size(); ++tid) {
         const auto &prog = test.threads[tid];
         GAM_ASSERT(prog.size() < 1024, "thread too long for StoreId");
         for (size_t idx = 0; idx < prog.size(); ++idx) {
             const Instruction &instr = prog[idx];
-            // Untrusted tests (parsed or generated) are screened by
-            // LitmusTest::check() before reaching any engine; this
-            // fatal() only fires on programmatic misuse.
-            if (instr.isBranch() && instr.imm <= static_cast<int64_t>(idx))
+            if (instr.isBranch()
+                && instr.imm <= static_cast<int64_t>(idx)) {
                 fatal("axiomatic checker requires forward branches "
                       "(thread %zu instr %zu)", tid, idx);
-            if (instr.isLoad())
-                loadSites.emplace_back(static_cast<int>(tid),
-                                       static_cast<int>(idx));
-            if (instr.isStore())
-                storeSites.push_back(storeId(static_cast<int>(tid),
-                                             static_cast<int>(idx)));
+            }
         }
     }
+}
+
+litmus::OutcomeSet
+Checker::enumerate()
+{
+    CandidateEnumerator enumerator(test, options);
+    litmus::OutcomeSet outcomes = enumerator.run([&] {
+        return std::make_unique<BuiltinAxiomFilter>(
+            model, options.enforceInstOrder);
+    });
+    _stats = enumerator.stats();
+    return outcomes;
+}
+
+litmus::OutcomeSet
+Checker::enumerateFiltered(const CandidateFilter &accept)
+{
+    GAM_ASSERT(accept != nullptr, "enumerateFiltered: null filter");
+    CandidateEnumerator enumerator(test, options);
+    litmus::OutcomeSet outcomes = enumerator.runAll(accept);
+    _stats = enumerator.stats();
+    return outcomes;
+}
+
+litmus::OutcomeSet
+Checker::enumerateIncremental(const FilterFactory &factory)
+{
+    GAM_ASSERT(factory != nullptr, "enumerateIncremental: null factory");
+    CandidateEnumerator enumerator(test, options);
+    litmus::OutcomeSet outcomes = enumerator.run(factory);
+    _stats = enumerator.stats();
+    return outcomes;
+}
+
+litmus::OutcomeSet
+Checker::enumerateLegacy()
+{
+    return enumerateLegacyImpl(nullptr);
+}
+
+litmus::OutcomeSet
+Checker::enumerateFilteredLegacy(const CandidateFilter &accept)
+{
+    GAM_ASSERT(accept != nullptr, "enumerateFilteredLegacy: null filter");
+    return enumerateLegacyImpl(&accept);
 }
 
 bool
-Checker::computeExecution(const std::vector<StoreId> &rf,
-                          const std::vector<Value> &seeds,
-                          std::vector<ThreadExec> &out) const
+Checker::isAllowed()
 {
-    const size_t nthreads = test.threads.size();
-
-    // rf lookup: (tid, idx) -> ordinal in loadSites.
-    auto load_ordinal = [&](int tid, int idx) -> int {
-        for (size_t i = 0; i < loadSites.size(); ++i)
-            if (loadSites[i].first == tid && loadSites[i].second == idx)
-                return static_cast<int>(i);
-        panic("load site (%d, %d) not found", tid, idx);
-    };
-
-    // Site tables, keyed by (tid, static idx).
-    std::vector<std::vector<SiteVals>> sites(nthreads);
-    for (size_t tid = 0; tid < nthreads; ++tid)
-        sites[tid].resize(test.threads[tid].size());
-
-    // The value a store site supplies to readers: an RMW supplies what
-    // it wrote, not what it loaded.
-    auto supplied_value = [&](StoreId src) -> std::optional<Value> {
-        auto [stid, sidx] = storeIdParts(src);
-        const SiteVals &sv = sites[size_t(stid)][size_t(sidx)];
-        return test.threads[size_t(stid)][size_t(sidx)].isRmw()
-            ? sv.data2 : sv.data;
-    };
-
-    // Seed overrides for value-cycle recovery: load site -> value.
-    std::map<std::pair<int, int>, Value> seedOverride;
-
-    auto run_fixpoint = [&]() -> bool {
-        // Iterate thread executions until site values stabilise.
-        size_t total_instrs = 0;
-        for (const auto &prog : test.threads)
-            total_instrs += prog.size();
-        for (size_t round = 0; round <= total_instrs + 1; ++round) {
-            bool changed = false;
-            for (size_t tid = 0; tid < nthreads; ++tid) {
-                const auto &prog = test.threads[tid];
-                std::array<std::optional<Value>, isa::NUM_REGS> regs;
-                regs.fill(Value{0});
-                std::vector<SiteVals> next(prog.size());
-
-                auto get = [&](isa::Reg r) { return regs[size_t(r)]; };
-                auto set = [&](isa::Reg r, std::optional<Value> v) {
-                    if (r != isa::REG_ZERO)
-                        regs[size_t(r)] = v;
-                };
-
-                size_t idx = 0;
-                while (idx < prog.size()) {
-                    const Instruction &in = prog[idx];
-                    SiteVals &sv = next[idx];
-                    sv.executed = true;
-                    if (in.isRegToReg()) {
-                        auto a = get(in.src1), b = get(in.src2);
-                        if (a && b)
-                            set(in.dst, isa::evalRegToReg(in, *a, *b));
-                        else
-                            set(in.dst, std::nullopt);
-                    } else if (in.isRmw()) {
-                        auto base = get(in.src1);
-                        if (base)
-                            sv.addr = isa::effectiveAddr(in, *base);
-                        StoreId src =
-                            rf[load_ordinal(int(tid), int(idx))];
-                        std::optional<Value> old;
-                        auto seeded = seedOverride.find({int(tid),
-                                                         int(idx)});
-                        if (seeded != seedOverride.end()) {
-                            old = seeded->second;
-                        } else if (src == InitStore) {
-                            if (sv.addr)
-                                old = initRead(test.initialMem, *sv.addr);
-                        } else {
-                            old = supplied_value(src);
-                        }
-                        sv.data = old; // the loaded value
-                        auto operand = get(in.src2);
-                        if (old && operand) {
-                            sv.data2 =
-                                isa::evalRmwStored(in, *old, *operand);
-                        }
-                        set(in.dst, old);
-                    } else if (in.isLoad()) {
-                        auto base = get(in.src1);
-                        if (base)
-                            sv.addr = isa::effectiveAddr(in, *base);
-                        StoreId src =
-                            rf[load_ordinal(int(tid), int(idx))];
-                        std::optional<Value> v;
-                        auto seeded = seedOverride.find({int(tid),
-                                                         int(idx)});
-                        if (seeded != seedOverride.end()) {
-                            v = seeded->second;
-                        } else if (src == InitStore) {
-                            if (sv.addr)
-                                v = initRead(test.initialMem, *sv.addr);
-                        } else {
-                            v = supplied_value(src);
-                        }
-                        sv.data = v;
-                        set(in.dst, v);
-                    } else if (in.isStore()) {
-                        auto base = get(in.src1);
-                        if (base)
-                            sv.addr = isa::effectiveAddr(in, *base);
-                        sv.data = get(in.src2);
-                    } else if (in.isBranch()) {
-                        auto a = get(in.src1), b = get(in.src2);
-                        if (in.op != isa::Opcode::JMP && !(a && b)) {
-                            // Direction unknown: stop here this round.
-                            sv.executed = true;
-                            break;
-                        }
-                        Value va = a ? *a : 0, vb = b ? *b : 0;
-                        if (isa::evalBranchTaken(in, va, vb)) {
-                            idx = size_t(in.imm);
-                            continue;
-                        }
-                    } else if (in.op == isa::Opcode::HALT) {
-                        break;
-                    }
-                    ++idx;
-                }
-
-                for (size_t i = 0; i < prog.size(); ++i) {
-                    if (next[i].executed != sites[tid][i].executed
-                        || next[i].addr != sites[tid][i].addr
-                        || next[i].data != sites[tid][i].data
-                        || next[i].data2 != sites[tid][i].data2) {
-                        changed = true;
-                    }
-                }
-                sites[tid] = std::move(next);
-            }
-            if (!changed)
-                return true;
-        }
-        return true; // stabilised by instruction-count bound
-    };
-
-    run_fixpoint();
-
-    // Identify executed loads whose value is still undetermined.
-    auto undetermined_loads = [&]() {
-        std::vector<std::pair<int, int>> blocked;
-        for (auto [tid, idx] : loadSites) {
-            const SiteVals &sv = sites[size_t(tid)][size_t(idx)];
-            if (sv.executed && !sv.data)
-                blocked.emplace_back(tid, idx);
-        }
-        return blocked;
-    };
-
-    if (!undetermined_loads().empty() && !seeds.empty()) {
-        // Try each seed value for the whole undetermined set; keep the
-        // first consistent assignment.
-        for (Value seed : seeds) {
-            seedOverride.clear();
-            for (auto [tid, idx] : undetermined_loads())
-                seedOverride[{tid, idx}] = seed;
-            run_fixpoint();
-            // Consistency: every seeded load's rf source must actually
-            // supply the seeded value.
-            bool ok = true;
-            for (auto [tid, idx] : loadSites) {
-                const SiteVals &sv = sites[size_t(tid)][size_t(idx)];
-                if (!sv.executed)
-                    continue;
-                StoreId src = rf[load_ordinal(tid, idx)];
-                if (!sv.addr || !sv.data) {
-                    ok = false;
-                    break;
-                }
-                std::optional<Value> expect;
-                if (src == InitStore) {
-                    expect = initRead(test.initialMem, *sv.addr);
-                } else {
-                    expect = supplied_value(src);
-                }
-                if (!expect || *expect != *sv.data) {
-                    ok = false;
-                    break;
-                }
-            }
-            if (ok)
-                break;
-            seedOverride.clear();
-        }
-    }
-
-    // Final validation and trace construction.
-    out.clear();
-    out.resize(nthreads);
-    for (size_t tid = 0; tid < nthreads; ++tid) {
-        const auto &prog = test.threads[tid];
-        ThreadExec &te = out[tid];
-        te.regs.fill(Value{0});
-
-        size_t idx = 0;
-        bool complete = false;
-        while (true) {
-            if (idx >= prog.size()) {
-                complete = true;
-                break;
-            }
-            const Instruction &in = prog[idx];
-            const SiteVals &sv = sites[tid][idx];
-            if (!sv.executed)
-                break;
-
-            model::TraceInstr ti;
-            ti.instr = in;
-            StoreId rf_src = InitStore;
-            size_t next_idx = idx + 1;
-
-            if (in.isRegToReg()) {
-                auto a = te.regs[size_t(in.src1)];
-                auto b = te.regs[size_t(in.src2)];
-                if (!(a && b))
-                    return false;
-                if (in.dst != isa::REG_ZERO)
-                    te.regs[size_t(in.dst)] =
-                        isa::evalRegToReg(in, *a, *b);
-            } else if (in.isMem()) {
-                if (!sv.addr || !sv.data)
-                    return false; // undetermined value cycle remains
-                if (in.isRmw() && !sv.data2)
-                    return false;
-                if (*sv.addr & 7)
-                    return false; // bogus rf guess computed a bad address
-                ti.addr = *sv.addr;
-                ti.value = *sv.data;
-                if (in.isRmw())
-                    ti.rmwStored = *sv.data2;
-                if (in.isLoad()) {
-                    rf_src = rf[load_ordinal(int(tid), int(idx))];
-                    if (in.dst != isa::REG_ZERO)
-                        te.regs[size_t(in.dst)] = *sv.data;
-                }
-            } else if (in.isBranch()) {
-                auto a = te.regs[size_t(in.src1)];
-                auto b = te.regs[size_t(in.src2)];
-                if (in.op != isa::Opcode::JMP && !(a && b))
-                    return false;
-                if (isa::evalBranchTaken(in, a ? *a : 0, b ? *b : 0))
-                    next_idx = size_t(in.imm);
-            } else if (in.op == isa::Opcode::HALT) {
-                te.executedIdx.push_back(int(idx));
-                te.trace.push_back(ti);
-                te.rfTrace.push_back(InitStore);
-                complete = true;
-                break;
-            }
-
-            te.executedIdx.push_back(int(idx));
-            te.trace.push_back(ti);
-            te.rfTrace.push_back(rf_src);
-            idx = next_idx;
-        }
-        if (!complete)
-            return false;
-        te.complete = true;
-    }
-
-    // rf validity: executed loads read executed same-address stores;
-    // unexecuted loads must use the canonical InitStore choice.
-    for (size_t i = 0; i < loadSites.size(); ++i) {
-        auto [tid, idx] = loadSites[i];
-        const SiteVals &sv = sites[size_t(tid)][size_t(idx)];
-        if (!sv.executed) {
-            if (rf[i] != InitStore)
-                return false; // canonical duplicate
-            continue;
-        }
-        if (rf[i] == InitStore) {
-            // (Relevant after seeding:) the load's value must really be
-            // the initial memory value of its address.
-            if (*sv.data != initRead(test.initialMem, *sv.addr))
-                return false;
-            continue;
-        }
-        auto [stid, sidx] = storeIdParts(rf[i]);
-        const SiteVals &ss = sites[size_t(stid)][size_t(sidx)];
-        if (!ss.executed || !ss.addr || *ss.addr != *sv.addr)
-            return false;
-        auto supplied = supplied_value(rf[i]);
-        if (!supplied || *supplied != *sv.data)
-            return false;
-    }
-    return true;
+    // Seed undetermined-value candidates with the condition's constants
+    // so OOTA-style conditions are decided by the axioms.
+    options = withConditionSeeds(test, std::move(options));
+    litmus::OutcomeSet outcomes = enumerate();
+    for (const auto &o : outcomes)
+        if (test.conditionMatches(o))
+            return true;
+    return false;
 }
 
+// ------------------------------------------------- legacy enumeration
+//
+// The pre-incremental pipeline, preserved verbatim: every complete
+// (rf, co) candidate is materialized, the whole constraint graph is
+// built, and acyclicity is tested at the end.  Differential tests
+// assert outcome-set equality against the pruned search above, and
+// bench_candidate_prune measures what the pruning buys.
+
 void
-Checker::checkCandidate(const std::vector<ThreadExec> &exec,
-                        const std::vector<StoreId> & /* rf */,
-                        litmus::OutcomeSet &outcomes,
-                        const CandidateFilter *accept, uint64_t rfEpoch)
+Checker::checkCandidate(
+    const std::vector<CandidateBuilder::ThreadExec> &exec,
+    litmus::OutcomeSet &outcomes, const CandidateFilter *accept,
+    uint64_t rfEpoch)
 {
     // ---- Collect memory events and per-thread ppo. ----
     std::vector<CandidateEvent> events;
+    collectCandidateEvents(exec, events);
     std::map<std::pair<int, int>, int> nodeOf; // (tid, traceIdx) -> node
-
-    for (size_t tid = 0; tid < exec.size(); ++tid) {
-        const auto &te = exec[tid];
-        for (size_t k = 0; k < te.trace.size(); ++k) {
-            const auto &ti = te.trace[k];
-            if (!ti.isMem())
-                continue;
-            CandidateEvent ev;
-            ev.tid = int(tid);
-            ev.traceIdx = int(k);
-            ev.isStore = ti.isStore();
-            ev.isLoad = ti.isLoad();
-            ev.addr = ti.addr;
-            ev.value = ti.instr.isRmw() ? ti.rmwStored : ti.value;
-            ev.sid = ti.isStore()
-                ? storeId(int(tid), te.executedIdx[k]) : InitStore;
-            ev.rf = ti.isLoad() ? te.rfTrace[k] : InitStore;
-            nodeOf[{int(tid), int(k)}] = int(events.size());
-            events.push_back(ev);
-        }
-    }
+    for (size_t v = 0; v < events.size(); ++v)
+        nodeOf[{events[v].tid, events[v].traceIdx}] = int(v);
     const size_t n = events.size();
 
     // The committed traces, for filters that derive their own
@@ -461,21 +377,7 @@ Checker::checkCandidate(const std::vector<ThreadExec> &exec,
     // ---- Accepted-candidate outcome recording (both paths). ----
     auto record = [&]() {
         ++_stats.accepted;
-        litmus::Outcome outcome;
-        for (auto [tid, reg] : test.observedRegs) {
-            auto v = exec[size_t(tid)].regs[size_t(reg)];
-            GAM_ASSERT(v.has_value(), "unresolved observed register");
-            outcome.regs.push_back({tid, reg, *v});
-        }
-        for (Addr a : test.addressUniverse) {
-            Value v = initRead(test.initialMem, a);
-            auto it = perm.find(a);
-            if (it != perm.end() && !it->second.empty())
-                v = events[size_t(it->second.back())].value;
-            outcome.mem.push_back({a, v});
-        }
-        outcome.canonicalize();
-        outcomes.insert(outcome);
+        recordCandidateOutcome(test, exec, events, perm, outcomes);
     };
 
     auto try_combo = [&]() {
@@ -607,30 +509,19 @@ Checker::checkCandidate(const std::vector<ThreadExec> &exec,
 }
 
 litmus::OutcomeSet
-Checker::enumerate()
-{
-    return enumerateImpl(nullptr);
-}
-
-litmus::OutcomeSet
-Checker::enumerateFiltered(const CandidateFilter &accept)
-{
-    GAM_ASSERT(accept != nullptr, "enumerateFiltered: null filter");
-    return enumerateImpl(&accept);
-}
-
-litmus::OutcomeSet
-Checker::enumerateImpl(const CandidateFilter *accept)
+Checker::enumerateLegacyImpl(const CandidateFilter *accept)
 {
     _stats = CheckerStats{};
     litmus::OutcomeSet outcomes;
 
-    const size_t nloads = loadSites.size();
+    CandidateBuilder builder(test, options);
+    const size_t nloads = builder.loadSites().size();
     std::vector<StoreId> rf(nloads, InitStore);
     // Choice list per load: InitStore plus every store site.
     std::vector<StoreId> choices;
     choices.push_back(InitStore);
-    choices.insert(choices.end(), storeSites.begin(), storeSites.end());
+    choices.insert(choices.end(), builder.storeSites().begin(),
+                   builder.storeSites().end());
 
     std::vector<size_t> odo(nloads, 0);
     for (;;) {
@@ -638,10 +529,10 @@ Checker::enumerateImpl(const CandidateFilter *accept)
             rf[i] = choices[odo[i]];
 
         ++_stats.rfCandidates;
-        std::vector<ThreadExec> exec;
-        if (computeExecution(rf, options.seedValues, exec)) {
+        std::vector<CandidateBuilder::ThreadExec> exec;
+        if (builder.computeExecution(rf, exec)) {
             ++_stats.valueConsistent;
-            checkCandidate(exec, rf, outcomes, accept,
+            checkCandidate(exec, outcomes, accept,
                            _stats.valueConsistent);
         } else {
             ++_stats.valueCycles;
@@ -659,33 +550,6 @@ Checker::enumerateImpl(const CandidateFilter *accept)
             break;
     }
     return outcomes;
-}
-
-Options
-withConditionSeeds(const litmus::LitmusTest &test, Options options)
-{
-    if (options.seedValues.empty()) {
-        std::set<Value> seeds;
-        for (const auto &rc : test.regCond)
-            seeds.insert(rc.value);
-        for (const auto &mc : test.memCond)
-            seeds.insert(mc.value);
-        options.seedValues.assign(seeds.begin(), seeds.end());
-    }
-    return options;
-}
-
-bool
-Checker::isAllowed()
-{
-    // Seed undetermined-value candidates with the condition's constants
-    // so OOTA-style conditions are decided by the axioms.
-    options = withConditionSeeds(test, std::move(options));
-    litmus::OutcomeSet outcomes = enumerate();
-    for (const auto &o : outcomes)
-        if (test.conditionMatches(o))
-            return true;
-    return false;
 }
 
 } // namespace gam::axiomatic

@@ -17,16 +17,25 @@
  * witness mo; conversely every legal mo linearises the constraints), an
  * exact and standard reduction.
  *
+ * Candidate production and search live in the shared enumeration core
+ * (axiomatic/enumerate.hh); this file contributes the hand-coded
+ * Figure-15 axioms in two forms:
+ *
+ *  - an IncrementalFilter that maintains the constraint closure online
+ *    (one bitset reachability relation, extended edge by edge) so the
+ *    pruned search can reject a partial candidate the moment a
+ *    constraint cycle closes -- the default enumerate() path;
+ *
+ *  - the original enumerate-then-check pipeline, kept verbatim as
+ *    enumerateLegacy() so differential tests and the pruning
+ *    benchmarks can compare the two.
+ *
  * Load values are computed from rf by a cross-thread fixpoint, so
  * dependencies through registers *and* memory (Figure 13c) resolve
  * naturally.  Candidates whose values stay undetermined encode
  * out-of-thin-air cycles; they are provably mo-cyclic under every model
  * here (all include full syntactic data dependencies in ppo), and can
  * optionally be value-seeded to demonstrate the rejection explicitly.
- *
- * Thread programs must be loop-free (forward branches only): then every
- * static instruction executes at most once and rf can be indexed
- * statically.
  */
 
 #ifndef GAM_AXIOMATIC_CHECKER_HH
@@ -38,6 +47,7 @@
 #include <optional>
 #include <vector>
 
+#include "axiomatic/enumerate.hh"
 #include "litmus/outcome.hh"
 #include "litmus/test.hh"
 #include "model/kind.hh"
@@ -46,96 +56,6 @@
 namespace gam::axiomatic
 {
 
-/** Checker knobs. */
-struct Options
-{
-    /**
-     * Drop the InstOrder axiom (keep LoadValue only).  Used to
-     * demonstrate that LoadValue alone admits out-of-thin-air behaviors
-     * (Section II-C): "allowing all load/store reorderings [by] simply
-     * removing the InstOrderSC axiom ... would [make OOTA] legal".
-     */
-    bool enforceInstOrder = true;
-
-    /**
-     * Values to try for loads whose value stays undetermined because of
-     * a cyclic rf (out-of-thin-air candidates).  Empty: such candidates
-     * are discarded, which is sound for every supported model.
-     */
-    std::vector<isa::Value> seedValues;
-};
-
-/**
- * @p options with seedValues defaulted to the constants of @p test's
- * condition (when not already set): the seeding Checker::isAllowed()
- * applies so OOTA-style queries are decided by the axioms rather than
- * by omission.  Shared with harness::decide() so the two paths can
- * never diverge.
- */
-Options withConditionSeeds(const litmus::LitmusTest &test,
-                           Options options);
-
-/** Counters describing one enumeration run. */
-struct CheckerStats
-{
-    uint64_t rfCandidates = 0;      ///< read-from maps tried
-    uint64_t valueConsistent = 0;   ///< ... passing the value fixpoint
-    uint64_t coCandidates = 0;      ///< (rf, co) combinations checked
-    uint64_t accepted = 0;          ///< ... that were acyclic (legal)
-    uint64_t valueCycles = 0;       ///< rf maps with undetermined values
-};
-
-/**
- * One memory event of a candidate execution: an executed load/store
- * with resolved address, in committed trace order per thread.  RMWs
- * are a single event that is both a load and a store.
- */
-struct CandidateEvent
-{
-    int tid;
-    int traceIdx;        ///< index into the thread's committed trace
-    bool isStore;
-    bool isLoad;         ///< RMWs are both
-    isa::Addr addr;
-    isa::Value value;    ///< value the event supplies to memory/readers
-    model::StoreId sid;  ///< store side: own id (InitStore otherwise)
-    model::StoreId rf;   ///< load side: read-from source (or InitStore)
-};
-
-/**
- * One fully chosen candidate execution: the committed thread traces
- * plus one read-from map and one per-address coherence order.  This is
- * the domain over which relational (cat-style) model engines evaluate
- * their axioms; the Checker enumerates exactly the same candidates for
- * its hand-coded axioms, so alternative engines built on
- * enumerateFiltered() are verdict-comparable by construction.
- *
- * All references point into enumeration-owned storage and are valid
- * only for the duration of one filter callback.
- */
-struct CandidateExecution
-{
-    /** All memory events, thread-major, trace order within a thread. */
-    const std::vector<CandidateEvent> &events;
-    /** Coherence order per address: event indices, first to last. */
-    const std::map<isa::Addr, std::vector<int>> &coOrder;
-    /** Committed per-thread traces (fences/branches included). */
-    const std::vector<const model::Trace *> &traces;
-    /**
-     * Increments once per read-from candidate.  events, traces and
-     * every event's rf are reused across the coherence orders sharing
-     * an epoch -- only coOrder changes -- so callers may cache
-     * trace-derived data (program order, dependencies) keyed on it.
-     */
-    uint64_t rfEpoch;
-};
-
-/**
- * Accept/reject one candidate execution.  Returning true records the
- * candidate's outcome exactly as the built-in axioms would.
- */
-using CandidateFilter = std::function<bool(const CandidateExecution &)>;
-
 /** Axiomatic enumeration for one litmus test under one model. */
 class Checker
 {
@@ -143,7 +63,10 @@ class Checker
     Checker(const litmus::LitmusTest &test, model::ModelKind model,
             Options options = {});
 
-    /** All outcomes the axioms accept. */
+    /**
+     * All outcomes the axioms accept, via the incremental pruned
+     * search (the hand-coded axioms as an IncrementalFilter).
+     */
     litmus::OutcomeSet enumerate();
 
     /**
@@ -152,11 +75,34 @@ class Checker
      * else -- value-consistent read-from maps, per-address coherence
      * permutations, outcome recording -- is shared with enumerate(),
      * which is what makes engines layered on this (src/cat/) directly
-     * comparable with the hand-coded checker.  The `model` passed to
-     * the constructor is ignored on this path: the filter embodies the
+     * comparable with the hand-coded checker.  A thin compatibility
+     * wrapper over the enumeration core: @p accept sees the full
+     * unpruned candidate stream, serially.  The `model` passed to the
+     * constructor is ignored on this path: the filter embodies the
      * model.
      */
     litmus::OutcomeSet enumerateFiltered(const CandidateFilter &accept);
+
+    /**
+     * Drive the incremental pruned search with a custom filter (one
+     * per worker from @p factory); the engine entry point for models
+     * that can judge partial candidates (cat::CatEngine).  The
+     * constructor's `model` is ignored: the filter embodies the model.
+     */
+    litmus::OutcomeSet enumerateIncremental(const FilterFactory &factory);
+
+    /**
+     * The pre-incremental pipeline, unchanged: materialize every
+     * complete (rf, co) candidate, then test the built-in axioms by
+     * building the whole constraint graph and checking acyclicity.
+     * Exists solely as the reference side of differential tests and
+     * the pruning benchmarks.
+     */
+    litmus::OutcomeSet enumerateLegacy();
+
+    /** enumerateLegacy() with @p accept instead of the built-ins. */
+    litmus::OutcomeSet
+    enumerateFilteredLegacy(const CandidateFilter &accept);
 
     /**
      * Is the test's asked-about condition reachable?  Seeds
@@ -168,22 +114,14 @@ class Checker
     const CheckerStats &stats() const { return _stats; }
 
   private:
-    struct ThreadExec;
-
-    /** Execute all threads to a value fixpoint under rf; see .cc. */
-    bool computeExecution(const std::vector<model::StoreId> &rf,
-                          const std::vector<isa::Value> &seeds,
-                          std::vector<ThreadExec> &out) const;
-
-    /** Shared enumeration loop; @p accept null = built-in axioms. */
-    litmus::OutcomeSet enumerateImpl(const CandidateFilter *accept);
+    /** Shared legacy enumeration loop; @p accept null = built-ins. */
+    litmus::OutcomeSet enumerateLegacyImpl(const CandidateFilter *accept);
 
     /**
      * Check one (rf, co) candidate family -- built-in axioms or
-     * @p accept -- and record accepted outcomes.
+     * @p accept -- and record accepted outcomes (legacy path).
      */
-    void checkCandidate(const std::vector<ThreadExec> &exec,
-                        const std::vector<model::StoreId> &rf,
+    void checkCandidate(const std::vector<CandidateBuilder::ThreadExec> &exec,
                         litmus::OutcomeSet &outcomes,
                         const CandidateFilter *accept, uint64_t rfEpoch);
 
@@ -191,26 +129,7 @@ class Checker
     model::ModelKind model;
     Options options;
     CheckerStats _stats;
-
-    /** Static load sites (tid, index), in enumeration order. */
-    std::vector<std::pair<int, int>> loadSites;
-    /** Static store sites as global StoreIds. */
-    std::vector<model::StoreId> storeSites;
 };
-
-/** Encode (tid, static index) as a StoreId. */
-constexpr model::StoreId
-storeId(int tid, int idx)
-{
-    return static_cast<model::StoreId>(tid * 1024 + idx);
-}
-
-/** Decode a StoreId. */
-constexpr std::pair<int, int>
-storeIdParts(model::StoreId id)
-{
-    return {id / 1024, id % 1024};
-}
 
 } // namespace gam::axiomatic
 

@@ -1,0 +1,846 @@
+#include "axiomatic/enumerate.hh"
+
+#include <algorithm>
+#include <cstddef>
+#include <set>
+
+#include "base/logging.hh"
+#include "base/thread_pool.hh"
+#include "isa/semantics.hh"
+
+namespace gam::axiomatic
+{
+
+using isa::Addr;
+using isa::Instruction;
+using isa::Value;
+using model::InitStore;
+using model::StoreId;
+
+isa::Value
+initialMemValue(const isa::MemImage &mem, Addr addr)
+{
+    if (addr & 7)
+        return 0;
+    return mem.load(addr);
+}
+
+void
+CheckerStats::merge(const CheckerStats &other)
+{
+    rfCandidates += other.rfCandidates;
+    valueConsistent += other.valueConsistent;
+    coCandidates += other.coCandidates;
+    accepted += other.accepted;
+    valueCycles += other.valueCycles;
+    rfStaticSkipped += other.rfStaticSkipped;
+    rfPruned += other.rfPruned;
+    partialsPruned += other.partialsPruned;
+    subtreesSkipped += other.subtreesSkipped;
+    maxBacktrackDepth =
+        std::max(maxBacktrackDepth, other.maxBacktrackDepth);
+}
+
+Options
+withConditionSeeds(const litmus::LitmusTest &test, Options options)
+{
+    if (options.seedValues.empty()) {
+        std::set<Value> seeds;
+        for (const auto &rc : test.regCond)
+            seeds.insert(rc.value);
+        for (const auto &mc : test.memCond)
+            seeds.insert(mc.value);
+        options.seedValues.assign(seeds.begin(), seeds.end());
+    }
+    return options;
+}
+
+namespace
+{
+
+/** Per static site: resolved address / data where known. */
+struct SiteVals
+{
+    bool executed = false;
+    std::optional<Value> addr;  // memory instructions
+    std::optional<Value> data;  // store data or load(ed) value
+    std::optional<Value> data2; // RMWs: the value written to memory
+};
+
+/** a * b, saturating at UINT64_MAX (subtree-size accounting). */
+uint64_t
+satMul(uint64_t a, uint64_t b)
+{
+    if (a != 0 && b > ~uint64_t(0) / a)
+        return ~uint64_t(0);
+    return a * b;
+}
+
+/** a + b, saturating. */
+uint64_t
+satAdd(uint64_t a, uint64_t b)
+{
+    return b > ~uint64_t(0) - a ? ~uint64_t(0) : a + b;
+}
+
+/** n!, saturating. */
+uint64_t
+satFactorial(uint64_t n)
+{
+    uint64_t f = 1;
+    for (uint64_t k = 2; k <= n; ++k)
+        f = satMul(f, k);
+    return f;
+}
+
+} // anonymous namespace
+
+// ---------------------------------------------------- CandidateBuilder
+
+CandidateBuilder::CandidateBuilder(const litmus::LitmusTest &test,
+                                   Options options)
+    : _test(test), _options(std::move(options))
+{
+    for (size_t tid = 0; tid < test.threads.size(); ++tid) {
+        const auto &prog = test.threads[tid];
+        GAM_ASSERT(prog.size() < 1024, "thread too long for StoreId");
+        for (size_t idx = 0; idx < prog.size(); ++idx) {
+            const Instruction &instr = prog[idx];
+            // Untrusted tests (parsed or generated) are screened by
+            // LitmusTest::check() before reaching any engine; this
+            // fatal() only fires on programmatic misuse.
+            if (instr.isBranch() && instr.imm <= static_cast<int64_t>(idx))
+                fatal("axiomatic checker requires forward branches "
+                      "(thread %zu instr %zu)", tid, idx);
+            if (instr.isLoad())
+                _loadSites.emplace_back(static_cast<int>(tid),
+                                        static_cast<int>(idx));
+            if (instr.isStore())
+                _storeSites.push_back(storeId(static_cast<int>(tid),
+                                              static_cast<int>(idx)));
+        }
+    }
+    computeStaticFeasibility();
+}
+
+void
+CandidateBuilder::computeStaticFeasibility()
+{
+    // Per-site address when it is a function of constants only: such
+    // an address is the same in every execution in which the site
+    // executes, so a load whose constant address differs from a
+    // store's constant address can never read from it.  Loaded values
+    // are unknown, and the walk stops at the first branch whose
+    // direction depends on one (everything after keeps an unknown
+    // address) -- conservative, but enough to collapse the read-from
+    // space of the common litmus shape where addresses come from
+    // constant preludes.
+    //
+    // This walk is a deliberately separate abstract interpreter from
+    // computeExecution()'s run_fixpoint below (unknown load values,
+    // single prefix, no rf): keep their opcode dispatch in sync when
+    // the ISA changes.  Drift is unsound only in the skipping
+    // direction and shows up immediately as an outcome-set difference
+    // in tests/enumerate_test.cc's pruned-vs-legacy parity suites.
+    std::vector<std::vector<std::optional<Value>>> staticAddr(
+        _test.threads.size());
+    for (size_t tid = 0; tid < _test.threads.size(); ++tid) {
+        const auto &prog = _test.threads[tid];
+        auto &addrs = staticAddr[tid];
+        addrs.assign(prog.size(), std::nullopt);
+
+        std::array<std::optional<Value>, isa::NUM_REGS> regs;
+        regs.fill(Value{0});
+        auto get = [&](isa::Reg r) { return regs[size_t(r)]; };
+        auto set = [&](isa::Reg r, std::optional<Value> v) {
+            if (r != isa::REG_ZERO)
+                regs[size_t(r)] = v;
+        };
+
+        size_t idx = 0;
+        while (idx < prog.size()) {
+            const Instruction &in = prog[idx];
+            if (in.isRegToReg()) {
+                auto a = get(in.src1), b = get(in.src2);
+                set(in.dst, a && b
+                    ? std::optional(isa::evalRegToReg(in, *a, *b))
+                    : std::nullopt);
+            } else if (in.isMem()) {
+                if (auto base = get(in.src1))
+                    addrs[idx] = isa::effectiveAddr(in, *base);
+                if (in.isLoad())
+                    set(in.dst, std::nullopt);
+            } else if (in.isBranch()) {
+                bool taken;
+                if (in.op == isa::Opcode::JMP) {
+                    taken = true;
+                } else if (in.src1 == in.src2) {
+                    // x ? x is value-independent: BEQ/BGE taken,
+                    // BNE/BLT fall through.
+                    taken = in.op == isa::Opcode::BEQ
+                        || in.op == isa::Opcode::BGE;
+                } else if (auto a = get(in.src1), b = get(in.src2);
+                           a && b) {
+                    taken = isa::evalBranchTaken(in, *a, *b);
+                } else {
+                    break; // direction value-dependent: stop the walk
+                }
+                if (taken) {
+                    idx = size_t(in.imm);
+                    continue;
+                }
+            } else if (in.op == isa::Opcode::HALT) {
+                break;
+            }
+            ++idx;
+        }
+    }
+
+    auto addrOf = [&](StoreId sid) {
+        auto [tid, idx] = storeIdParts(sid);
+        return staticAddr[size_t(tid)][size_t(idx)];
+    };
+
+    _rfChoices.resize(_loadSites.size());
+    uint64_t full = 1, feasible = 1;
+    for (size_t i = 0; i < _loadSites.size(); ++i) {
+        auto [tid, idx] = _loadSites[i];
+        const auto loadAddr = staticAddr[size_t(tid)][size_t(idx)];
+        auto &choices = _rfChoices[i];
+        choices.push_back(InitStore);
+        for (StoreId sid : _storeSites) {
+            const auto storeAddr = addrOf(sid);
+            if (loadAddr && storeAddr && *loadAddr != *storeAddr)
+                continue; // provably different addresses
+            choices.push_back(sid);
+        }
+        full = satMul(full, uint64_t(_storeSites.size()) + 1);
+        feasible = satMul(feasible, uint64_t(choices.size()));
+    }
+    _rfStaticSkipped = full - feasible;
+}
+
+bool
+CandidateBuilder::computeExecution(const std::vector<StoreId> &rf,
+                                   std::vector<ThreadExec> &out) const
+{
+    const size_t nthreads = _test.threads.size();
+    const std::vector<Value> &seeds = _options.seedValues;
+
+    // rf lookup: (tid, idx) -> ordinal in loadSites.
+    auto load_ordinal = [&](int tid, int idx) -> int {
+        for (size_t i = 0; i < _loadSites.size(); ++i)
+            if (_loadSites[i].first == tid
+                && _loadSites[i].second == idx)
+                return static_cast<int>(i);
+        panic("load site (%d, %d) not found", tid, idx);
+    };
+
+    // Site tables, keyed by (tid, static idx).
+    std::vector<std::vector<SiteVals>> sites(nthreads);
+    for (size_t tid = 0; tid < nthreads; ++tid)
+        sites[tid].resize(_test.threads[tid].size());
+
+    // The value a store site supplies to readers: an RMW supplies what
+    // it wrote, not what it loaded.
+    auto supplied_value = [&](StoreId src) -> std::optional<Value> {
+        auto [stid, sidx] = storeIdParts(src);
+        const SiteVals &sv = sites[size_t(stid)][size_t(sidx)];
+        return _test.threads[size_t(stid)][size_t(sidx)].isRmw()
+            ? sv.data2 : sv.data;
+    };
+
+    // Seed overrides for value-cycle recovery: load site -> value.
+    std::map<std::pair<int, int>, Value> seedOverride;
+
+    auto run_fixpoint = [&]() -> bool {
+        // Iterate thread executions until site values stabilise.
+        size_t total_instrs = 0;
+        for (const auto &prog : _test.threads)
+            total_instrs += prog.size();
+        for (size_t round = 0; round <= total_instrs + 1; ++round) {
+            bool changed = false;
+            for (size_t tid = 0; tid < nthreads; ++tid) {
+                const auto &prog = _test.threads[tid];
+                std::array<std::optional<Value>, isa::NUM_REGS> regs;
+                regs.fill(Value{0});
+                std::vector<SiteVals> next(prog.size());
+
+                auto get = [&](isa::Reg r) { return regs[size_t(r)]; };
+                auto set = [&](isa::Reg r, std::optional<Value> v) {
+                    if (r != isa::REG_ZERO)
+                        regs[size_t(r)] = v;
+                };
+
+                size_t idx = 0;
+                while (idx < prog.size()) {
+                    const Instruction &in = prog[idx];
+                    SiteVals &sv = next[idx];
+                    sv.executed = true;
+                    if (in.isRegToReg()) {
+                        auto a = get(in.src1), b = get(in.src2);
+                        if (a && b)
+                            set(in.dst, isa::evalRegToReg(in, *a, *b));
+                        else
+                            set(in.dst, std::nullopt);
+                    } else if (in.isRmw()) {
+                        auto base = get(in.src1);
+                        if (base)
+                            sv.addr = isa::effectiveAddr(in, *base);
+                        StoreId src =
+                            rf[load_ordinal(int(tid), int(idx))];
+                        std::optional<Value> old;
+                        auto seeded = seedOverride.find({int(tid),
+                                                         int(idx)});
+                        if (seeded != seedOverride.end()) {
+                            old = seeded->second;
+                        } else if (src == InitStore) {
+                            if (sv.addr)
+                                old = initialMemValue(_test.initialMem,
+                                                      *sv.addr);
+                        } else {
+                            old = supplied_value(src);
+                        }
+                        sv.data = old; // the loaded value
+                        auto operand = get(in.src2);
+                        if (old && operand) {
+                            sv.data2 =
+                                isa::evalRmwStored(in, *old, *operand);
+                        }
+                        set(in.dst, old);
+                    } else if (in.isLoad()) {
+                        auto base = get(in.src1);
+                        if (base)
+                            sv.addr = isa::effectiveAddr(in, *base);
+                        StoreId src =
+                            rf[load_ordinal(int(tid), int(idx))];
+                        std::optional<Value> v;
+                        auto seeded = seedOverride.find({int(tid),
+                                                         int(idx)});
+                        if (seeded != seedOverride.end()) {
+                            v = seeded->second;
+                        } else if (src == InitStore) {
+                            if (sv.addr)
+                                v = initialMemValue(_test.initialMem,
+                                                    *sv.addr);
+                        } else {
+                            v = supplied_value(src);
+                        }
+                        sv.data = v;
+                        set(in.dst, v);
+                    } else if (in.isStore()) {
+                        auto base = get(in.src1);
+                        if (base)
+                            sv.addr = isa::effectiveAddr(in, *base);
+                        sv.data = get(in.src2);
+                    } else if (in.isBranch()) {
+                        auto a = get(in.src1), b = get(in.src2);
+                        if (in.op != isa::Opcode::JMP && !(a && b)) {
+                            // Direction unknown: stop here this round.
+                            sv.executed = true;
+                            break;
+                        }
+                        Value va = a ? *a : 0, vb = b ? *b : 0;
+                        if (isa::evalBranchTaken(in, va, vb)) {
+                            idx = size_t(in.imm);
+                            continue;
+                        }
+                    } else if (in.op == isa::Opcode::HALT) {
+                        break;
+                    }
+                    ++idx;
+                }
+
+                for (size_t i = 0; i < prog.size(); ++i) {
+                    if (next[i].executed != sites[tid][i].executed
+                        || next[i].addr != sites[tid][i].addr
+                        || next[i].data != sites[tid][i].data
+                        || next[i].data2 != sites[tid][i].data2) {
+                        changed = true;
+                    }
+                }
+                sites[tid] = std::move(next);
+            }
+            if (!changed)
+                return true;
+        }
+        return true; // stabilised by instruction-count bound
+    };
+
+    run_fixpoint();
+
+    // Identify executed loads whose value is still undetermined.
+    auto undetermined_loads = [&]() {
+        std::vector<std::pair<int, int>> blocked;
+        for (auto [tid, idx] : _loadSites) {
+            const SiteVals &sv = sites[size_t(tid)][size_t(idx)];
+            if (sv.executed && !sv.data)
+                blocked.emplace_back(tid, idx);
+        }
+        return blocked;
+    };
+
+    if (!undetermined_loads().empty() && !seeds.empty()) {
+        // Try each seed value for the whole undetermined set; keep the
+        // first consistent assignment.
+        for (Value seed : seeds) {
+            seedOverride.clear();
+            for (auto [tid, idx] : undetermined_loads())
+                seedOverride[{tid, idx}] = seed;
+            run_fixpoint();
+            // Consistency: every seeded load's rf source must actually
+            // supply the seeded value.
+            bool ok = true;
+            for (auto [tid, idx] : _loadSites) {
+                const SiteVals &sv = sites[size_t(tid)][size_t(idx)];
+                if (!sv.executed)
+                    continue;
+                StoreId src = rf[load_ordinal(tid, idx)];
+                if (!sv.addr || !sv.data) {
+                    ok = false;
+                    break;
+                }
+                std::optional<Value> expect;
+                if (src == InitStore) {
+                    expect = initialMemValue(_test.initialMem, *sv.addr);
+                } else {
+                    expect = supplied_value(src);
+                }
+                if (!expect || *expect != *sv.data) {
+                    ok = false;
+                    break;
+                }
+            }
+            if (ok)
+                break;
+            seedOverride.clear();
+        }
+    }
+
+    // Final validation and trace construction.
+    out.clear();
+    out.resize(nthreads);
+    for (size_t tid = 0; tid < nthreads; ++tid) {
+        const auto &prog = _test.threads[tid];
+        ThreadExec &te = out[tid];
+        te.regs.fill(Value{0});
+
+        size_t idx = 0;
+        bool complete = false;
+        while (true) {
+            if (idx >= prog.size()) {
+                complete = true;
+                break;
+            }
+            const Instruction &in = prog[idx];
+            const SiteVals &sv = sites[tid][idx];
+            if (!sv.executed)
+                break;
+
+            model::TraceInstr ti;
+            ti.instr = in;
+            StoreId rf_src = InitStore;
+            size_t next_idx = idx + 1;
+
+            if (in.isRegToReg()) {
+                auto a = te.regs[size_t(in.src1)];
+                auto b = te.regs[size_t(in.src2)];
+                if (!(a && b))
+                    return false;
+                if (in.dst != isa::REG_ZERO)
+                    te.regs[size_t(in.dst)] =
+                        isa::evalRegToReg(in, *a, *b);
+            } else if (in.isMem()) {
+                if (!sv.addr || !sv.data)
+                    return false; // undetermined value cycle remains
+                if (in.isRmw() && !sv.data2)
+                    return false;
+                if (*sv.addr & 7)
+                    return false; // bogus rf guess computed a bad address
+                ti.addr = *sv.addr;
+                ti.value = *sv.data;
+                if (in.isRmw())
+                    ti.rmwStored = *sv.data2;
+                if (in.isLoad()) {
+                    rf_src = rf[load_ordinal(int(tid), int(idx))];
+                    if (in.dst != isa::REG_ZERO)
+                        te.regs[size_t(in.dst)] = *sv.data;
+                }
+            } else if (in.isBranch()) {
+                auto a = te.regs[size_t(in.src1)];
+                auto b = te.regs[size_t(in.src2)];
+                if (in.op != isa::Opcode::JMP && !(a && b))
+                    return false;
+                if (isa::evalBranchTaken(in, a ? *a : 0, b ? *b : 0))
+                    next_idx = size_t(in.imm);
+            } else if (in.op == isa::Opcode::HALT) {
+                te.executedIdx.push_back(int(idx));
+                te.trace.push_back(ti);
+                te.rfTrace.push_back(InitStore);
+                complete = true;
+                break;
+            }
+
+            te.executedIdx.push_back(int(idx));
+            te.trace.push_back(ti);
+            te.rfTrace.push_back(rf_src);
+            idx = next_idx;
+        }
+        if (!complete)
+            return false;
+        te.complete = true;
+    }
+
+    // rf validity: executed loads read executed same-address stores;
+    // unexecuted loads must use the canonical InitStore choice.
+    for (size_t i = 0; i < _loadSites.size(); ++i) {
+        auto [tid, idx] = _loadSites[i];
+        const SiteVals &sv = sites[size_t(tid)][size_t(idx)];
+        if (!sv.executed) {
+            if (rf[i] != InitStore)
+                return false; // canonical duplicate
+            continue;
+        }
+        if (rf[i] == InitStore) {
+            // (Relevant after seeding:) the load's value must really be
+            // the initial memory value of its address.
+            if (*sv.data != initialMemValue(_test.initialMem, *sv.addr))
+                return false;
+            continue;
+        }
+        auto [stid, sidx] = storeIdParts(rf[i]);
+        const SiteVals &ss = sites[size_t(stid)][size_t(sidx)];
+        if (!ss.executed || !ss.addr || *ss.addr != *sv.addr)
+            return false;
+        auto supplied = supplied_value(rf[i]);
+        if (!supplied || *supplied != *sv.data)
+            return false;
+    }
+    return true;
+}
+
+// -------------------------------------------------- CandidateEnumerator
+
+/** Everything one worker carries through one rf candidate's search. */
+struct CandidateEnumerator::SearchCtx
+{
+    IncrementalFilter &filter;
+    litmus::OutcomeSet &outcomes;
+    CheckerStats &stats;
+    const litmus::LitmusTest &test;
+
+    std::vector<CandidateBuilder::ThreadExec> exec{};
+    uint64_t rfEpoch = 0;
+
+    // Derived per rf candidate.
+    std::vector<CandidateEvent> events{};
+    std::vector<const model::Trace *> traces{};
+    std::vector<Addr> addrs{};                       ///< search order
+    std::map<Addr, std::vector<int>> storesByAddr{}; ///< full store sets
+    std::map<Addr, std::vector<int>> coOrder{};      ///< growing prefixes
+    /** Leaves under a whole address suffix: suffixLeaves[i] =
+     *  prod_{j >= i} |stores(addrs[j])|! (suffixLeaves[naddrs] = 1). */
+    std::vector<uint64_t> suffixLeaves{};
+    /** Unplaced stores per address (parallel to addrs). */
+    std::vector<std::vector<int>> remaining{};
+    uint64_t placedTotal = 0;
+};
+
+CandidateEnumerator::CandidateEnumerator(const litmus::LitmusTest &test,
+                                         Options options)
+    : _builder(test, std::move(options))
+{
+}
+
+void
+collectCandidateEvents(
+    const std::vector<CandidateBuilder::ThreadExec> &exec,
+    std::vector<CandidateEvent> &out)
+{
+    out.clear();
+    for (size_t tid = 0; tid < exec.size(); ++tid) {
+        const auto &te = exec[tid];
+        for (size_t k = 0; k < te.trace.size(); ++k) {
+            const auto &ti = te.trace[k];
+            if (!ti.isMem())
+                continue;
+            CandidateEvent ev;
+            ev.tid = int(tid);
+            ev.traceIdx = int(k);
+            ev.isStore = ti.isStore();
+            ev.isLoad = ti.isLoad();
+            ev.addr = ti.addr;
+            ev.value = ti.instr.isRmw() ? ti.rmwStored : ti.value;
+            ev.sid = ti.isStore()
+                ? storeId(int(tid), te.executedIdx[k]) : InitStore;
+            ev.rf = ti.isLoad() ? te.rfTrace[k] : InitStore;
+            out.push_back(ev);
+        }
+    }
+}
+
+void
+recordCandidateOutcome(
+    const litmus::LitmusTest &test,
+    const std::vector<CandidateBuilder::ThreadExec> &exec,
+    const std::vector<CandidateEvent> &events,
+    const std::map<Addr, std::vector<int>> &coOrder,
+    litmus::OutcomeSet &outcomes)
+{
+    litmus::Outcome outcome;
+    for (auto [tid, reg] : test.observedRegs) {
+        auto v = exec[size_t(tid)].regs[size_t(reg)];
+        GAM_ASSERT(v.has_value(), "unresolved observed register");
+        outcome.regs.push_back({tid, reg, *v});
+    }
+    for (Addr a : test.addressUniverse) {
+        Value v = initialMemValue(test.initialMem, a);
+        auto it = coOrder.find(a);
+        if (it != coOrder.end() && !it->second.empty())
+            v = events[size_t(it->second.back())].value;
+        outcome.mem.push_back({a, v});
+    }
+    outcome.canonicalize();
+    outcomes.insert(outcome);
+}
+
+void
+CandidateEnumerator::searchCoherence(SearchCtx &ctx) const
+{
+    // ---- Collect memory events (thread-major, trace order). ----
+    ctx.traces.clear();
+    ctx.addrs.clear();
+    ctx.storesByAddr.clear();
+    ctx.coOrder.clear();
+    ctx.placedTotal = 0;
+
+    collectCandidateEvents(ctx.exec, ctx.events);
+    for (const auto &te : ctx.exec)
+        ctx.traces.push_back(&te.trace);
+
+    for (size_t v = 0; v < ctx.events.size(); ++v)
+        if (ctx.events[v].isStore)
+            ctx.storesByAddr[ctx.events[v].addr].push_back(int(v));
+    for (auto &[a, stores] : ctx.storesByAddr) {
+        ctx.addrs.push_back(a);
+        ctx.coOrder[a]; // empty prefix
+        (void)stores;
+    }
+
+    ctx.suffixLeaves.assign(ctx.addrs.size() + 1, 1);
+    for (size_t i = ctx.addrs.size(); i-- > 0;) {
+        ctx.suffixLeaves[i] = satMul(
+            ctx.suffixLeaves[i + 1],
+            satFactorial(ctx.storesByAddr[ctx.addrs[i]].size()));
+    }
+
+    const CandidateExecution partial{ctx.events, ctx.coOrder,
+                                     ctx.traces, ctx.rfEpoch,
+                                     /*complete=*/false};
+
+    if (!ctx.filter.beginRf(partial)) {
+        ++ctx.stats.rfPruned;
+        ctx.stats.subtreesSkipped =
+            satAdd(ctx.stats.subtreesSkipped, ctx.suffixLeaves[0]);
+        return;
+    }
+
+    // ---- Depth-first coherence construction with backtracking:
+    // extend one address's order a store at a time, let the filter
+    // veto the subtree, move to the next address when exhausted. ----
+    ctx.remaining.resize(ctx.addrs.size());
+    for (size_t i = 0; i < ctx.addrs.size(); ++i)
+        ctx.remaining[i] = ctx.storesByAddr[ctx.addrs[i]];
+    descendCoherence(ctx, 0, partial);
+}
+
+void
+CandidateEnumerator::recordOutcome(SearchCtx &ctx) const
+{
+    ++ctx.stats.accepted;
+    recordCandidateOutcome(ctx.test, ctx.exec, ctx.events, ctx.coOrder,
+                           ctx.outcomes);
+}
+
+void
+CandidateEnumerator::descendCoherence(
+    SearchCtx &ctx, size_t ai, const CandidateExecution &partial) const
+{
+    if (ai == ctx.addrs.size()) {
+        ++ctx.stats.coCandidates;
+        const CandidateExecution complete{ctx.events, ctx.coOrder,
+                                          ctx.traces, ctx.rfEpoch,
+                                          /*complete=*/true};
+        if (ctx.filter.accept(complete))
+            recordOutcome(ctx);
+        return;
+    }
+    const Addr a = ctx.addrs[ai];
+    auto &rem = ctx.remaining[ai];
+    if (rem.empty()) {
+        descendCoherence(ctx, ai + 1, partial);
+        return;
+    }
+    auto &placed = ctx.coOrder[a];
+    for (size_t k = 0; k < rem.size(); ++k) {
+        const int v = rem[k];
+        rem.erase(rem.begin() + std::ptrdiff_t(k));
+        placed.push_back(v);
+        ++ctx.placedTotal;
+        if (ctx.filter.pushStore(partial, a, v)) {
+            descendCoherence(ctx, ai, partial);
+        } else {
+            ++ctx.stats.partialsPruned;
+            ctx.stats.subtreesSkipped = satAdd(
+                ctx.stats.subtreesSkipped,
+                satMul(satFactorial(rem.size()),
+                       ctx.suffixLeaves[ai + 1]));
+            ctx.stats.maxBacktrackDepth = std::max(
+                ctx.stats.maxBacktrackDepth, ctx.placedTotal);
+        }
+        ctx.filter.popStore(partial, a, v);
+        --ctx.placedTotal;
+        placed.pop_back();
+        rem.insert(rem.begin() + std::ptrdiff_t(k), v);
+    }
+}
+
+void
+CandidateEnumerator::searchRfRange(size_t prefixLoads,
+                                   uint64_t prefixIndex,
+                                   IncrementalFilter &filter,
+                                   litmus::OutcomeSet &outcomes,
+                                   CheckerStats &stats) const
+{
+    const auto &choices = _builder.rfChoices();
+    const size_t nloads = choices.size();
+
+    std::vector<size_t> odo(nloads, 0);
+    uint64_t rem = prefixIndex;
+    for (size_t i = 0; i < prefixLoads; ++i) {
+        odo[i] = size_t(rem % choices[i].size());
+        rem /= choices[i].size();
+    }
+
+    std::vector<StoreId> rf(nloads, InitStore);
+    // One context for the whole range: searchCoherence() clears the
+    // per-candidate pieces, so the buffers are reused across the
+    // millions of rf maps a campaign iterates.
+    SearchCtx ctx{.filter = filter,
+                  .outcomes = outcomes,
+                  .stats = stats,
+                  .test = _builder.test()};
+    for (;;) {
+        for (size_t i = 0; i < nloads; ++i)
+            rf[i] = choices[i][odo[i]];
+
+        ++stats.rfCandidates;
+        ++ctx.rfEpoch;
+        if (_builder.computeExecution(rf, ctx.exec)) {
+            ++stats.valueConsistent;
+            searchCoherence(ctx);
+        } else {
+            ++stats.valueCycles;
+        }
+
+        // Advance the odometer over the non-prefix loads.
+        size_t pos = prefixLoads;
+        while (pos < nloads) {
+            if (++odo[pos] < choices[pos].size())
+                break;
+            odo[pos] = 0;
+            ++pos;
+        }
+        if (pos == nloads)
+            break;
+    }
+}
+
+litmus::OutcomeSet
+CandidateEnumerator::run(const FilterFactory &factory)
+{
+    _stats = CheckerStats{};
+    _stats.rfStaticSkipped = _builder.rfStaticSkipped();
+
+    const auto &choices = _builder.rfChoices();
+    unsigned threads = _builder.options().searchThreads;
+    if (threads == 0)
+        threads = ThreadPool::defaultThreadCount();
+
+    // Split the search over leading read-from assignments: enough
+    // top-level prefixes to keep the pool busy, but no more (every
+    // prefix pays its own value-fixpoint runs).
+    size_t prefixLoads = 0;
+    uint64_t combos = 1;
+    if (threads > 1) {
+        while (prefixLoads < choices.size()
+               && combos < uint64_t(threads) * 4) {
+            combos = satMul(combos, choices[prefixLoads].size());
+            ++prefixLoads;
+        }
+    }
+
+    litmus::OutcomeSet outcomes;
+    if (combos <= 1 || threads <= 1) {
+        auto filter = factory();
+        GAM_ASSERT(filter != nullptr, "null incremental filter");
+        searchRfRange(0, 0, *filter, outcomes, _stats);
+        return outcomes;
+    }
+
+    std::vector<litmus::OutcomeSet> sets(combos);
+    std::vector<CheckerStats> stats(combos);
+    ThreadPool pool(threads);
+    pool.parallelFor(size_t(combos), [&](size_t i) {
+        auto filter = factory();
+        GAM_ASSERT(filter != nullptr, "null incremental filter");
+        searchRfRange(prefixLoads, i, *filter, sets[i], stats[i]);
+    });
+    // Deterministic merge in prefix order (outcome sets are unordered,
+    // but the counters must not depend on scheduling either).
+    for (uint64_t i = 0; i < combos; ++i) {
+        for (const auto &o : sets[i])
+            outcomes.insert(o);
+        _stats.merge(stats[i]);
+    }
+    return outcomes;
+}
+
+namespace
+{
+
+/** Adapts a plain CandidateFilter: no pruning, exact leaves. */
+class AllCandidates final : public IncrementalFilter
+{
+  public:
+    explicit AllCandidates(const CandidateFilter &accept)
+        : _accept(accept)
+    {}
+
+    bool
+    accept(const CandidateExecution &candidate) override
+    {
+        return _accept(candidate);
+    }
+
+  private:
+    const CandidateFilter &_accept;
+};
+
+} // anonymous namespace
+
+litmus::OutcomeSet
+CandidateEnumerator::runAll(const CandidateFilter &accept)
+{
+    GAM_ASSERT(accept != nullptr, "runAll: null filter");
+    // A plain filter is stateful across calls (epoch caching), so the
+    // unpruned stream is always walked serially by one adapter.
+    _stats = CheckerStats{};
+    _stats.rfStaticSkipped = _builder.rfStaticSkipped();
+    litmus::OutcomeSet outcomes;
+    AllCandidates filter(accept);
+    searchRfRange(0, 0, filter, outcomes, _stats);
+    return outcomes;
+}
+
+} // namespace gam::axiomatic

@@ -1,0 +1,431 @@
+/**
+ * @file
+ * The shared candidate-enumeration core for axiomatic-style engines.
+ *
+ * Both the hand-coded Figure-15 checker (axiomatic/checker.hh) and the
+ * cat DSL engine (cat/engine.hh) decide a litmus test by scoring
+ * *candidate executions*: a read-from map (which store each load reads)
+ * plus one total coherence order per address.  This file owns the
+ * machinery that produces those candidates:
+ *
+ *  - CandidateBuilder runs the cross-thread value fixpoint that turns
+ *    one read-from guess into committed thread traces (or rejects it as
+ *    value-inconsistent), and computes the static per-load feasible
+ *    source sets that let the search skip read-from maps whose
+ *    addresses can never match.
+ *
+ *  - CandidateEnumerator drives the search.  The default, incremental
+ *    mode follows herd-style tools (Alglave et al., Herding Cats):
+ *    coherence orders grow one store at a time, the model's ordering
+ *    constraints are maintained online, and the search backtracks the
+ *    moment a partial candidate can no longer be completed legally --
+ *    pruning whole factorial subtrees instead of materializing them.
+ *    Top-level read-from prefixes are searched in parallel on the
+ *    shared ThreadPool.
+ *
+ *  - IncrementalFilter is how a model plugs into the pruned search:
+ *    monotone "can any completion still pass?" callbacks at each
+ *    extension step, plus an exact verdict at complete candidates.
+ *    The hand-coded axioms implement it with an incrementally
+ *    maintained constraint closure (checker.cc); the cat engine with
+ *    monotone partial evaluation of the model file (cat/engine.cc).
+ *
+ * The enumerate-then-check pipeline this replaces survives as
+ * Checker::enumerateLegacy() for differential validation and the
+ * pruning benchmarks.
+ */
+
+#ifndef GAM_AXIOMATIC_ENUMERATE_HH
+#define GAM_AXIOMATIC_ENUMERATE_HH
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "isa/instruction.hh"
+#include "isa/mem_image.hh"
+#include "litmus/outcome.hh"
+#include "litmus/test.hh"
+#include "model/kind.hh"
+#include "model/trace.hh"
+
+namespace gam::axiomatic
+{
+
+/** Checker knobs. */
+struct Options
+{
+    /**
+     * Drop the InstOrder axiom (keep LoadValue only).  Used to
+     * demonstrate that LoadValue alone admits out-of-thin-air behaviors
+     * (Section II-C): "allowing all load/store reorderings [by] simply
+     * removing the InstOrderSC axiom ... would [make OOTA] legal".
+     */
+    bool enforceInstOrder = true;
+
+    /**
+     * Values to try for loads whose value stays undetermined because of
+     * a cyclic rf (out-of-thin-air candidates).  Empty: such candidates
+     * are discarded, which is sound for every supported model.
+     */
+    std::vector<isa::Value> seedValues;
+
+    /**
+     * Worker threads for the incremental search (1 = serial, 0 =
+     * hardware concurrency).  The search is split over top-level
+     * read-from prefixes; the merged outcome set and counters are
+     * deterministic regardless of the worker count, so this knob never
+     * affects a decision.
+     */
+    unsigned searchThreads = 1;
+};
+
+/**
+ * @p options with seedValues defaulted to the constants of @p test's
+ * condition (when not already set): the seeding Checker::isAllowed()
+ * applies so OOTA-style queries are decided by the axioms rather than
+ * by omission.  Shared with harness::decide() so the two paths can
+ * never diverge.
+ */
+Options withConditionSeeds(const litmus::LitmusTest &test,
+                           Options options);
+
+/** Counters describing one enumeration run. */
+struct CheckerStats
+{
+    uint64_t rfCandidates = 0;      ///< read-from maps tried
+    uint64_t valueConsistent = 0;   ///< ... passing the value fixpoint
+    uint64_t coCandidates = 0;      ///< complete (rf, co) candidates checked
+    uint64_t accepted = 0;          ///< ... that were legal
+    uint64_t valueCycles = 0;       ///< rf maps with undetermined values
+
+    // Incremental-search counters (zero on the legacy path).
+    /** rf maps skipped outright by static address feasibility. */
+    uint64_t rfStaticSkipped = 0;
+    /** rf candidates whose whole coherence search was pruned upfront. */
+    uint64_t rfPruned = 0;
+    /** Partial coherence extensions rejected by the filter. */
+    uint64_t partialsPruned = 0;
+    /** Complete candidates never materialized thanks to the pruning. */
+    uint64_t subtreesSkipped = 0;
+    /** Deepest store placement a backtrack retreated from. */
+    uint64_t maxBacktrackDepth = 0;
+
+    /** this += other (maxBacktrackDepth by max); parallel merge. */
+    void merge(const CheckerStats &other);
+};
+
+/**
+ * One memory event of a candidate execution: an executed load/store
+ * with resolved address, in committed trace order per thread.  RMWs
+ * are a single event that is both a load and a store.
+ */
+struct CandidateEvent
+{
+    int tid;
+    int traceIdx;        ///< index into the thread's committed trace
+    bool isStore;
+    bool isLoad;         ///< RMWs are both
+    isa::Addr addr;
+    isa::Value value;    ///< value the event supplies to memory/readers
+    model::StoreId sid;  ///< store side: own id (InitStore otherwise)
+    model::StoreId rf;   ///< load side: read-from source (or InitStore)
+};
+
+/**
+ * One candidate execution: the committed thread traces plus one
+ * read-from map and per-address coherence orders.  This is the domain
+ * over which relational (cat-style) model engines evaluate their
+ * axioms; the hand-coded checker scores exactly the same candidates,
+ * so engines built on the enumerator are verdict-comparable by
+ * construction.
+ *
+ * During the incremental search the coherence orders are *prefixes*
+ * (`complete == false`): every placed pair is final -- a store is only
+ * ever appended after the existing prefix -- but unplaced stores are
+ * absent.  Relations derived from coOrder on a partial candidate are
+ * therefore monotone underapproximations of every completion.
+ *
+ * All references point into enumeration-owned storage and are valid
+ * only for the duration of one filter callback.
+ */
+struct CandidateExecution
+{
+    /** All memory events, thread-major, trace order within a thread. */
+    const std::vector<CandidateEvent> &events;
+    /** Coherence order per address: event indices, first to last. */
+    const std::map<isa::Addr, std::vector<int>> &coOrder;
+    /** Committed per-thread traces (fences/branches included). */
+    const std::vector<const model::Trace *> &traces;
+    /**
+     * Increments once per read-from candidate.  events, traces and
+     * every event's rf are reused across the coherence orders sharing
+     * an epoch -- only coOrder changes -- so callers may cache
+     * trace-derived data (program order, dependencies) keyed on it.
+     */
+    uint64_t rfEpoch;
+    /** False while coOrder still holds prefixes (see above). */
+    bool complete = true;
+};
+
+/**
+ * Accept/reject one complete candidate execution.  Returning true
+ * records the candidate's outcome exactly as the built-in axioms
+ * would.
+ */
+using CandidateFilter = std::function<bool(const CandidateExecution &)>;
+
+/**
+ * A model's hooks into the incremental pruned search.  All three
+ * predicate callbacks must be *monotone*: returning false asserts that
+ * no completion of the partial candidate can pass, so the enumerator
+ * may skip the whole subtree.  A filter that cannot prove anything
+ * early simply returns true until accept().
+ *
+ * Callbacks arrive strictly nested: beginRf() once per value-consistent
+ * read-from candidate, then pushStore()/popStore() bracketing each
+ * coherence extension (popStore is called even when the matching
+ * pushStore returned false, so filters can restore snapshots
+ * unconditionally), and accept() at complete leaves.
+ */
+class IncrementalFilter
+{
+  public:
+    virtual ~IncrementalFilter() = default;
+
+    /**
+     * A new read-from candidate; @p partial has empty coherence
+     * orders.  False prunes every coherence completion.
+     */
+    virtual bool beginRf(const CandidateExecution &partial)
+    {
+        (void)partial;
+        return true;
+    }
+
+    /**
+     * Event @p eventIdx was appended to @p addr's coherence order (it
+     * is the last entry).  False prunes the subtree rooted here.
+     */
+    virtual bool pushStore(const CandidateExecution &partial,
+                           isa::Addr addr, int eventIdx)
+    {
+        (void)partial;
+        (void)addr;
+        (void)eventIdx;
+        return true;
+    }
+
+    /** Backtrack the matching pushStore(). */
+    virtual void popStore(const CandidateExecution &partial,
+                          isa::Addr addr, int eventIdx)
+    {
+        (void)partial;
+        (void)addr;
+        (void)eventIdx;
+    }
+
+    /** Exact verdict for a complete candidate. */
+    virtual bool accept(const CandidateExecution &candidate) = 0;
+};
+
+/**
+ * Makes one filter per search worker.  Filters are stateful (they
+ * track the current partial candidate), so parallel workers cannot
+ * share one; each factory product only ever sees callbacks from a
+ * single worker, in nesting order.
+ */
+using FilterFactory =
+    std::function<std::unique_ptr<IncrementalFilter>()>;
+
+/**
+ * Builds candidate executions for one litmus test: the value fixpoint
+ * turning a read-from map into committed traces, and the static
+ * feasibility analysis bounding each load's possible sources.
+ *
+ * Thread programs must be loop-free (forward branches only): then
+ * every static instruction executes at most once and rf can be indexed
+ * statically.
+ */
+class CandidateBuilder
+{
+  public:
+    /** Per-thread symbolic execution state for one rf candidate. */
+    struct ThreadExec
+    {
+        /** Reached the end of the program (no value-blocked branch). */
+        bool complete = false;
+        /** Static indices of executed instructions, in order. */
+        std::vector<int> executedIdx;
+        /** Committed trace (parallel to executedIdx). */
+        model::Trace trace;
+        /** rf per trace entry (loads only; InitStore elsewhere). */
+        model::RfMap rfTrace;
+        /** Final register values (all known when complete). */
+        std::array<std::optional<isa::Value>, isa::NUM_REGS> regs;
+    };
+
+    CandidateBuilder(const litmus::LitmusTest &test, Options options);
+
+    /** Static load sites (tid, index), in enumeration order. */
+    const std::vector<std::pair<int, int>> &loadSites() const
+    {
+        return _loadSites;
+    }
+
+    /** Static store sites as global StoreIds. */
+    const std::vector<model::StoreId> &storeSites() const
+    {
+        return _storeSites;
+    }
+
+    /**
+     * Feasible read-from sources per load (parallel to loadSites):
+     * InitStore plus every store whose statically-known address can
+     * match the load's.  Sources whose addresses are data-dependent on
+     * loaded values stay in every list (the analysis is conservative);
+     * the value fixpoint remains the exact judge.
+     */
+    const std::vector<std::vector<model::StoreId>> &rfChoices() const
+    {
+        return _rfChoices;
+    }
+
+    /**
+     * Read-from maps the static analysis discards without trying:
+     * (1 + #stores)^#loads minus the feasible product, saturated.
+     */
+    uint64_t rfStaticSkipped() const { return _rfStaticSkipped; }
+
+    /**
+     * Execute all threads to a value fixpoint under @p rf; false when
+     * the map is value-inconsistent (wrong supplied value, unexecuted
+     * source, unaligned address from a bogus guess, or an undetermined
+     * value cycle no seed resolves).  Thread-safe: workers share one
+     * builder.
+     */
+    bool computeExecution(const std::vector<model::StoreId> &rf,
+                          std::vector<ThreadExec> &out) const;
+
+    const litmus::LitmusTest &test() const { return _test; }
+    const Options &options() const { return _options; }
+
+  private:
+    void computeStaticFeasibility();
+
+    const litmus::LitmusTest &_test;
+    Options _options;
+    std::vector<std::pair<int, int>> _loadSites;
+    std::vector<model::StoreId> _storeSites;
+    std::vector<std::vector<model::StoreId>> _rfChoices;
+    uint64_t _rfStaticSkipped = 0;
+};
+
+/**
+ * The shared enumeration driver.  run() is the incremental pruned
+ * search every engine uses by default; runAll() replays the full
+ * unpruned candidate stream (all value-consistent read-from maps times
+ * all coherence permutations) through a plain CandidateFilter -- the
+ * compatibility surface behind Checker::enumerateFiltered().
+ */
+class CandidateEnumerator
+{
+  public:
+    CandidateEnumerator(const litmus::LitmusTest &test, Options options);
+
+    /**
+     * Incremental pruned search: one filter per worker from
+     * @p factory, outcomes of accepted complete candidates merged
+     * deterministically.
+     */
+    litmus::OutcomeSet run(const FilterFactory &factory);
+
+    /**
+     * The full candidate stream with no pruning: @p accept sees every
+     * value-consistent (rf, co) combination, exactly like the
+     * pre-incremental pipeline.
+     */
+    litmus::OutcomeSet runAll(const CandidateFilter &accept);
+
+    /** Counters of the last run. */
+    const CheckerStats &stats() const { return _stats; }
+
+    const CandidateBuilder &builder() const { return _builder; }
+
+  private:
+    struct SearchCtx;
+
+    /** Enumerate the rf maps extending @p prefix; one worker's share. */
+    void searchRfRange(size_t prefixLoads, uint64_t prefixIndex,
+                       IncrementalFilter &filter,
+                       litmus::OutcomeSet &outcomes,
+                       CheckerStats &stats) const;
+
+    /** Coherence search for one value-consistent rf candidate. */
+    void searchCoherence(SearchCtx &ctx) const;
+
+    /** Recursive coherence extension over ctx.addrs[ai..]. */
+    void descendCoherence(SearchCtx &ctx, size_t ai,
+                          const CandidateExecution &partial) const;
+
+    /** Record one accepted complete candidate's outcome. */
+    void recordOutcome(SearchCtx &ctx) const;
+
+    CandidateBuilder _builder;
+    CheckerStats _stats;
+};
+
+/**
+ * Alignment-tolerant initial-memory read (bogus rf guesses may compute
+ * unaligned addresses; those candidates are discarded before any
+ * outcome is recorded).  Shared by the enumerator's outcome recording
+ * and the legacy checker path.
+ */
+isa::Value initialMemValue(const isa::MemImage &mem, isa::Addr addr);
+
+/**
+ * Collect the memory events of one computed execution into @p out
+ * (cleared first), thread-major in trace order -- the event list both
+ * the pruned search and the legacy pipeline hand to their filters.
+ * One definition so candidate *production* can never drift between
+ * the path under test and its differential reference.
+ */
+void collectCandidateEvents(
+    const std::vector<CandidateBuilder::ThreadExec> &exec,
+    std::vector<CandidateEvent> &out);
+
+/**
+ * Record one accepted candidate's outcome (observed registers from
+ * @p exec, final memory from the last store of each coherence order)
+ * into @p outcomes.  Shared by both enumeration paths, like
+ * collectCandidateEvents().
+ */
+void recordCandidateOutcome(
+    const litmus::LitmusTest &test,
+    const std::vector<CandidateBuilder::ThreadExec> &exec,
+    const std::vector<CandidateEvent> &events,
+    const std::map<isa::Addr, std::vector<int>> &coOrder,
+    litmus::OutcomeSet &outcomes);
+
+/** Encode (tid, static index) as a StoreId. */
+constexpr model::StoreId
+storeId(int tid, int idx)
+{
+    return static_cast<model::StoreId>(tid * 1024 + idx);
+}
+
+/** Decode a StoreId. */
+constexpr std::pair<int, int>
+storeIdParts(model::StoreId id)
+{
+    return {id / 1024, id % 1024};
+}
+
+} // namespace gam::axiomatic
+
+#endif // GAM_AXIOMATIC_ENUMERATE_HH

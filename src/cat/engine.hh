@@ -47,8 +47,22 @@ class CatEngine
     CatEngine(const litmus::LitmusTest &test, const CatModel &model,
               axiomatic::Options options = {});
 
-    /** All outcomes the model's axioms accept. */
+    /**
+     * All outcomes the model's axioms accept, via the shared
+     * incremental pruned search: axioms whose expressions are
+     * Independent/Monotone in co and fr (cat::Polarity) veto partial
+     * candidates early, the rest fall back to full evaluation at
+     * complete leaves.
+     */
     litmus::OutcomeSet enumerate();
+
+    /**
+     * The pre-incremental pipeline: full evaluation of every complete
+     * candidate, no pruning.  The reference side of differential
+     * tests and the pruning benchmarks; identical outcome set to
+     * enumerate() by construction.
+     */
+    litmus::OutcomeSet enumerateLegacy();
 
     /**
      * Is the test's asked-about condition reachable?  Seeds

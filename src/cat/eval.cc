@@ -167,7 +167,8 @@ bool
 Evaluator::check(const ExecView &view)
 {
     lastEpoch.reset();
-    return checkImpl(view, /*reuse_stable=*/false);
+    return checkImpl(view, /*reuse_stable=*/false,
+                     /*partial_only=*/false);
 }
 
 bool
@@ -175,11 +176,38 @@ Evaluator::check(const ExecView &view, uint64_t rfEpoch)
 {
     const bool reuse = lastEpoch.has_value() && *lastEpoch == rfEpoch;
     lastEpoch = rfEpoch;
-    return checkImpl(view, reuse);
+    return checkImpl(view, reuse, /*partial_only=*/false);
 }
 
 bool
-Evaluator::checkImpl(const ExecView &view, bool reuse_stable)
+Evaluator::checkPartial(const ExecView &view, uint64_t rfEpoch)
+{
+    const bool reuse = lastEpoch.has_value() && *lastEpoch == rfEpoch;
+    lastEpoch = rfEpoch;
+    return checkImpl(view, reuse, /*partial_only=*/true);
+}
+
+bool
+Evaluator::partialCapable() const
+{
+    for (const Stmt &stmt : model.statements) {
+        switch (stmt.kind) {
+          case Stmt::Kind::Acyclic:
+          case Stmt::Kind::Irreflexive:
+          case Stmt::Kind::Empty:
+            if (stmt.checkPolarity != Polarity::NonMonotone)
+                return true;
+            break;
+          default:
+            break;
+        }
+    }
+    return false;
+}
+
+bool
+Evaluator::checkImpl(const ExecView &view, bool reuse_stable,
+                     bool partial_only)
 {
     _failedAxiom.clear();
     lastView = &view;
@@ -197,14 +225,14 @@ Evaluator::checkImpl(const ExecView &view, bool reuse_stable)
         switch (stmt.kind) {
           case Stmt::Kind::Let:
             for (const Binding &b : stmt.bindings) {
-                if (!reuse_stable || b.coDependent)
+                if (!reuse_stable || b.coDependent())
                     slots[size_t(b.slot)] = evalExpr(*b.body, view);
             }
             break;
           case Stmt::Kind::LetRec: {
             // Coherence dependence taints whole groups, so one flag
             // decides (see the static checker).
-            if (reuse_stable && !stmt.bindings.front().coDependent)
+            if (reuse_stable && !stmt.bindings.front().coDependent())
                 break;
             // Least fixpoint from the empty relation.  Monotone
             // bodies (statically enforced) grow by at least one pair
@@ -237,7 +265,22 @@ Evaluator::checkImpl(const ExecView &view, bool reuse_stable)
     }
 
     // Phase 2: test the axioms in order; the first failure rejects.
+    // A partial check may only consult axioms whose expression cannot
+    // un-fail as co/fr grow (see checkPartial()); co/fr-Independent
+    // axioms hold one verdict per epoch, so once they all passed they
+    // are skipped until the epoch changes.
+    if (!reuse_stable)
+        stableAxiomsOk = false;
+    bool tested_stable = false;
     for (const Stmt &stmt : model.statements) {
+        if (partial_only && stmt.checkPolarity == Polarity::NonMonotone)
+            continue;
+        if (stmt.check
+            && stmt.checkPolarity == Polarity::Independent) {
+            if (stableAxiomsOk)
+                continue;
+            tested_stable = true;
+        }
         switch (stmt.kind) {
           case Stmt::Kind::Let:
           case Stmt::Kind::LetRec:
@@ -266,6 +309,11 @@ Evaluator::checkImpl(const ExecView &view, bool reuse_stable)
           }
         }
     }
+    // Reaching here means every tested axiom passed; an early return
+    // above leaves stableAxiomsOk untouched, so a failing or untested
+    // Independent axiom is re-examined next call.
+    if (tested_stable)
+        stableAxiomsOk = true;
     return true;
 }
 

@@ -57,6 +57,29 @@ class Evaluator
     bool check(const ExecView &view, uint64_t rfEpoch);
     bool check(const ExecView &view);
 
+    /**
+     * Monotone partial check for the incremental enumerator: can a
+     * completion of this *partial* candidate (its co and fr are
+     * monotone underapproximations, everything else exact) still pass
+     * every axiom?  Tests only axioms whose checked expression is
+     * Independent or Monotone in co/fr (Stmt::checkPolarity): for
+     * those, a failure on the partial view implies failure on every
+     * completion, so returning false soundly prunes the subtree.
+     * NonMonotone axioms are skipped here and decided by the full
+     * check() at complete candidates -- the conservative fallback.
+     *
+     * Shares the per-rf-epoch definition cache with check(); callers
+     * interleave the two freely within one epoch.
+     */
+    bool checkPartial(const ExecView &view, uint64_t rfEpoch);
+
+    /**
+     * Does the model have any axiom a partial check can decide?  When
+     * false, checkPartial() is vacuously true and incremental callers
+     * should skip straight to leaf evaluation.
+     */
+    bool partialCapable() const;
+
     /** The axiom the last check() run violated ("" when it passed). */
     const std::string &failedAxiom() const { return _failedAxiom; }
 
@@ -68,7 +91,8 @@ class Evaluator
     Value valueOf(const std::string &name) const;
 
   private:
-    bool checkImpl(const ExecView &view, bool reuse_stable);
+    bool checkImpl(const ExecView &view, bool reuse_stable,
+                   bool partial_only);
     Value evalExpr(const Expr &e, const ExecView &view) const;
     /** evalExpr() with a polymorphic-0 subtree coerced to a set. */
     Value evalSet(const Expr &e, const ExecView &view) const;
@@ -77,6 +101,12 @@ class Evaluator
     std::vector<Value> slots;
     const ExecView *lastView = nullptr;
     std::optional<uint64_t> lastEpoch;
+    /**
+     * Every co/fr-Independent axiom passed for the current epoch: its
+     * verdict cannot change across the epoch's candidates, so later
+     * checks of the same epoch skip it.
+     */
+    bool stableAxiomsOk = false;
     std::string _failedAxiom;
 };
 

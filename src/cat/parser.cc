@@ -531,8 +531,8 @@ class Checker
                 for (Binding &b : stmt.bindings) {
                     const Type t = checkExpr(*b.body);
                     b.slot = model.slotCount++;
-                    b.coDependent = dependsOnCoherence(*b.body);
-                    slotCoDep.push_back(b.coDependent);
+                    b.coPolarity = polarityOf(*b.body);
+                    slotPolarity.push_back(b.coPolarity);
                     scope[b.name] = {b.slot, t};
                 }
                 break;
@@ -541,7 +541,7 @@ class Checker
                 // each body against that environment.
                 for (Binding &b : stmt.bindings) {
                     b.slot = model.slotCount++;
-                    slotCoDep.push_back(false);
+                    slotPolarity.push_back(Polarity::Independent);
                     scope[b.name] = {b.slot, Type::Rel};
                 }
                 for (Binding &b : stmt.bindings) {
@@ -554,14 +554,30 @@ class Checker
                     }
                     checkMonotone(*b.body, stmt.bindings);
                 }
+                // Polarity through recursion: bodies reference each
+                // other's slots, so iterate to a fixpoint (polarityOf
+                // is monotone in the slot polarities, which only ever
+                // rise -- at most two rounds per binding).
+                bool changed = true;
+                while (changed) {
+                    changed = false;
+                    for (Binding &b : stmt.bindings) {
+                        const Polarity p = polarityOf(*b.body);
+                        if (p > slotPolarity[size_t(b.slot)]) {
+                            slotPolarity[size_t(b.slot)] = p;
+                            changed = true;
+                        }
+                    }
+                }
                 // Coherence dependence is a property of the whole
                 // group: any co/fr mention taints every member.
-                bool depends = false;
-                for (Binding &b : stmt.bindings)
-                    depends = depends || dependsOnCoherence(*b.body);
+                Polarity group = Polarity::Independent;
+                for (const Binding &b : stmt.bindings)
+                    group = std::max(group,
+                                     slotPolarity[size_t(b.slot)]);
                 for (Binding &b : stmt.bindings) {
-                    b.coDependent = depends;
-                    slotCoDep[size_t(b.slot)] = depends;
+                    b.coPolarity = group;
+                    slotPolarity[size_t(b.slot)] = group;
                 }
                 break;
               }
@@ -572,10 +588,12 @@ class Checker
                     fail(stmt.check->line, stmt.check->col,
                          "this axiom needs a relation, not a set");
                 }
+                stmt.checkPolarity = polarityOf(*stmt.check);
                 break;
               }
               case Stmt::Kind::Empty:
                 checkExpr(*stmt.check);
+                stmt.checkPolarity = polarityOf(*stmt.check);
                 break;
             }
         }
@@ -588,19 +606,45 @@ class Checker
         Type type;
     };
 
-    /** Does @p e (transitively) mention the co or fr primitive? */
-    bool
-    dependsOnCoherence(const Expr &e) const
+    /** A co/fr occurrence under complement or on the right of '\'
+     *  stops being monotone (but stays NonMonotone, never clears). */
+    static Polarity
+    flip(Polarity p)
     {
-        if (e.kind == Expr::Kind::Name) {
+        return p == Polarity::Independent ? Polarity::Independent
+                                          : Polarity::NonMonotone;
+    }
+
+    /** co/fr dependence classification of @p e (see parser.hh). */
+    Polarity
+    polarityOf(const Expr &e) const
+    {
+        switch (e.kind) {
+          case Expr::Kind::Name:
             if (e.builtin == Builtin::Co || e.builtin == Builtin::Fr)
-                return true;
-            if (e.slot >= 0 && size_t(e.slot) < slotCoDep.size())
-                return slotCoDep[size_t(e.slot)];
-            return false;
+                return Polarity::Monotone;
+            if (e.slot >= 0 && size_t(e.slot) < slotPolarity.size())
+                return slotPolarity[size_t(e.slot)];
+            return Polarity::Independent;
+          case Expr::Kind::EmptyRel:
+            return Polarity::Independent;
+          case Expr::Kind::Diff:
+            // a \ b is monotone in a, antitone in b.
+            return std::max(polarityOf(*e.a), flip(polarityOf(*e.b)));
+          case Expr::Kind::Compl:
+            return flip(polarityOf(*e.a));
+          default: {
+            // Union, intersection, composition, product, closures,
+            // inverse and [S] are all monotone in every operand.
+            Polarity p = Polarity::Independent;
+            if (e.a)
+                p = std::max(p, polarityOf(*e.a));
+            if (e.b)
+                p = std::max(p, polarityOf(*e.b));
+            return p;
+          }
         }
-        return (e.a && dependsOnCoherence(*e.a))
-            || (e.b && dependsOnCoherence(*e.b));
+        panic("unreachable expression kind");
     }
 
     Type
@@ -754,7 +798,7 @@ class Checker
 
     std::map<std::string, Local> scope;
     /** Coherence-dependence per binding slot (parallel to slot ids). */
-    std::vector<bool> slotCoDep;
+    std::vector<Polarity> slotPolarity;
 };
 
 } // anonymous namespace

@@ -56,6 +56,26 @@ namespace gam::cat
 /** Sort of a DSL value: a set of events or a binary relation. */
 enum class Type { Set, Rel, Any };
 
+/**
+ * How an expression's value depends on the coherence-derived
+ * primitives co and fr -- the only relations that grow as the
+ * incremental enumerator extends a partial candidate (everything else
+ * is fixed per read-from epoch).
+ *
+ *   Independent:  never mentions co or fr; identical on partial and
+ *                 complete candidates.
+ *   Monotone:     only mentions them positively (no complement, never
+ *                 on the right of '\'): the value on a partial
+ *                 candidate is a subset of the value on every
+ *                 completion, so a failing acyclic/irreflexive/empty
+ *                 axiom can never un-fail -- safe to prune on.
+ *   NonMonotone:  anything else; only decidable on complete
+ *                 candidates.
+ *
+ * The ordering is significant: combining operands takes the max.
+ */
+enum class Polarity { Independent, Monotone, NonMonotone };
+
 /** The builtin sets and relations the evaluator provides. */
 enum class Builtin {
     // Sets.
@@ -98,13 +118,19 @@ struct Binding
     int line = 0, col = 0;
     std::unique_ptr<Expr> body;
     int slot = -1;              ///< evaluator slot, assigned in order
+    /** co/fr dependence classification (see Polarity). */
+    Polarity coPolarity = Polarity::NonMonotone;
+
     /**
      * Does the body (transitively) mention co or fr?  Only those
      * relations change between the coherence permutations of one
      * read-from candidate, so the evaluator re-derives co-independent
      * definitions once per rf epoch instead of once per candidate.
      */
-    bool coDependent = true;
+    bool coDependent() const
+    {
+        return coPolarity != Polarity::Independent;
+    }
 };
 
 /** Top-level statement. */
@@ -117,6 +143,13 @@ struct Stmt
     std::vector<Binding> bindings;  ///< Let / LetRec
     std::unique_ptr<Expr> check;    ///< axioms
     std::string axiomName;          ///< `as NAME`, or a default
+    /**
+     * Axioms only: co/fr dependence of the checked expression.  A
+     * non-NonMonotone axiom that fails on a partial candidate fails on
+     * every completion, which is what lets Evaluator::checkPartial()
+     * veto subtrees of the incremental enumeration.
+     */
+    Polarity checkPolarity = Polarity::NonMonotone;
 };
 
 /** A parsed, statically checked memory model. */

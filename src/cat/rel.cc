@@ -256,6 +256,15 @@ Rel::addColumn(const EventSet &from, size_t j)
 }
 
 void
+Rel::orRowInto(size_t src, size_t dst)
+{
+    uint64_t *d = row(dst);
+    const uint64_t *s = row(src);
+    for (size_t w = 0; w < wpr_; ++w)
+        d[w] |= s[w];
+}
+
+void
 Rel::maskTail()
 {
     if (wpr_ == 0)

@@ -139,6 +139,14 @@ class Rel
     /** Add every member of @p from as a predecessor of event @p j. */
     void addColumn(const EventSet &from, size_t j);
 
+    /**
+     * row(dst) |= row(src): the building block of incremental
+     * transitive-closure maintenance (the axiomatic enumerator's
+     * online cycle detection extends a closed reachability relation
+     * one edge at a time by OR-ing whole successor rows).
+     */
+    void orRowInto(size_t src, size_t dst);
+
     bool operator==(const Rel &o) const = default;
 
   private:

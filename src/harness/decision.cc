@@ -202,12 +202,14 @@ runAxiomatic(const Query &query, Decision &d)
     // the axioms rather than by omission.  Under every shipped model
     // such candidates are rejected either way, so this does not
     // change the outcome set.
-    const axiomatic::Options opts = axiomatic::withConditionSeeds(
+    axiomatic::Options opts = axiomatic::withConditionSeeds(
         *query.test, query.options.axiomatic);
+    opts.searchThreads = query.options.threads;
     axiomatic::Checker checker(*query.test, query.model, opts);
     d.outcomes = checker.enumerate();
     d.allowed = anyConditionMatch(*query.test, d.outcomes);
     d.statesVisited = checker.stats().coCandidates;
+    d.enumStats = checker.stats();
     d.complete = true;
 }
 
@@ -219,12 +221,14 @@ runCat(const Query &query, Decision &d)
     // Seed OOTA candidates exactly as runAxiomatic() does: the two
     // engines share the candidate builder, so this keeps them
     // verdict-comparable query-for-query.
-    const axiomatic::Options opts = axiomatic::withConditionSeeds(
+    axiomatic::Options opts = axiomatic::withConditionSeeds(
         *query.test, query.options.axiomatic);
+    opts.searchThreads = query.options.threads;
     cat::CatEngine engine(*query.test, m, opts);
     d.outcomes = engine.enumerate();
     d.allowed = anyConditionMatch(*query.test, d.outcomes);
     d.statesVisited = engine.stats().coCandidates;
+    d.enumStats = engine.stats();
     d.complete = true;
 }
 

@@ -67,17 +67,20 @@ enum class EngineSelect {
 struct RunOptions
 {
     /**
-     * Explorer worker threads (operational engine only): 1 = serial,
-     * 0 = hardware concurrency.  Does not affect the decision: the
-     * parallel explorer's merge is deterministic, and truncated runs
-     * are never cached.
+     * Worker threads (1 = serial, 0 = hardware concurrency): the
+     * operational explorer's frontier workers, and the enumeration
+     * engines' parallel search over top-level read-from prefixes
+     * (axiomatic::Options::searchThreads).  Does not affect the
+     * decision: both parallel merges are deterministic, and truncated
+     * runs are never cached.
      */
     unsigned threads = 1;
     /**
      * Operational visited-state budget.  When exhausted the decision
-     * comes back with complete = false and is not cached.
+     * comes back with complete = false and is not cached.  (Sized so
+     * the 4-thread IRIW-family corpus explores to completion.)
      */
-    uint64_t stateBudget = 20'000'000;
+    uint64_t stateBudget = 32'000'000;
     /** Axiomatic checker knobs (OOTA seeding, axiom ablation). */
     axiomatic::Options axiomatic;
 
@@ -120,10 +123,20 @@ struct Decision
     /** The engine that actually decided (Auto resolved). */
     model::Engine engine = model::Engine::Axiomatic;
     /**
-     * Work done: states expanded (operational) or (rf, co) execution
-     * candidates checked (axiomatic).
+     * Work done: states expanded (operational) or complete (rf, co)
+     * candidates checked (enumeration engines; the pruned search
+     * reaches far fewer than the legacy pipeline materialized).
      */
     uint64_t statesVisited = 0;
+    /**
+     * Enumeration counters (read-from maps tried, partial candidates
+     * pruned, subtrees skipped, backtrack depth, ...) when the
+     * deciding engine enumerates candidates
+     * (model::engineUsesCandidateEnumeration); all-zero for
+     * operational decisions.  Cached decisions replay the counters of
+     * the run that produced them.
+     */
+    axiomatic::CheckerStats enumStats;
     /**
      * True when the outcome set is exhaustive.  False only for
      * operational runs cut off by RunOptions::stateBudget; such

@@ -133,7 +133,7 @@ shrinkDivergent(litmus::LitmusTest test, ModelKind model,
 std::optional<std::string>
 crossCheck(const litmus::LitmusTest &test, ModelKind model,
            uint64_t max_states, bool *budget_exceeded,
-           model::Engine spec)
+           model::Engine spec, axiomatic::CheckerStats *spec_stats)
 {
     GAM_ASSERT(model::supportsEngine(model, model::Engine::Operational)
                    && model::supportsEngine(model, spec),
@@ -157,6 +157,8 @@ crossCheck(const litmus::LitmusTest &test, ModelKind model,
 
     query.engine = specSelect(spec);
     const Decision ax = decide(query);
+    if (spec_stats)
+        spec_stats->merge(ax.enumStats);
 
     // A conservative machine (ARM) checks by inclusion, not equality
     // (see model::operationalOutcomesExact).
@@ -198,6 +200,7 @@ fuzzDifferential(const FuzzOptions &options)
             litmus::generateTest(options.seed, i, options.generator);
         if (test.check())
             return; // generator guarantees this; stay safe regardless
+        axiomatic::CheckerStats local;
         for (ModelKind model : options.models) {
             if (!model::supportsEngine(model, model::Engine::Operational)
                 || !model::supportsEngine(model, options.spec)) {
@@ -205,7 +208,7 @@ fuzzDifferential(const FuzzOptions &options)
             }
             bool budget = false;
             auto diff = crossCheck(test, model, options.maxStates,
-                                   &budget, options.spec);
+                                   &budget, options.spec, &local);
             checks.fetch_add(1, std::memory_order_relaxed);
             if (budget) {
                 skipped.fetch_add(1, std::memory_order_relaxed);
@@ -216,6 +219,8 @@ fuzzDifferential(const FuzzOptions &options)
                 hits.push_back({i, model});
             }
         }
+        std::lock_guard<std::mutex> lock(mu);
+        report.specEnumStats.merge(local);
     });
 
     report.checksRun = checks.load();
@@ -257,6 +262,17 @@ FuzzReport::toString() const
                        static_cast<unsigned long long>(checksRun),
                        static_cast<unsigned long long>(skippedBudget),
                        divergences.size());
+    os << formatString("spec enumeration: %llu candidates checked, "
+                       "%llu partials pruned, %llu subtrees skipped, "
+                       "%llu rf maps statically skipped\n",
+                       static_cast<unsigned long long>(
+                           specEnumStats.coCandidates),
+                       static_cast<unsigned long long>(
+                           specEnumStats.partialsPruned),
+                       static_cast<unsigned long long>(
+                           specEnumStats.subtreesSkipped),
+                       static_cast<unsigned long long>(
+                           specEnumStats.rfStaticSkipped));
     for (const auto &d : divergences) {
         os << "\n=== divergence under " << model::modelName(d.model)
            << " (seed " << d.seed << ", test " << d.index << ") ===\n"

@@ -48,9 +48,11 @@ struct FuzzOptions
     /**
      * Explorer visited-state budget per (test, model).  A pair that
      * exceeds it is counted in FuzzReport::skippedBudget rather than
-     * compared (the axiomatic side has no budget).
+     * compared (the axiomatic side has no budget).  Sized so the
+     * 4-thread cycles the generator now emits still explore to
+     * completion.
      */
-    uint64_t maxStates = 4'000'000;
+    uint64_t maxStates = 8'000'000;
     /** Models to cross-check (must have both engines; ARM: inclusion). */
     std::vector<model::ModelKind> models = {
         model::ModelKind::SC, model::ModelKind::TSO,
@@ -90,6 +92,12 @@ struct FuzzReport
     uint64_t skippedBudget = 0;
     /** The spec engine the run compared the explorer against. */
     model::Engine spec = model::Engine::Axiomatic;
+    /**
+     * Aggregated enumeration counters of every spec-side decision
+     * (cache hits replay the producing run's counters): how much
+     * candidate space the incremental pruning saved the campaign.
+     */
+    axiomatic::CheckerStats specEnumStats;
     std::vector<FuzzDivergence> divergences;
 
     bool ok() const { return divergences.empty(); }
@@ -111,12 +119,15 @@ struct FuzzReport
  * through decide(), so repeated checks of the same test (shrinking,
  * re-rendering a divergence) hit the global DecisionCache -- and a
  * check whose budget is too small may still succeed when a complete
- * decision is already cached (cache keys ignore the budget).
+ * decision is already cached (cache keys ignore the budget).  When
+ * @p spec_stats is given, the spec decision's enumeration counters
+ * are merged into it.
  */
 std::optional<std::string>
 crossCheck(const litmus::LitmusTest &test, model::ModelKind model,
            uint64_t max_states, bool *budget_exceeded = nullptr,
-           model::Engine spec = model::Engine::Axiomatic);
+           model::Engine spec = model::Engine::Axiomatic,
+           axiomatic::CheckerStats *spec_stats = nullptr);
 
 /** Run a differential fuzzing campaign. */
 FuzzReport fuzzDifferential(const FuzzOptions &options = {});

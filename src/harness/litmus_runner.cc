@@ -56,7 +56,7 @@ runJob(const MatrixJob &job, const MatrixOptions &options)
     query.options = options.run;
     const Decision decision = decide(query, options.cache);
     return {job.test->name, job.model, job.engine, decision.allowed,
-            decision.complete, job.expected};
+            decision.complete, job.expected, decision.enumStats};
 }
 
 std::vector<LitmusVerdict>

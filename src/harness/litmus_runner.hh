@@ -49,6 +49,12 @@ struct LitmusVerdict
     bool complete = true;
     /** The paper's verdict, when the test records one. */
     std::optional<bool> expected;
+    /**
+     * The decision's enumeration counters (zero for operational
+     * rows); lets frontends aggregate pruning statistics over a
+     * matrix (`gam-litmus run --stats`).
+     */
+    axiomatic::CheckerStats enumStats;
 
     /** Is the verdict a definite answer (complete, or a witness)? */
     bool conclusive() const { return complete || allowed; }

@@ -420,7 +420,195 @@ fallbackTest(const std::string &name)
         .done();
 }
 
+/**
+ * Deterministically realise an explicit edge specification as a Cycle,
+ * mirroring tryCycle()'s rules with every free choice pinned: an
+ * unconstrained event becomes a load, and locations follow the spec's
+ * locStep walk instead of a random one.
+ */
+std::optional<Cycle>
+cycleFromSpec(const std::vector<CycleEdge> &spec, int nlocs)
+{
+    const int n = static_cast<int>(spec.size());
+    if (n < 3 || nlocs < 2 || nlocs > 4)
+        return std::nullopt;
+
+    std::vector<EdgeKind> kinds;
+    std::vector<isa::FenceKind> fences;
+    std::vector<int> steps;
+    for (const CycleEdge &e : spec) {
+        switch (e.kind) {
+          case CycleEdge::Kind::Rfe:
+            kinds.push_back(EdgeKind::Rfe);
+            break;
+          case CycleEdge::Kind::Coe:
+            kinds.push_back(EdgeKind::Coe);
+            break;
+          case CycleEdge::Kind::Fre:
+            kinds.push_back(EdgeKind::Fre);
+            break;
+          case CycleEdge::Kind::Po:
+            kinds.push_back(EdgeKind::Po);
+            break;
+          case CycleEdge::Kind::PoFence:
+            kinds.push_back(EdgeKind::PoFence);
+            break;
+          case CycleEdge::Kind::PoAddr:
+            kinds.push_back(EdgeKind::PoDepAddr);
+            break;
+          case CycleEdge::Kind::PoData:
+            kinds.push_back(EdgeKind::PoDepData);
+            break;
+          case CycleEdge::Kind::PoCtrl:
+            kinds.push_back(EdgeKind::PoDepCtrl);
+            break;
+        }
+        fences.push_back(e.fence);
+        steps.push_back(isComm(kinds.back()) ? 0 : e.locStep);
+    }
+
+    // Thread budget: one thread per communication edge; the closing
+    // edge (back to event 0) must be communication, so rotate the
+    // whole spec to put the last such edge at the end.
+    int comm_count = 0;
+    int last_comm = -1;
+    for (int i = 0; i < n; ++i) {
+        if (isComm(kinds[i])) {
+            ++comm_count;
+            last_comm = i;
+        }
+    }
+    if (comm_count < 2 || comm_count > 4)
+        return std::nullopt;
+    const int shift = (last_comm + 1) % n;
+    std::rotate(kinds.begin(), kinds.begin() + shift, kinds.end());
+    std::rotate(fences.begin(), fences.begin() + shift, fences.end());
+    std::rotate(steps.begin(), steps.begin() + shift, steps.end());
+
+    Cycle cy;
+    cy.edges = kinds;
+    cy.fences = fences;
+    cy.threads = comm_count;
+
+    // Event kinds from the adjacent edges' requirements; a free event
+    // is a load (the deterministic pin of tryCycle's coin flip).
+    cy.events.resize(size_t(n));
+    for (int i = 0; i < n; ++i) {
+        const Need in = headNeed(cy.edges[size_t((i + n - 1) % n)]);
+        const Need out = tailNeed(cy.edges[size_t(i)]);
+        EvKind kind;
+        if ((in == Need::Load && out == Need::Store)
+            || (in == Need::Store && out == Need::Load)) {
+            kind = EvKind::Rmw;
+        } else if (in == Need::Store || out == Need::Store) {
+            kind = EvKind::Store;
+        } else {
+            kind = EvKind::Load;
+        }
+        cy.events[size_t(i)].kind = kind;
+    }
+
+    // Threads: a communication edge moves to a fresh thread.
+    for (int i = 0; i + 1 < n; ++i) {
+        cy.events[size_t(i) + 1].thread =
+            cy.events[size_t(i)].thread
+            + (isComm(cy.edges[size_t(i)]) ? 1 : 0);
+    }
+
+    // Locations along the spec's walk; the closing communication edge
+    // needs the walk to return to event 0's location.
+    for (int i = 0; i + 1 < n; ++i) {
+        const int cur = cy.events[size_t(i)].loc;
+        const int step = steps[size_t(i)];
+        cy.events[size_t(i) + 1].loc =
+            ((cur + step) % nlocs + nlocs) % nlocs;
+    }
+    if (cy.events[size_t(n) - 1].loc != cy.events[0].loc)
+        return std::nullopt;
+
+    // Store values: distinct per location so rf is observable.
+    std::vector<isa::Value> counter(size_t(nlocs), 0);
+    for (Event &ev : cy.events)
+        if (ev.kind != EvKind::Load)
+            ev.storeValue = ++counter[size_t(ev.loc)];
+
+    // Witness values: an rf edge is observed exactly; an RMW whose
+    // incoming edge is coherence must (by atomicity) read its co
+    // predecessor; everything else reads the initial 0.
+    for (int i = 0; i < n; ++i) {
+        Event &ev = cy.events[size_t(i)];
+        if (ev.kind == EvKind::Store)
+            continue;
+        const int prev = (i + n - 1) % n;
+        const EdgeKind in = cy.edges[size_t(prev)];
+        if (in == EdgeKind::Rfe
+            || (ev.kind == EvKind::Rmw && in == EdgeKind::Coe)) {
+            ev.witnessValue = cy.events[size_t(prev)].storeValue;
+        }
+    }
+    return cy;
+}
+
 } // anonymous namespace
+
+std::optional<LitmusTest>
+testFromCycle(const std::string &name,
+              const std::vector<CycleEdge> &edges, int numLocations)
+{
+    auto cycle = cycleFromSpec(edges, numLocations);
+    if (!cycle)
+        return std::nullopt;
+    LitmusTest test = lowerCycle(*cycle, name);
+    if (test.check())
+        return std::nullopt; // spec exceeded a lowering limit
+    return test;
+}
+
+const std::vector<LitmusTest> &
+fourThreadSuite()
+{
+    static const std::vector<LitmusTest> suite = [] {
+        using K = CycleEdge::Kind;
+        std::vector<LitmusTest> out;
+        auto add = [&](const std::string &name,
+                       const std::vector<CycleEdge> &edges, int nlocs) {
+            auto test = testFromCycle(name, edges, nlocs);
+            GAM_ASSERT(test.has_value(),
+                       "fourThreadSuite: cycle '%s' is not realisable",
+                       name.c_str());
+            out.push_back(*std::move(test));
+        };
+        const CycleEdge rfe{K::Rfe, isa::FenceKind::SS, 0};
+        const CycleEdge fre{K::Fre, isa::FenceKind::SS, 0};
+        const CycleEdge coe{K::Coe, isa::FenceKind::SS, 0};
+        const CycleEdge po{K::Po, isa::FenceKind::SS, 1};
+        const CycleEdge addr_dep{K::PoAddr, isa::FenceKind::SS, 1};
+        const CycleEdge data_dep{K::PoData, isa::FenceKind::SS, 1};
+        const CycleEdge fence_ll{K::PoFence, isa::FenceKind::LL, 1};
+        const CycleEdge fence_sl{K::PoFence, isa::FenceKind::SL, 1};
+
+        // The IRIW family (4 threads): two writers, two observers
+        // disagreeing on the write order -- the shape the GAM paper's
+        // non-multi-copy-atomicity discussion revolves around.
+        add("iriw_pos", {rfe, po, fre, rfe, po, fre}, 2);
+        add("iriw_addrs", {rfe, addr_dep, fre, rfe, addr_dep, fre}, 2);
+        add("iriw_fences", {rfe, fence_ll, fre, rfe, fence_ll, fre}, 2);
+
+        // The WRC+ family: write-to-read causality through a middleman
+        // thread, with and without dependency ordering, plus a
+        // 4-thread variant that closes the cycle through a fourth
+        // thread's coherence write.
+        add("wrc_pos", {rfe, po, rfe, po, fre}, 2);
+        add("wrc_data_addr", {rfe, data_dep, rfe, addr_dep, fre}, 2);
+        add("wrc_coe_w", {rfe, data_dep, rfe, addr_dep, fre, coe}, 2);
+
+        // W+RWC: a read-write causality chain racing a plain write.
+        add("w_rwc", {rfe, po, fre, po, fre}, 2);
+        add("w_rwc_fences", {rfe, fence_ll, fre, fence_sl, fre}, 2);
+        return out;
+    }();
+    return suite;
+}
 
 LitmusTest
 generateTest(uint64_t seed, uint64_t index,

@@ -29,11 +29,68 @@
 #define GAM_LITMUS_GENERATOR_HH
 
 #include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
 
 #include "litmus/test.hh"
 
 namespace gam::litmus
 {
+
+/**
+ * One edge of an explicitly specified relation cycle (diy notation):
+ * the deterministic counterpart of the random generator's internal
+ * edge draw, used to spell out named test families (IRIW, WRC+,
+ * W+RWC, ...) edge by edge.
+ */
+struct CycleEdge
+{
+    enum class Kind : uint8_t
+    {
+        Rfe,     ///< store read by a load on another thread
+        Coe,     ///< coherence between stores on different threads
+        Fre,     ///< load overwritten by a store on another thread
+        Po,      ///< plain program order
+        PoFence, ///< program order through `fence`
+        PoAddr,  ///< program order through an address dependency
+        PoData,  ///< program order through a data dependency
+        PoCtrl,  ///< program order through a control dependency
+    };
+
+    Kind kind = Kind::Po;
+    /** PoFence edges: which fence sits between the events. */
+    isa::FenceKind fence = isa::FenceKind::SS;
+    /**
+     * Po-family edges: location steps from source to destination
+     * event (modulo the cycle's location count; 0 = same location).
+     * Communication edges always relate same-location events and
+     * ignore this field.
+     */
+    int locStep = 1;
+};
+
+/**
+ * Deterministically lower an explicit relation cycle to a finalized
+ * litmus test over @p numLocations shared locations (2..4).  Follows
+ * exactly the random generator's realisability rules -- 2..4
+ * communication edges (one thread each), type conflicts become RMWs,
+ * the cycle's location walk must close -- and returns nullopt when the
+ * specification violates them.  The result passes LitmusTest::check()
+ * and carries no expected verdicts (see harness::annotateExpected).
+ */
+std::optional<LitmusTest>
+testFromCycle(const std::string &name,
+              const std::vector<CycleEdge> &edges, int numLocations);
+
+/**
+ * The named 4-thread-era cycle families, built with testFromCycle():
+ * the IRIW family (plain, address-dependent, fenced -- 4 threads), the
+ * WRC+ family (dependency-ordered WRC and a 4-thread coherence-writer
+ * extension) and W+RWC.  Representative pinned copies with verdicts
+ * live under tests/corpus/ (`gam-litmus gen --four-thread`).
+ */
+const std::vector<LitmusTest> &fourThreadSuite();
 
 /** Generator knobs.  Defaults produce the 2-4 thread standard mix. */
 struct GeneratorOptions

@@ -85,6 +85,24 @@ supportsEngine(ModelKind model, Engine engine)
 std::vector<Engine> engines(ModelKind model);
 
 /**
+ * Does @p engine decide by enumerating (rf, co) candidate executions
+ * through the shared incremental pruned search
+ * (axiomatic/enumerate.hh)?  True for the axiomatic checker and the
+ * cat evaluator -- their Decisions carry meaningful enumeration
+ * counters (Decision::enumStats: partial candidates pruned, subtrees
+ * skipped, backtrack depth) and their statesVisited counts complete
+ * candidates reached.  False for the operational explorer, whose
+ * statesVisited counts machine states and whose enumStats stay zero.
+ * Frontends use this to decide which rows of a verdict matrix can be
+ * aggregated into pruning statistics.
+ */
+constexpr bool
+engineUsesCandidateEnumeration(Engine engine)
+{
+    return engine == Engine::Axiomatic || engine == Engine::Cat;
+}
+
+/**
  * Do *both* engines support @p model -- i.e. is there an
  * operational/axiomatic pair to cross-check?  False for Alpha* (no
  * axioms) and PerLocSC (no machine), which only one engine decides.

@@ -60,9 +60,14 @@ TEST(CatParity, OutcomeSetsEqualTheHandCodedCheckerOnAllBuiltins)
                 << test.name << " " << model::modelName(model);
             EXPECT_EQ(ct.engine, Engine::Cat);
             EXPECT_TRUE(ct.complete);
-            // Shared candidate enumeration: both engines examine the
-            // same number of (rf, co) candidates.
+            // Shared pruned enumeration: the model files express the
+            // same constraints as the hand-coded axioms, so the two
+            // engines' partial-candidate checks cut identical
+            // subtrees and materialize the same complete candidates.
             EXPECT_EQ(ct.statesVisited, ax.statesVisited)
+                << test.name << " " << model::modelName(model);
+            EXPECT_EQ(ct.enumStats.subtreesSkipped,
+                      ax.enumStats.subtreesSkipped)
                 << test.name << " " << model::modelName(model);
         }
     }

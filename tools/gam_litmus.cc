@@ -24,9 +24,13 @@
  *       built-in suites to text; normalises hand-written files).
  *
  *   gam-litmus gen [--tests N] [--seed S] [--out DIR] [--no-verdicts]
+ *                  [--four-thread]
  *       Emit generated tests as litmus documents (stdout, or one file
  *       per test under DIR), annotated with axiomatically-derived
- *       expect verdicts unless --no-verdicts.
+ *       expect verdicts unless --no-verdicts.  --four-thread replaces
+ *       the random stream with the named IRIW/WRC+/W+RWC cycle
+ *       families (litmus::fourThreadSuite), annotated for the four
+ *       models the pinned corpus records.
  *
  *   gam-litmus fuzz [--tests N] [--seed S] [--threads N]
  *                   [--max-states M] [--no-shrink] [--engine E]
@@ -100,9 +104,11 @@ usage()
                  "  print <test|file>...      re-emit tests in "
                  "canonical text form\n"
                  "  gen [--tests N] [--seed S] [--out DIR] "
-                 "[--no-verdicts]\n"
+                 "[--no-verdicts] [--four-thread]\n"
                  "                            emit generated litmus "
-                 "documents\n"
+                 "documents (--four-thread:\n"
+                 "                            the named IRIW/WRC+/W+RWC "
+                 "cycle families)\n"
                  "  fuzz [--tests N] [--seed S] [--threads N]\n"
                  "       [--max-states M] [--no-shrink] [--engine E]\n"
                  "                            differential-fuzz a spec "
@@ -305,6 +311,35 @@ cmdRun(int argc, char **argv)
                     (unsigned long long)(after.misses - before.misses),
                     (unsigned long long)
                         harness::globalDecisionCache().size());
+        // Aggregate the incremental-enumeration counters over the
+        // axiomatic/cat rows (operational rows carry none).
+        axiomatic::CheckerStats enum_stats;
+        size_t enum_rows = 0;
+        for (const auto &v : verdicts) {
+            if (!model::engineUsesCandidateEnumeration(v.engine))
+                continue;
+            ++enum_rows;
+            enum_stats.merge(v.enumStats);
+        }
+        if (enum_rows > 0) {
+            std::printf(
+                "enumeration (%zu rows): %llu rf maps tried "
+                "(%llu skipped statically), %llu value-consistent, "
+                "%llu candidates checked, %llu accepted\n"
+                "pruning: %llu rf prefixes cut, %llu partials pruned, "
+                "%llu complete candidates never built, "
+                "max backtrack depth %llu\n",
+                enum_rows,
+                (unsigned long long)enum_stats.rfCandidates,
+                (unsigned long long)enum_stats.rfStaticSkipped,
+                (unsigned long long)enum_stats.valueConsistent,
+                (unsigned long long)enum_stats.coCandidates,
+                (unsigned long long)enum_stats.accepted,
+                (unsigned long long)enum_stats.rfPruned,
+                (unsigned long long)enum_stats.partialsPruned,
+                (unsigned long long)enum_stats.subtreesSkipped,
+                (unsigned long long)enum_stats.maxBacktrackDepth);
+        }
     }
     for (const auto &v : verdicts)
         if (!v.matchesPaper())
@@ -338,12 +373,16 @@ cmdGen(int argc, char **argv)
 {
     uint64_t tests = 10, seed = 1;
     bool verdicts = true;
+    bool four_thread = false;
+    bool stream_flags = false;
     std::string out_dir;
 
     for (int i = 0; i < argc; ++i) {
         const std::string arg = argv[i];
         const char *value = nullptr;
-        if (arg == "--tests" || arg == "--seed") {
+        if (arg == "--four-thread") {
+            four_thread = true;
+        } else if (arg == "--tests" || arg == "--seed") {
             value = flagValue(argc, argv, i, arg.c_str());
             if (!value)
                 return 2;
@@ -354,6 +393,7 @@ cmdGen(int argc, char **argv)
                 return 2;
             }
             (arg == "--tests" ? tests : seed) = *n;
+            stream_flags = true;
         } else if (arg == "--out") {
             value = flagValue(argc, argv, i, "--out");
             if (!value)
@@ -368,18 +408,40 @@ cmdGen(int argc, char **argv)
         }
     }
 
-    const std::vector<ModelKind> models = {
-        ModelKind::SC, ModelKind::TSO, ModelKind::GAM0, ModelKind::GAM,
-        ModelKind::ARM,
-    };
-    for (uint64_t i = 0; i < tests; ++i) {
-        litmus::LitmusTest test = litmus::generateTest(seed, i);
+    if (four_thread && stream_flags) {
+        std::fprintf(stderr,
+                     "gam-litmus: --four-thread emits the fixed named "
+                     "families; --tests/--seed do not apply\n");
+        return 2;
+    }
+
+    // Random-stream tests are annotated against every model; the
+    // named four-thread families against the four models their corpus
+    // copies pin (the satellite IRIW/WRC+/W+RWC verdicts).
+    const std::vector<ModelKind> models = four_thread
+        ? std::vector<ModelKind>{ModelKind::SC, ModelKind::TSO,
+                                 ModelKind::GAM0, ModelKind::GAM}
+        : std::vector<ModelKind>{ModelKind::SC, ModelKind::TSO,
+                                 ModelKind::GAM0, ModelKind::GAM,
+                                 ModelKind::ARM};
+
+    std::vector<litmus::LitmusTest> emitted;
+    if (four_thread) {
+        emitted = litmus::fourThreadSuite();
+    } else {
+        for (uint64_t i = 0; i < tests; ++i)
+            emitted.push_back(litmus::generateTest(seed, i));
+    }
+
+    bool first = true;
+    for (litmus::LitmusTest &test : emitted) {
         if (verdicts)
             harness::annotateExpected(test, models);
         const std::string text = litmus::printLitmus(test);
         if (out_dir.empty()) {
-            if (i > 0)
+            if (!first)
                 std::printf("\n");
+            first = false;
             std::printf("%s", text.c_str());
             continue;
         }
