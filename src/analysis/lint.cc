@@ -1,0 +1,767 @@
+#include "analysis/lint.hh"
+
+#include <algorithm>
+#include <cstdint>
+#include <set>
+#include <sstream>
+#include <string_view>
+#include <tuple>
+
+#include "base/logging.hh"
+
+namespace gam::analysis
+{
+
+using cat::Builtin;
+using cat::CatModel;
+using cat::Expr;
+using cat::Stmt;
+
+namespace
+{
+
+/**
+ * The set abstraction: a bitmask over the seven event classes.  Every
+ * event of a candidate execution belongs to exactly one class, and
+ * every builtin set is a union of whole classes, so boolean set
+ * algebra on masks is *exact*: mask == 0 iff the set is empty in every
+ * candidate execution.
+ */
+enum : uint8_t {
+    C_LD = 1 << 0,  ///< pure load (LD)
+    C_ST = 1 << 1,  ///< pure store (ST)
+    C_RMW = 1 << 2, ///< atomic read-modify-write (both R and W)
+    C_FLL = 1 << 3,
+    C_FLS = 1 << 4,
+    C_FSL = 1 << 5,
+    C_FSS = 1 << 6,
+    C_ALL = (1 << 7) - 1,
+};
+
+constexpr uint8_t C_R = C_LD | C_RMW;
+constexpr uint8_t C_W = C_ST | C_RMW;
+constexpr uint8_t C_M = C_LD | C_ST | C_RMW;
+constexpr uint8_t C_F = C_FLL | C_FLS | C_FSL | C_FSS;
+
+/**
+ * The relation abstraction.  Boolean fields are *definite* claims,
+ * quantified over every candidate execution of every litmus test;
+ * false means "unknown", never "definitely not".  The masks
+ * over-approximate which event classes the endpoints can belong to.
+ */
+struct RelAbs
+{
+    bool empty = false;  ///< no pairs, ever
+    bool irrefl = false; ///< never relates an event to itself
+    bool acyc = false;   ///< the edge digraph is acyclic, always
+    bool subId = false;  ///< subset of the identity relation
+    uint8_t dom = C_ALL; ///< classes the sources can inhabit
+    uint8_t rng = C_ALL; ///< classes the targets can inhabit
+};
+
+/** Close @p r under the facts the fields imply about each other. */
+RelAbs
+norm(RelAbs r)
+{
+    if (r.subId) {
+        // Pairs are (x, x): both endpoints share one class.
+        r.dom &= r.rng;
+        r.rng = r.dom;
+    }
+    if (r.dom == 0 || r.rng == 0 || (r.subId && r.irrefl))
+        r.empty = true;
+    if (r.empty) {
+        r.dom = r.rng = 0;
+        r.irrefl = r.acyc = r.subId = true;
+    }
+    if ((r.dom & r.rng) == 0) {
+        // Every edge ends in a class no edge starts from: no two
+        // consecutive edges, no self-loop -- acyclic outright.
+        r.irrefl = r.acyc = true;
+    }
+    if (r.acyc)
+        r.irrefl = true;
+    return r;
+}
+
+RelAbs
+bottomRel()
+{
+    RelAbs r;
+    r.empty = true;
+    return norm(r);
+}
+
+/**
+ * Facts about the evaluator's primitives, mirroring cat/exec.cc:
+ * po is a union of per-thread strict orders (acyclic); co a union of
+ * per-address total store orders (acyclic); rf maps stores to the
+ * loads they feed (an event never supplies its own read, but seeded
+ * candidates may carry rf cycles); fr excludes the identity but can
+ * cycle through RMWs; addr/data/ctrl point strictly forward in program
+ * order (acyclic); loc/ext/int relate *distinct* events symmetrically.
+ */
+RelAbs
+builtinRel(Builtin b)
+{
+    RelAbs r;
+    switch (b) {
+      case Builtin::Po:
+        r.irrefl = r.acyc = true;
+        break;
+      case Builtin::Rf:
+        r.irrefl = true;
+        r.dom = C_W;
+        r.rng = C_R;
+        break;
+      case Builtin::Co:
+        r.irrefl = r.acyc = true;
+        r.dom = C_W;
+        r.rng = C_W;
+        break;
+      case Builtin::Fr:
+        r.irrefl = true;
+        r.dom = C_R;
+        r.rng = C_W;
+        break;
+      case Builtin::Loc:
+        r.irrefl = true;
+        r.dom = C_M;
+        r.rng = C_M;
+        break;
+      case Builtin::Ext:
+      case Builtin::Int:
+        r.irrefl = true;
+        break;
+      case Builtin::Addr:
+        r.irrefl = r.acyc = true;
+        r.dom = C_R;
+        r.rng = C_M;
+        break;
+      case Builtin::Data:
+        r.irrefl = r.acyc = true;
+        r.dom = C_R;
+        r.rng = C_W;
+        break;
+      case Builtin::Ctrl:
+        r.irrefl = r.acyc = true;
+        r.dom = C_R;
+        break;
+      case Builtin::Id:
+        r.subId = true;
+        break;
+      default:
+        panic("builtinRel: not a relation builtin");
+    }
+    return norm(r);
+}
+
+uint8_t
+builtinSet(Builtin b)
+{
+    switch (b) {
+      case Builtin::R: return C_R;
+      case Builtin::W: return C_W;
+      case Builtin::M: return C_M;
+      case Builtin::F: return C_F;
+      case Builtin::RMW: return C_RMW;
+      case Builtin::FLL: return C_FLL;
+      case Builtin::FLS: return C_FLS;
+      case Builtin::FSL: return C_FSL;
+      case Builtin::FSS: return C_FSS;
+      default:
+        panic("builtinSet: not a set builtin");
+    }
+}
+
+bool
+isSetExpr(const Expr &e)
+{
+    return e.type == cat::Type::Set;
+}
+
+/** Abstract values of every let slot, by sort. */
+struct SlotEnv
+{
+    std::vector<RelAbs> rel;
+    std::vector<uint8_t> set;
+    std::vector<char> isSet;
+};
+
+uint8_t evalSet(const Expr &e, const SlotEnv &env);
+
+RelAbs
+evalRel(const Expr &e, const SlotEnv &env)
+{
+    using K = Expr::Kind;
+    RelAbs r;
+    switch (e.kind) {
+      case K::Name:
+        if (e.builtin)
+            return builtinRel(*e.builtin);
+        return env.rel[size_t(e.slot)];
+      case K::EmptyRel:
+        return bottomRel();
+      case K::Union: {
+        const RelAbs a = evalRel(*e.a, env), b = evalRel(*e.b, env);
+        if (a.empty)
+            return b;
+        if (b.empty)
+            return a;
+        r.empty = false;
+        r.irrefl = a.irrefl && b.irrefl;
+        r.acyc = false; // a cycle can alternate between the operands
+        r.subId = a.subId && b.subId;
+        r.dom = a.dom | b.dom;
+        r.rng = a.rng | b.rng;
+        break;
+      }
+      case K::Seq: {
+        const RelAbs a = evalRel(*e.a, env), b = evalRel(*e.b, env);
+        r.empty = a.empty || b.empty || (a.rng & b.dom) == 0;
+        r.dom = a.subId ? uint8_t(a.dom & b.dom) : a.dom;
+        r.rng = b.subId ? uint8_t(b.rng & a.rng) : b.rng;
+        // (x, y) in a;b starts in dom(a) and ends in rng(b): when those
+        // class sets are disjoint no self-loop or two-edge path exists.
+        const bool endpointsDisjoint = (a.dom & b.rng) == 0;
+        r.irrefl = endpointsDisjoint || (a.subId && b.irrefl)
+            || (b.subId && a.irrefl);
+        r.acyc = endpointsDisjoint || (a.subId && b.acyc)
+            || (b.subId && a.acyc);
+        r.subId = a.subId && b.subId;
+        break;
+      }
+      case K::Inter: {
+        const RelAbs a = evalRel(*e.a, env), b = evalRel(*e.b, env);
+        r.empty = a.empty || b.empty || (a.subId && b.irrefl)
+            || (b.subId && a.irrefl);
+        r.irrefl = a.irrefl || b.irrefl;
+        r.acyc = a.acyc || b.acyc;
+        r.subId = a.subId || b.subId;
+        r.dom = a.dom & b.dom;
+        r.rng = a.rng & b.rng;
+        break;
+      }
+      case K::Diff:
+        // a \ b keeps a subset of a; every definite claim survives.
+        r = evalRel(*e.a, env);
+        break;
+      case K::Product: {
+        const uint8_t s1 = evalSet(*e.a, env), s2 = evalSet(*e.b, env);
+        r.empty = s1 == 0 || s2 == 0;
+        r.dom = s1;
+        r.rng = s2;
+        break;
+      }
+      case K::Compl:
+        break; // no claims about a complement
+      case K::Plus: {
+        const RelAbs a = evalRel(*e.a, env);
+        r.empty = a.empty;
+        r.irrefl = a.acyc; // irreflexive(a+) iff acyclic(a)
+        r.acyc = a.acyc;
+        r.subId = a.subId;
+        r.dom = a.dom;
+        r.rng = a.rng;
+        break;
+      }
+      case K::Star: {
+        const RelAbs a = evalRel(*e.a, env);
+        // a* contains the identity: never empty or irreflexive, and
+        // full-universe endpoints.
+        r.subId = a.subId || a.empty;
+        break;
+      }
+      case K::Inverse: {
+        r = evalRel(*e.a, env);
+        std::swap(r.dom, r.rng);
+        break;
+      }
+      case K::Diag: {
+        const uint8_t s = evalSet(*e.a, env);
+        r.empty = s == 0;
+        r.subId = true;
+        r.dom = r.rng = s;
+        break;
+      }
+    }
+    return norm(r);
+}
+
+uint8_t
+evalSet(const Expr &e, const SlotEnv &env)
+{
+    using K = Expr::Kind;
+    switch (e.kind) {
+      case K::Name:
+        if (e.builtin)
+            return builtinSet(*e.builtin);
+        return env.set[size_t(e.slot)];
+      case K::EmptyRel:
+        return 0;
+      case K::Union:
+        return evalSet(*e.a, env) | evalSet(*e.b, env);
+      case K::Inter:
+        return evalSet(*e.a, env) & evalSet(*e.b, env);
+      case K::Diff:
+        return evalSet(*e.a, env) & uint8_t(~evalSet(*e.b, env));
+      case K::Compl:
+        return uint8_t(~evalSet(*e.a, env)) & C_ALL;
+      default:
+        panic("evalSet: operator cannot yield a set");
+    }
+}
+
+/** All let slots @p e references, recursively. */
+void
+collectSlots(const Expr &e, std::set<int> &out)
+{
+    if (e.kind == Expr::Kind::Name && !e.builtin)
+        out.insert(e.slot);
+    if (e.a)
+        collectSlots(*e.a, out);
+    if (e.b)
+        collectSlots(*e.b, out);
+}
+
+// ------------------------------------------------- subset reasoning
+
+/** Structural equality (modulo commuting | and &). */
+bool
+exprEqual(const Expr &a, const Expr &b)
+{
+    if (a.kind != b.kind)
+        return false;
+    if (a.kind == Expr::Kind::Name)
+        return a.builtin == b.builtin && a.slot == b.slot;
+    const bool sub = (!a.a || (b.a && exprEqual(*a.a, *b.a)))
+        && (!a.b || (b.b && exprEqual(*a.b, *b.b)));
+    if (sub)
+        return true;
+    if (a.kind == Expr::Kind::Union || a.kind == Expr::Kind::Inter) {
+        return a.a && a.b && b.a && b.b && exprEqual(*a.a, *b.b)
+            && exprEqual(*a.b, *b.a);
+    }
+    return false;
+}
+
+/** Binding bodies by slot, for inlining names during subset checks. */
+struct SubsetCtx
+{
+    std::vector<const Expr *> body; ///< nullptr for `let rec` slots
+    int depth = 0;
+};
+
+/**
+ * Sound structural subset test: true implies @p small is a subset of
+ * @p big in every candidate execution.  False means "could not prove".
+ */
+bool
+isSubset(const Expr &small, const Expr &big, SubsetCtx &ctx)
+{
+    using K = Expr::Kind;
+    if (ctx.depth > 64)
+        return false;
+    ++ctx.depth;
+    struct Pop
+    {
+        int &d;
+        ~Pop() { --d; }
+    } pop{ctx.depth};
+
+    if (exprEqual(small, big))
+        return true;
+    // Decompose the large side first: a subset of one union arm is a
+    // subset of the union; an intersection bounds from both sides.
+    switch (big.kind) {
+      case K::Union:
+        if (isSubset(small, *big.a, ctx) || isSubset(small, *big.b, ctx))
+            return true;
+        break;
+      case K::Inter:
+        if (isSubset(small, *big.a, ctx) && isSubset(small, *big.b, ctx))
+            return true;
+        break;
+      case K::Plus:
+      case K::Star:
+        if (isSubset(small, *big.a, ctx))
+            return true;
+        if ((small.kind == K::Plus
+             || (small.kind == K::Star && big.kind == K::Star))
+            && isSubset(*small.a, *big.a, ctx)) {
+            return true;
+        }
+        break;
+      case K::Name:
+        if (!big.builtin && ctx.body[size_t(big.slot)]
+            && isSubset(small, *ctx.body[size_t(big.slot)], ctx)) {
+            return true;
+        }
+        break;
+      default:
+        break;
+    }
+    switch (small.kind) {
+      case K::Union:
+        return isSubset(*small.a, big, ctx)
+            && isSubset(*small.b, big, ctx);
+      case K::Inter:
+        return isSubset(*small.a, big, ctx)
+            || isSubset(*small.b, big, ctx);
+      case K::Diff:
+        return isSubset(*small.a, big, ctx);
+      case K::Name:
+        return !small.builtin && ctx.body[size_t(small.slot)]
+            && isSubset(*ctx.body[size_t(small.slot)], big, ctx);
+      default:
+        return false;
+    }
+}
+
+// ----------------------------------------------------------- driver
+
+const char *const builtinNames[] = {
+    "R", "W", "M", "F", "RMW", "FLL", "FLS", "FSL", "FSS",
+    "po", "rf", "co", "fr", "loc", "ext", "int", "addr", "data",
+    "ctrl", "id",
+};
+
+struct Linter
+{
+    const CatModel &model;
+    std::vector<LintDiagnostic> diags;
+    SlotEnv env;
+    /** Definition site of each slot. */
+    std::vector<const cat::Binding *> def;
+    /** Slots bound by `let rec`. */
+    std::vector<char> isRec;
+    SubsetCtx subset;
+
+    explicit Linter(const CatModel &m) : model(m)
+    {
+        const size_t n = size_t(m.slotCount);
+        env.rel.assign(n, bottomRel());
+        env.set.assign(n, 0);
+        env.isSet.assign(n, 0);
+        def.assign(n, nullptr);
+        isRec.assign(n, 0);
+        subset.body.assign(n, nullptr);
+    }
+
+    void
+    report(const char *rule, const char *name, int line, int col,
+           std::string message)
+    {
+        diags.push_back({rule, name, LintSeverity::Warning, line, col,
+                         std::move(message)});
+    }
+
+    void
+    evalBindings()
+    {
+        for (const Stmt &stmt : model.statements) {
+            if (stmt.kind == Stmt::Kind::Let) {
+                for (const cat::Binding &b : stmt.bindings) {
+                    def[size_t(b.slot)] = &b;
+                    subset.body[size_t(b.slot)] = b.body.get();
+                    if (isSetExpr(*b.body)) {
+                        env.isSet[size_t(b.slot)] = 1;
+                        env.set[size_t(b.slot)] = evalSet(*b.body, env);
+                    } else {
+                        env.rel[size_t(b.slot)] = evalRel(*b.body, env);
+                    }
+                }
+            } else if (stmt.kind == Stmt::Kind::LetRec) {
+                for (const cat::Binding &b : stmt.bindings) {
+                    def[size_t(b.slot)] = &b;
+                    isRec[size_t(b.slot)] = 1;
+                    env.isSet[size_t(b.slot)] = isSetExpr(*b.body);
+                }
+                // Ascending Kleene iteration from bottom (empty): the
+                // abstract lattice is finite (flags only clear, masks
+                // only grow), so this converges in a few rounds and
+                // soundly bounds the least fixpoint.
+                for (int round = 0; round < 64; ++round) {
+                    bool changed = false;
+                    for (const cat::Binding &b : stmt.bindings) {
+                        const size_t s = size_t(b.slot);
+                        if (env.isSet[s]) {
+                            const uint8_t v = evalSet(*b.body, env);
+                            changed |= v != env.set[s];
+                            env.set[s] = v;
+                        } else {
+                            const RelAbs v = evalRel(*b.body, env);
+                            const RelAbs &o = env.rel[s];
+                            changed |= v.empty != o.empty
+                                || v.irrefl != o.irrefl
+                                || v.acyc != o.acyc
+                                || v.subId != o.subId || v.dom != o.dom
+                                || v.rng != o.rng;
+                            env.rel[s] = v;
+                        }
+                    }
+                    if (!changed)
+                        break;
+                }
+            }
+        }
+    }
+
+    void
+    checkShadowing()
+    {
+        std::set<std::string> seen(std::begin(builtinNames),
+                                   std::end(builtinNames));
+        std::set<std::string> builtins = seen;
+        for (const Stmt &stmt : model.statements) {
+            if (stmt.kind != Stmt::Kind::Let
+                && stmt.kind != Stmt::Kind::LetRec) {
+                continue;
+            }
+            for (const cat::Binding &b : stmt.bindings) {
+                if (!seen.insert(b.name).second) {
+                    std::ostringstream os;
+                    os << "definition of '" << b.name << "' shadows ";
+                    os << (builtins.count(b.name)
+                               ? "the builtin of the same name"
+                               : "an earlier definition");
+                    report("L002", "shadowed-name", b.line, b.col,
+                           os.str());
+                }
+            }
+        }
+    }
+
+    void
+    checkUnused()
+    {
+        // Liveness: slots reachable from any axiom through binding
+        // bodies.  Self-references inside a rec group do not keep the
+        // group alive.
+        std::vector<std::set<int>> refs(size_t(model.slotCount));
+        std::set<int> live;
+        for (const Stmt &stmt : model.statements) {
+            if (stmt.check) {
+                collectSlots(*stmt.check, live);
+                continue;
+            }
+            for (const cat::Binding &b : stmt.bindings)
+                collectSlots(*b.body, refs[size_t(b.slot)]);
+        }
+        std::vector<int> work(live.begin(), live.end());
+        while (!work.empty()) {
+            const int s = work.back();
+            work.pop_back();
+            for (int t : refs[size_t(s)])
+                if (live.insert(t).second)
+                    work.push_back(t);
+        }
+        for (int s = 0; s < model.slotCount; ++s) {
+            if (live.count(s) || !def[size_t(s)])
+                continue;
+            const cat::Binding &b = *def[size_t(s)];
+            report("L001", "unused-definition", b.line, b.col,
+                   "definition '" + b.name
+                       + "' is never used by an axiom");
+        }
+    }
+
+    /** The shadowed-definition problem aside, is a slot's value empty? */
+    bool
+    slotEmpty(int slot) const
+    {
+        return env.isSet[size_t(slot)] ? env.set[size_t(slot)] == 0
+                                       : env.rel[size_t(slot)].empty;
+    }
+
+    bool
+    exprEmpty(const Expr &e) const
+    {
+        return isSetExpr(e) ? evalSet(e, env) == 0
+                            : evalRel(e, env).empty;
+    }
+
+    /**
+     * Report the *maximal* statically-empty subexpressions of an axiom
+     * body, skipping the root (L004 territory), literal `0` (an
+     * intentional empty) and bare names (reported at their binding).
+     */
+    void
+    scanEmptySubexprs(const Expr &e, bool isRoot)
+    {
+        if (exprEmpty(e)) {
+            if (!isRoot && e.kind != Expr::Kind::EmptyRel
+                && e.kind != Expr::Kind::Name) {
+                report("L003", "empty-relation", e.line, e.col,
+                       "subexpression is empty in every candidate "
+                       "execution");
+            }
+            if (!isRoot)
+                return; // children are subsumed
+        }
+        if (e.a)
+            scanEmptySubexprs(*e.a, false);
+        if (e.b)
+            scanEmptySubexprs(*e.b, false);
+    }
+
+    void
+    checkEmptyDefinitions()
+    {
+        for (int s = 0; s < model.slotCount; ++s) {
+            if (!def[size_t(s)] || isRec[size_t(s)])
+                continue; // rec groups report through L006
+            if (!slotEmpty(s))
+                continue;
+            const cat::Binding &b = *def[size_t(s)];
+            report("L003", "empty-relation", b.line, b.col,
+                   "definition '" + b.name
+                       + "' is empty in every candidate execution");
+        }
+        for (const Stmt &stmt : model.statements)
+            if (stmt.check && !exprEmpty(*stmt.check))
+                scanEmptySubexprs(*stmt.check, true);
+    }
+
+    void
+    checkVacuousAxioms()
+    {
+        for (const Stmt &stmt : model.statements) {
+            if (!stmt.check)
+                continue;
+            const RelAbs a = evalRel(*stmt.check, env);
+            const char *why = nullptr;
+            if (a.empty) {
+                why = "the relation is empty in every candidate "
+                      "execution";
+            } else if (stmt.kind == Stmt::Kind::Irreflexive
+                       && a.irrefl) {
+                why = "the relation is irreflexive by construction";
+            } else if (stmt.kind == Stmt::Kind::Acyclic && a.acyc) {
+                why = "the relation is acyclic by construction";
+            }
+            if (why) {
+                report("L004", "vacuous-axiom", stmt.check->line,
+                       stmt.check->col,
+                       "axiom '" + stmt.axiomName
+                           + "' always holds: " + std::string(why));
+            }
+        }
+    }
+
+    /** Does axiom @p a (holding) force axiom @p b to hold? */
+    bool
+    axiomImplies(const Stmt &a, const Stmt &b)
+    {
+        if (!isSubset(*b.check, *a.check, subset))
+            return false;
+        switch (a.kind) {
+          case Stmt::Kind::Empty:
+            return true; // a subset of an empty relation satisfies all
+          case Stmt::Kind::Acyclic:
+            return b.kind == Stmt::Kind::Acyclic
+                || b.kind == Stmt::Kind::Irreflexive;
+          case Stmt::Kind::Irreflexive:
+            return b.kind == Stmt::Kind::Irreflexive;
+          default:
+            return false;
+        }
+    }
+
+    void
+    checkRedundantAxioms()
+    {
+        std::vector<const Stmt *> axioms;
+        for (const Stmt &stmt : model.statements)
+            if (stmt.check)
+                axioms.push_back(&stmt);
+        for (size_t j = 0; j < axioms.size(); ++j) {
+            for (size_t i = 0; i < axioms.size(); ++i) {
+                if (i == j || !axiomImplies(*axioms[i], *axioms[j]))
+                    continue;
+                // Mutually implied (identical) axioms: keep the first.
+                if (i > j && axiomImplies(*axioms[j], *axioms[i]))
+                    continue;
+                report("L005", "redundant-axiom",
+                       axioms[j]->check->line, axioms[j]->check->col,
+                       "axiom '" + axioms[j]->axiomName
+                           + "' is implied by axiom '"
+                           + axioms[i]->axiomName + "'");
+                break;
+            }
+        }
+    }
+
+    void
+    checkRecursion()
+    {
+        for (const Stmt &stmt : model.statements) {
+            if (stmt.kind != Stmt::Kind::LetRec)
+                continue;
+            std::set<int> group;
+            for (const cat::Binding &b : stmt.bindings)
+                group.insert(b.slot);
+            bool recurses = false;
+            for (const cat::Binding &b : stmt.bindings) {
+                std::set<int> refs;
+                collectSlots(*b.body, refs);
+                for (int s : refs)
+                    recurses |= group.count(s) != 0;
+            }
+            const cat::Binding &head = stmt.bindings.front();
+            if (!recurses) {
+                report("L006", "non-productive-recursion", head.line,
+                       head.col,
+                       "'let rec' group starting at '" + head.name
+                           + "' never references its own names; plain "
+                             "'let' would do");
+                continue;
+            }
+            bool allEmpty = true;
+            for (const cat::Binding &b : stmt.bindings)
+                allEmpty &= slotEmpty(b.slot);
+            if (allEmpty) {
+                report("L006", "non-productive-recursion", head.line,
+                       head.col,
+                       "the least fixpoint of the 'let rec' group "
+                       "starting at '"
+                           + head.name + "' is statically empty");
+            }
+        }
+    }
+};
+
+} // anonymous namespace
+
+std::string
+LintDiagnostic::toString() const
+{
+    std::ostringstream os;
+    os << line << ':' << col << ": "
+       << (severity == LintSeverity::Warning ? "warning" : "info")
+       << ": " << message << " [" << rule << ' ' << ruleName << ']';
+    return os.str();
+}
+
+std::vector<LintDiagnostic>
+lint(const CatModel &model)
+{
+    Linter linter(model);
+    linter.evalBindings();
+    linter.checkShadowing();
+    linter.checkUnused();
+    linter.checkEmptyDefinitions();
+    linter.checkVacuousAxioms();
+    linter.checkRedundantAxioms();
+    linter.checkRecursion();
+    std::stable_sort(linter.diags.begin(), linter.diags.end(),
+                     [](const LintDiagnostic &a, const LintDiagnostic &b) {
+                         return std::tuple(a.line, a.col,
+                                           std::string_view(a.rule))
+                             < std::tuple(b.line, b.col,
+                                          std::string_view(b.rule));
+                     });
+    return linter.diags;
+}
+
+} // namespace gam::analysis

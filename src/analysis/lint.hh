@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Static lint over a parsed, checked cat model (cat/parser.hh).
+ *
+ * parseCat() guarantees a model is *well-formed*: every name resolves,
+ * every operator is sorted correctly, every recursion is monotone.  It
+ * says nothing about whether the model is *sensible*.  This pass finds
+ * the statically detectable ways a model can be broken or misleading
+ * while still parsing:
+ *
+ *   L001 unused-definition        a let binding no axiom (transitively)
+ *                                 depends on
+ *   L002 shadowed-name            a binding re-using the name of an
+ *                                 earlier binding or a builtin
+ *   L003 empty-relation           a definition or axiom subexpression
+ *                                 that is empty in *every* candidate
+ *                                 execution (e.g. [F] & [M])
+ *   L004 vacuous-axiom            an axiom satisfied by construction:
+ *                                 acyclic/irreflexive/empty over a
+ *                                 provably empty relation, irreflexive
+ *                                 over an irreflexive-by-construction
+ *                                 one, acyclic over an acyclic one
+ *   L005 redundant-axiom          an axiom implied by another via
+ *                                 subset reasoning on the algebra
+ *   L006 non-productive-recursion a `let rec` that never recurses, or
+ *                                 whose least fixpoint is statically
+ *                                 empty
+ *
+ * Every claim is *sound*: a relation is only called empty (resp.
+ * irreflexive, acyclic) when it is so in every candidate execution of
+ * every litmus test, by abstract interpretation over the seven event
+ * classes {pure load, pure store, RMW, FenceLL/LS/SL/SS} plus
+ * per-primitive structural facts (po is a union of per-thread strict
+ * orders, hence acyclic; fr excludes the identity; ...).  The linter
+ * can therefore miss dynamically dead constructs, but it never flags a
+ * live one.
+ */
+
+#ifndef GAM_ANALYSIS_LINT_HH
+#define GAM_ANALYSIS_LINT_HH
+
+#include <string>
+#include <vector>
+
+#include "cat/parser.hh"
+
+namespace gam::analysis
+{
+
+/** Diagnostic severity; CI treats every Warning as fatal. */
+enum class LintSeverity { Info, Warning };
+
+/** One lint finding with a 1-based source position. */
+struct LintDiagnostic
+{
+    /** Stable rule ID ("L001" ... "L006"). */
+    const char *rule;
+    /** Rule slug ("unused-definition"). */
+    const char *ruleName;
+    LintSeverity severity = LintSeverity::Warning;
+    int line = 0;
+    int col = 0;
+    std::string message;
+
+    /** "3:5: warning: let 'dead' is never used [L001 unused-definition]" */
+    std::string toString() const;
+};
+
+/**
+ * Lint @p model.  Diagnostics come back in source order (line, then
+ * column, then rule ID).  A clean model yields an empty vector.
+ */
+std::vector<LintDiagnostic> lint(const cat::CatModel &model);
+
+} // namespace gam::analysis
+
+#endif // GAM_ANALYSIS_LINT_HH

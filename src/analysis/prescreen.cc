@@ -1,0 +1,627 @@
+#include "analysis/prescreen.hh"
+
+#include <algorithm>
+#include <array>
+#include <map>
+#include <optional>
+#include <set>
+#include <sstream>
+#include <vector>
+
+#include "isa/instruction.hh"
+#include "isa/semantics.hh"
+
+namespace gam::analysis
+{
+
+using isa::Addr;
+using isa::FenceKind;
+using isa::Instruction;
+using isa::Opcode;
+using isa::Reg;
+using isa::Value;
+using litmus::LitmusTest;
+using model::ModelKind;
+
+namespace
+{
+
+/**
+ * A bounded set of 64-bit values: either an explicit sorted set of at
+ * most Cap values, or Top (any value).  The abstraction is a plain
+ * powerset domain with a cardinality widening, so every operation is
+ * a sound over-approximation of the concrete operation.
+ */
+struct ValSet
+{
+    static constexpr size_t Cap = 24;
+
+    bool top = false;
+    std::vector<Value> vals; ///< sorted, unique; empty+!top = bottom
+
+    static ValSet
+    singleton(Value v)
+    {
+        ValSet s;
+        s.vals.push_back(v);
+        return s;
+    }
+
+    static ValSet
+    topSet()
+    {
+        ValSet s;
+        s.top = true;
+        return s;
+    }
+
+    bool isSingleton() const { return !top && vals.size() == 1; }
+
+    bool
+    contains(Value v) const
+    {
+        return top
+            || std::binary_search(vals.begin(), vals.end(), v);
+    }
+
+    void
+    add(Value v)
+    {
+        if (top)
+            return;
+        auto it = std::lower_bound(vals.begin(), vals.end(), v);
+        if (it != vals.end() && *it == v)
+            return;
+        vals.insert(it, v);
+        if (vals.size() > Cap) {
+            top = true;
+            vals.clear();
+        }
+    }
+
+    void
+    join(const ValSet &other)
+    {
+        if (top)
+            return;
+        if (other.top) {
+            top = true;
+            vals.clear();
+            return;
+        }
+        for (Value v : other.vals)
+            add(v);
+    }
+
+    bool operator==(const ValSet &other) const = default;
+};
+
+/** Pointwise map of @p f over @p s (Top maps to Top). */
+template <typename F>
+ValSet
+mapSet(const ValSet &s, F f)
+{
+    if (s.top)
+        return ValSet::topSet();
+    ValSet out;
+    for (Value v : s.vals)
+        out.add(f(v));
+    return out;
+}
+
+/** Pointwise map of @p f over the product of two sets. */
+template <typename F>
+ValSet
+mapSet2(const ValSet &a, const ValSet &b, F f)
+{
+    if (a.top || b.top)
+        return ValSet::topSet();
+    ValSet out;
+    for (Value va : a.vals) {
+        for (Value vb : b.vals) {
+            out.add(f(va, vb));
+            if (out.top)
+                return out;
+        }
+    }
+    return out;
+}
+
+bool
+setsOverlap(const ValSet &a, const ValSet &b)
+{
+    if (a.top || b.top)
+        return true; // conservative
+    for (Value v : a.vals)
+        if (b.contains(v))
+            return true;
+    return false;
+}
+
+/** Abstract register file. */
+using RegState = std::vector<ValSet>;
+
+void
+joinInto(std::optional<RegState> &dst, const RegState &src)
+{
+    if (!dst) {
+        dst = src;
+        return;
+    }
+    for (size_t r = 0; r < src.size(); ++r)
+        (*dst)[r].join(src[r]);
+}
+
+/**
+ * Per-address universes of values stores can write, iterated to a
+ * cross-thread fixpoint.  A store whose address set saturates
+ * contributes to every address through the wild bucket.
+ */
+struct Universe
+{
+    std::map<Addr, ValSet> perAddr;
+    bool wildStore = false;
+    ValSet wildVals;
+
+    bool operator==(const Universe &other) const = default;
+};
+
+struct ValueAnalysis
+{
+    const LitmusTest &test;
+    Universe uni;
+    bool bailed = false;
+
+    /** Abstract register file *before* each instruction (final pass). */
+    std::vector<std::vector<std::optional<RegState>>> before;
+    /** Abstract register file at each thread's exit (final pass). */
+    std::vector<std::optional<RegState>> exit;
+
+    explicit ValueAnalysis(const LitmusTest &t) : test(t) {}
+
+    void
+    bail()
+    {
+        bailed = true;
+    }
+
+    /** Values a load with abstract address set @p addrs can observe. */
+    ValSet
+    loadFrom(const ValSet &addrs) const
+    {
+        if (addrs.top)
+            return ValSet::topSet();
+        ValSet out;
+        for (Value a : addrs.vals) {
+            if (a & 7)
+                continue; // no well-formed execution reaches it
+            out.add(test.initialMem.load(a));
+            auto it = uni.perAddr.find(a);
+            if (it != uni.perAddr.end())
+                out.join(it->second);
+        }
+        if (uni.wildStore)
+            out.join(uni.wildVals);
+        return out;
+    }
+
+    /** All values the final memory word at @p a can hold. */
+    ValSet
+    finalMemValues(Addr a) const
+    {
+        ValSet out;
+        out.add(test.initialMem.load(a));
+        auto it = uni.perAddr.find(a);
+        if (it != uni.perAddr.end())
+            out.join(it->second);
+        if (uni.wildStore)
+            out.join(uni.wildVals);
+        return out;
+    }
+
+    void
+    contributeStore(const ValSet &addrs, const ValSet &data)
+    {
+        if (addrs.top) {
+            uni.wildStore = true;
+            uni.wildVals.join(data);
+            return;
+        }
+        for (Value a : addrs.vals) {
+            if (a & 7)
+                continue;
+            uni.perAddr[a].join(data);
+        }
+    }
+
+    ValSet
+    addrSetOf(const Instruction &in, const RegState &st) const
+    {
+        return mapSet(st[size_t(in.src1)],
+                      [&](Value base) { return in.imm + base; });
+    }
+
+    /**
+     * One abstract pass over thread @p tid, joining over all forward
+     * branch outcomes.  Contributes store values to the universe; when
+     * @p record, also captures per-instruction and exit states.
+     */
+    void
+    interpretThread(int tid, bool record)
+    {
+        const isa::Program &prog = test.threads[size_t(tid)];
+        const size_t n = prog.size();
+        std::vector<std::optional<RegState>> pending(n + 1);
+        pending[0] = RegState(isa::NUM_REGS, ValSet::singleton(0));
+        std::optional<RegState> exitState;
+
+        for (size_t k = 0; k < n && !bailed; ++k) {
+            if (record)
+                before[size_t(tid)][k] = pending[k];
+            if (!pending[k])
+                continue; // statically unreachable
+            RegState st = *pending[k];
+            const Instruction &in = prog[k];
+            bool fallThrough = true;
+
+            auto branchTo = [&](int64_t target) {
+                if (target <= int64_t(k) || target > int64_t(n)) {
+                    bail(); // engines require strictly forward targets
+                    return;
+                }
+                joinInto(pending[size_t(target)], st);
+            };
+
+            if (in.isRegToReg() || in.op == Opcode::LI) {
+                ValSet v = mapSet2(st[size_t(in.src1)],
+                                   st[size_t(in.src2)],
+                                   [&](Value a, Value b) {
+                                       return isa::evalRegToReg(in, a,
+                                                                b);
+                                   });
+                st[size_t(in.dst)] = std::move(v);
+            } else if (in.op == Opcode::LD) {
+                st[size_t(in.dst)] = loadFrom(addrSetOf(in, st));
+            } else if (in.op == Opcode::ST) {
+                contributeStore(addrSetOf(in, st), st[size_t(in.src2)]);
+            } else if (in.isRmw()) {
+                const ValSet addrs = addrSetOf(in, st);
+                const ValSet loaded = loadFrom(addrs);
+                const ValSet stored =
+                    mapSet2(loaded, st[size_t(in.src2)],
+                            [&](Value old_v, Value s2) {
+                                return isa::evalRmwStored(in, old_v,
+                                                          s2);
+                            });
+                contributeStore(addrs, stored);
+                st[size_t(in.dst)] = loaded;
+            } else if (in.isCondBranch()) {
+                branchTo(in.imm); // both directions stay joined
+            } else if (in.op == Opcode::JMP) {
+                branchTo(in.imm);
+                fallThrough = false;
+            } else if (in.op == Opcode::HALT) {
+                joinInto(exitState, st);
+                fallThrough = false;
+            }
+            // NOP and FENCE leave the register file untouched.
+
+            if (fallThrough)
+                joinInto(pending[k + 1], st);
+        }
+        if (pending[n])
+            joinInto(exitState, *pending[n]);
+        if (record)
+            exit[size_t(tid)] = std::move(exitState);
+    }
+
+    /** @return false when the analysis bailed (make no claims). */
+    bool
+    run()
+    {
+        const size_t nthreads = test.threads.size();
+        // Universes only grow and saturate at Cap values per address;
+        // the loop terminates long before the safety bound.
+        for (int round = 0; round < 100 && !bailed; ++round) {
+            const Universe snapshot = uni;
+            for (size_t tid = 0; tid < nthreads; ++tid)
+                interpretThread(int(tid), false);
+            if (uni == snapshot)
+                break;
+        }
+        if (bailed)
+            return false;
+        before.assign(nthreads, {});
+        exit.assign(nthreads, std::nullopt);
+        for (size_t tid = 0; tid < nthreads; ++tid) {
+            before[tid].assign(test.threads[tid].size(), std::nullopt);
+            interpretThread(int(tid), true);
+        }
+        return !bailed;
+    }
+};
+
+// ----------------------------------------------------- value cover
+
+/**
+ * A condition conjunct whose required value lies outside the abstract
+ * cover can never be satisfied.  Returns a justification, or nullopt.
+ */
+std::optional<std::string>
+valueCoverForbidden(const ValueAnalysis &va)
+{
+    const LitmusTest &test = va.test;
+    for (const auto &rc : test.regCond) {
+        if (rc.tid < 0 || size_t(rc.tid) >= test.threads.size()
+            || rc.reg < 0 || rc.reg >= isa::NUM_REGS) {
+            return std::nullopt; // malformed; let the engine assert
+        }
+        const auto &ex = va.exit[size_t(rc.tid)];
+        if (!ex)
+            continue;
+        const ValSet &s = (*ex)[size_t(rc.reg)];
+        if (!s.contains(rc.value)) {
+            std::ostringstream os;
+            os << "no execution can leave "
+               << isa::regName(rc.reg) << " of thread " << rc.tid
+               << " holding " << rc.value;
+            return os.str();
+        }
+    }
+    for (const auto &mc : test.memCond) {
+        if (mc.addr & 7)
+            return std::nullopt;
+        if (!va.finalMemValues(mc.addr).contains(mc.value)) {
+            std::ostringstream os;
+            os << "no execution can leave [0x" << std::hex << mc.addr
+               << std::dec << "] holding " << mc.value;
+            return os.str();
+        }
+    }
+    return std::nullopt;
+}
+
+// ------------------------------------------------------ sc delegate
+
+/** Static po-forward load-value flow, as cat/exec.cc computes it. */
+struct FlowInfo
+{
+    /** Loads (instruction indices) feeding each instr's address regs. */
+    std::vector<std::set<size_t>> addrFlow;
+    /** Loads feeding each instr's store-data regs. */
+    std::vector<std::set<size_t>> dataFlow;
+};
+
+FlowInfo
+computeFlow(const isa::Program &prog, size_t limit)
+{
+    FlowInfo info;
+    info.addrFlow.assign(limit, {});
+    info.dataFlow.assign(limit, {});
+    std::array<std::set<size_t>, isa::NUM_REGS> flow;
+    auto readFlow = [&](const std::vector<Reg> &regs) {
+        std::set<size_t> s;
+        for (Reg r : regs)
+            s.insert(flow[size_t(r)].begin(), flow[size_t(r)].end());
+        return s;
+    };
+    for (size_t k = 0; k < limit; ++k) {
+        const Instruction &in = prog[k];
+        if (in.isMem()) {
+            info.addrFlow[k] = readFlow(in.addrReadSet());
+            info.dataFlow[k] = readFlow(in.dataReadSet());
+            if (in.isLoad() && in.dst != isa::REG_ZERO)
+                flow[size_t(in.dst)] = {k};
+        } else if (in.isRegToReg() || in.op == Opcode::LI) {
+            if (in.dst != isa::REG_ZERO)
+                flow[size_t(in.dst)] = readFlow(in.readSet());
+        }
+    }
+    return info;
+}
+
+struct DelegateChecker
+{
+    const ValueAnalysis &va;
+    const ModelKind model;
+
+    bool
+    sameSingletonAddr(const ValSet &a, const ValSet &b) const
+    {
+        return a.isSingleton() && b.isSingleton()
+            && a.vals[0] == b.vals[0];
+    }
+
+    /**
+     * Is the po-adjacent memory pair (i, j) of a branchless thread
+     * provably preserved program order under the model?  @p addrs
+     * holds each memory instruction's abstract address set.
+     */
+    bool
+    pairPreserved(const isa::Program &prog, const FlowInfo &flow,
+                  const std::map<size_t, ValSet> &addrs, size_t i,
+                  size_t j) const
+    {
+        const Instruction &a = prog[i];
+        const Instruction &b = prog[j];
+
+        // FenceOrd / the TSO fence rule: a FenceXY between the pair
+        // with matching endpoint types.
+        for (size_t k = i + 1; k < j; ++k) {
+            const Instruction &f = prog[k];
+            if (f.isFence() && a.isMemType(isa::fencePre(f.fence))
+                && b.isMemType(isa::fencePost(f.fence))) {
+                return true;
+            }
+        }
+        if (model == ModelKind::TSO) {
+            // Everything but the pure-store -> pure-load relaxation.
+            return !(a.isStore() && !a.isRmw() && b.isLoad()
+                     && !b.isRmw());
+        }
+
+        // GAM0 / GAM Definition 6 cases.
+        const ValSet &addrA = addrs.at(i);
+        const ValSet &addrB = addrs.at(j);
+        // SAMemSt: a store after an older same-address access.
+        if (b.isStore() && sameSingletonAddr(addrA, addrB))
+            return true;
+        // RegRAW: the pair's own address/data dependency.
+        if (a.isLoad()
+            && (flow.addrFlow[j].count(i) || flow.dataFlow[j].count(i)))
+            return true;
+        // AddrSt: a store after the address producers of any older
+        // memory access.
+        if (b.isStore() && a.isLoad()) {
+            for (const auto &[m, unused] : addrs) {
+                (void)unused;
+                if (m < j && flow.addrFlow[m].count(i))
+                    return true;
+            }
+        }
+        // SAStLd: a load after the address/data producers of the
+        // immediately preceding same-address store.
+        if (b.isLoad() && a.isLoad()) {
+            for (const auto &[s, saddr] : addrs) {
+                if (s <= i || s >= j || !prog[s].isStore())
+                    continue;
+                if (!sameSingletonAddr(saddr, addrB))
+                    continue;
+                if (!flow.addrFlow[s].count(i)
+                    && !flow.dataFlow[s].count(i)) {
+                    continue;
+                }
+                bool shielded = false;
+                for (const auto &[t, taddr] : addrs) {
+                    if (t > s && t < j && prog[t].isStore()
+                        && setsOverlap(taddr, saddr)) {
+                        shielded = true;
+                        break;
+                    }
+                }
+                if (!shielded)
+                    return true;
+            }
+        }
+        // SALdLd (GAM only): consecutive same-address loads with no
+        // same-address store between.
+        if (model == ModelKind::GAM && a.isLoad() && b.isLoad()
+            && sameSingletonAddr(addrA, addrB)) {
+            bool shielded = false;
+            for (const auto &[t, taddr] : addrs) {
+                if (t > i && t < j && prog[t].isStore()
+                    && setsOverlap(taddr, addrA)) {
+                    shielded = true;
+                    break;
+                }
+            }
+            if (!shielded)
+                return true;
+        }
+        return false;
+    }
+
+    /**
+     * True when po restricted to memory events is provably inside
+     * ppo+, making the model's ordering axiom coincide with SC's.
+     */
+    bool
+    delegates() const
+    {
+        const LitmusTest &test = va.test;
+        for (size_t tid = 0; tid < test.threads.size(); ++tid) {
+            const isa::Program &prog = test.threads[tid];
+            // Scan the whole program: a branch can jump over a HALT,
+            // so instructions after one may still execute.
+            bool branchy = false;
+            size_t memCount = 0;
+            for (size_t k = 0; k < prog.size(); ++k) {
+                branchy |= prog[k].isBranch();
+                memCount += prog[k].isMem();
+            }
+            if (branchy) {
+                // Path-sensitive ordering evidence is out of scope; a
+                // thread with at most one access has no pair to order.
+                if (memCount <= 1)
+                    continue;
+                return false;
+            }
+            // Branchless: execution is the static prefix up to the
+            // first HALT; anything past it never runs.
+            size_t limit = prog.size();
+            for (size_t k = 0; k < prog.size(); ++k) {
+                if (prog[k].op == Opcode::HALT) {
+                    limit = k;
+                    break;
+                }
+            }
+            std::map<size_t, ValSet> addrs;
+            std::vector<size_t> mems;
+            for (size_t k = 0; k < limit; ++k) {
+                if (!prog[k].isMem())
+                    continue;
+                const auto &st = va.before[tid][k];
+                if (!st)
+                    return false; // unreachable state: be conservative
+                addrs.emplace(k, va.addrSetOf(prog[k], *st));
+                mems.push_back(k);
+            }
+            const FlowInfo flow = computeFlow(prog, limit);
+            for (size_t t = 0; t + 1 < mems.size(); ++t) {
+                if (!pairPreserved(prog, flow, addrs, mems[t],
+                                   mems[t + 1])) {
+                    return false;
+                }
+            }
+        }
+        return true;
+    }
+};
+
+} // anonymous namespace
+
+std::string
+prescreenVerdictName(PrescreenVerdict verdict)
+{
+    switch (verdict) {
+      case PrescreenVerdict::Forbidden: return "value-cover";
+      case PrescreenVerdict::ScEquivalent: return "sc-delegate";
+      case PrescreenVerdict::Unknown: break;
+    }
+    return "";
+}
+
+PrescreenResult
+prescreen(const LitmusTest &test, ModelKind model)
+{
+    PrescreenResult result;
+    if (test.threads.empty())
+        return result;
+
+    ValueAnalysis va(test);
+    if (!va.run())
+        return result;
+
+    if (!test.regCond.empty() || !test.memCond.empty()) {
+        if (auto why = valueCoverForbidden(va)) {
+            result.verdict = PrescreenVerdict::Forbidden;
+            result.detail = *why;
+            return result;
+        }
+    }
+
+    if (model == ModelKind::TSO || model == ModelKind::GAM0
+        || model == ModelKind::GAM) {
+        DelegateChecker checker{va, model};
+        if (checker.delegates()) {
+            result.verdict = PrescreenVerdict::ScEquivalent;
+            result.detail = "every po-adjacent memory pair is "
+                            "preserved program order; outcomes equal "
+                            "SC's";
+            return result;
+        }
+    }
+    return result;
+}
+
+} // namespace gam::analysis

@@ -5,6 +5,7 @@
 #include <mutex>
 #include <unordered_map>
 
+#include "analysis/prescreen.hh"
 #include "base/hashing.hh"
 #include "base/logging.hh"
 #include "cat/engine.hh"
@@ -18,6 +19,17 @@ namespace gam::harness
 
 using model::Engine;
 using model::ModelKind;
+
+std::string
+prescreenKindName(PrescreenKind kind)
+{
+    switch (kind) {
+      case PrescreenKind::ValueCover: return "value-cover";
+      case PrescreenKind::ScDelegate: return "sc-delegate";
+      case PrescreenKind::None: break;
+    }
+    return "";
+}
 
 uint64_t
 RunOptions::fingerprint() const
@@ -261,6 +273,22 @@ runOperational(const Query &query, Decision &d)
     d.complete = r.complete;
 }
 
+/**
+ * May the static pre-screen speak for this query?  Only with the
+ * builtin model files and the InstOrder axiom intact: the analyses are
+ * proved sound against executions those reject (in particular,
+ * out-of-thin-air candidates), not against arbitrary user models or
+ * ablated axiom sets.  Caller-supplied seed values signal an ablation
+ * experiment, so they turn it off too.
+ */
+bool
+prescreenApplies(const Query &query)
+{
+    return query.options.prescreen && query.catModel == nullptr
+        && query.options.axiomatic.enforceInstOrder
+        && query.options.axiomatic.seedValues.empty();
+}
+
 } // namespace
 
 Decision
@@ -289,6 +317,46 @@ decide(const Query &query, DecisionCache *cache)
             hit->cacheHit = true;
             hit->wallSeconds = elapsed();
             return *std::move(hit);
+        }
+    }
+
+    if (prescreenApplies(query)) {
+        const analysis::PrescreenResult pre =
+            analysis::prescreen(*query.test, query.model);
+        if (pre.verdict == analysis::PrescreenVerdict::Forbidden) {
+            // Sound for the verdict only: no outcomes are enumerated,
+            // so the decision is never cached (a prescreen-off query
+            // sharing the key must still get an exact outcome set).
+            Decision d;
+            d.engine = engine;
+            d.allowed = false;
+            d.complete = true;
+            d.prescreened = PrescreenKind::ValueCover;
+            d.wallSeconds = elapsed();
+            return d;
+        }
+        if (pre.verdict == analysis::PrescreenVerdict::ScEquivalent
+            && query.model != ModelKind::SC
+            && model::supportsEngine(ModelKind::SC, engine)) {
+            // The model's outcome set provably equals SC's: decide the
+            // SC query (usually already cached) with the same engine.
+            // The inner call skips re-screening; the result is exact,
+            // but is not re-inserted under this query's key so that
+            // prescreen-off consumers always exercise the real engine.
+            Query sub = query;
+            sub.model = ModelKind::SC;
+            sub.options.prescreen = false;
+            sub.engine = engine == Engine::Axiomatic
+                ? EngineSelect::Axiomatic
+                : engine == Engine::Operational
+                ? EngineSelect::Operational
+                : EngineSelect::Cat;
+            Decision d = decide(sub, cache);
+            d.engine = engine;
+            d.cacheHit = false;
+            d.prescreened = PrescreenKind::ScDelegate;
+            d.wallSeconds = elapsed();
+            return d;
         }
     }
 

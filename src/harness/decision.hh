@@ -63,6 +63,29 @@ enum class EngineSelect {
     Cat,
 };
 
+/** How a Decision was (or was not) short-circuited before any engine. */
+enum class PrescreenKind {
+    /** An engine (or the cache) produced the decision. */
+    None,
+    /**
+     * The static value-cover analysis (analysis/prescreen.hh) proved
+     * the condition unsatisfiable: allowed = false with an *empty*
+     * outcome set -- sound for the verdict, but not an outcome
+     * enumeration.  Never cached, so outcome-set consumers that
+     * disable prescreening still get exact sets.
+     */
+    ValueCover,
+    /**
+     * Every po-adjacent memory pair is statically preserved program
+     * order under the queried model, so the query was delegated to SC:
+     * the outcome set is exact and equals the model's own.
+     */
+    ScDelegate,
+};
+
+/** Display name ("", "value-cover", "sc-delegate"). */
+std::string prescreenKindName(PrescreenKind kind);
+
 /** Knobs shared by every engine invocation. */
 struct RunOptions
 {
@@ -83,6 +106,16 @@ struct RunOptions
     uint64_t stateBudget = 32'000'000;
     /** Axiomatic checker knobs (OOTA seeding, axiom ablation). */
     axiomatic::Options axiomatic;
+    /**
+     * Let decide() try the static pre-screen (analysis/prescreen.hh)
+     * before running an engine.  The pre-screen never changes the
+     * *verdict* -- it is differentially validated against the engines
+     * -- but a ValueCover decision carries no outcome enumeration, so
+     * callers that compare outcome *sets* (the fuzzer's cross-check)
+     * turn it off.  Excluded from fingerprint(): ValueCover decisions
+     * are never cached, and ScDelegate decisions are exact.
+     */
+    bool prescreen = true;
 
     /**
      * 64-bit digest of the option fields (threads excluded, see its
@@ -148,6 +181,12 @@ struct Decision
     double wallSeconds = 0.0;
     /** True when the decision was served from the DecisionCache. */
     bool cacheHit = false;
+    /**
+     * How the static pre-screen short-circuited this decision; None
+     * when an engine (or the cache) answered.  See PrescreenKind for
+     * what each value guarantees about `outcomes`.
+     */
+    PrescreenKind prescreened = PrescreenKind::None;
 };
 
 /** Hit/miss counters of one DecisionCache. */

@@ -218,6 +218,10 @@ runEquivalenceExperiment(const std::vector<litmus::LitmusTest> &tests,
         query.test = jobs[i].test;
         query.model = jobs[i].model;
         query.options = run;
+        // The experiment compares outcome sets of the two engines; the
+        // static pre-screen would answer for both sides with the same
+        // (SC-delegated) set and mask a genuine divergence.
+        query.options.prescreen = false;
 
         EquivalenceRow &row = rows[i];
         row.test = jobs[i].test->name;

@@ -148,6 +148,11 @@ crossCheck(const litmus::LitmusTest &test, ModelKind model,
     query.model = model;
     query.engine = EngineSelect::Operational;
     query.options.stateBudget = max_states;
+    // The differential check compares outcome *sets*; a ValueCover
+    // prescreen decision carries none, and an ScDelegate one would put
+    // the same analysis on both sides of the comparison.  Exercise the
+    // real engines.
+    query.options.prescreen = false;
     const Decision op = decide(query);
     if (!op.complete) {
         if (budget_exceeded)

@@ -56,7 +56,8 @@ runJob(const MatrixJob &job, const MatrixOptions &options)
     query.options = options.run;
     const Decision decision = decide(query, options.cache);
     return {job.test->name, job.model, job.engine, decision.allowed,
-            decision.complete, job.expected, decision.enumStats};
+            decision.complete, job.expected, decision.enumStats,
+            decision.prescreened};
 }
 
 std::vector<LitmusVerdict>

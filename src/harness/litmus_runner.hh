@@ -55,6 +55,12 @@ struct LitmusVerdict
      * matrix (`gam-litmus run --stats`).
      */
     axiomatic::CheckerStats enumStats;
+    /**
+     * How the static pre-screen short-circuited the decision (None
+     * when an engine ran); aggregated into the matrix `--stats`
+     * hit-rate.
+     */
+    PrescreenKind prescreened = PrescreenKind::None;
 
     /** Is the verdict a definite answer (complete, or a witness)? */
     bool conclusive() const { return complete || allowed; }

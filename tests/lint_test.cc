@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Golden tests for the cat-model linter (analysis/lint.hh).
+ *
+ * Each fixture under tests/corpus/lint/ is a deliberately defective
+ * model exercising one lint rule; the expectations pin the rule ID,
+ * the 1-based line:col, and a distinctive message fragment, so a
+ * regression in either the analysis or the position plumbing fails
+ * loudly.  The shipped models under models/ must lint clean -- the
+ * same gate CI runs via `gam-litmus model lint`.
+ */
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "analysis/lint.hh"
+#include "cat/parser.hh"
+
+namespace
+{
+
+using gam::analysis::LintDiagnostic;
+using gam::analysis::LintSeverity;
+
+std::string
+readFile(const std::filesystem::path &path)
+{
+    std::ifstream in(path);
+    EXPECT_TRUE(in.good()) << "cannot open " << path;
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+}
+
+std::vector<LintDiagnostic>
+lintFixture(const std::string &stem)
+{
+    const std::filesystem::path path =
+        std::filesystem::path(GAM_LINT_DIR) / (stem + ".cat");
+    const auto parsed = gam::cat::parseCat(readFile(path), stem);
+    EXPECT_TRUE(parsed.ok())
+        << path << ": " << parsed.error.toString();
+    if (!parsed.ok())
+        return {};
+    return gam::analysis::lint(*parsed.model);
+}
+
+/** One pinned expectation: rule ID, position, message fragment. */
+struct Golden
+{
+    const char *rule;
+    int line;
+    int col;
+    const char *fragment;
+};
+
+void
+expectDiags(const std::string &stem, const std::vector<Golden> &want)
+{
+    const auto got = lintFixture(stem);
+    ASSERT_EQ(got.size(), want.size()) << stem;
+    for (size_t i = 0; i < want.size(); ++i) {
+        SCOPED_TRACE(stem + " diagnostic " + std::to_string(i));
+        EXPECT_STREQ(got[i].rule, want[i].rule);
+        EXPECT_EQ(got[i].line, want[i].line);
+        EXPECT_EQ(got[i].col, want[i].col);
+        EXPECT_NE(got[i].message.find(want[i].fragment),
+                  std::string::npos)
+            << "message was: " << got[i].message;
+        EXPECT_EQ(got[i].severity, LintSeverity::Warning);
+    }
+}
+
+TEST(Lint, UnusedDefinition)
+{
+    expectDiags("unused",
+                {{"L001", 3, 5, "'dead' is never used by an axiom"}});
+}
+
+TEST(Lint, ShadowedNames)
+{
+    // The shadowed first binding is also dead: its uses all resolve to
+    // the later definition of the same name.
+    expectDiags("shadow",
+                {{"L001", 3, 5, "'ord' is never used"},
+                 {"L002", 4, 5, "shadows an earlier definition"},
+                 {"L002", 5, 5, "shadows the builtin of the same name"}});
+}
+
+TEST(Lint, EmptyRelations)
+{
+    // The binding [F] & [M] is empty (fences are not memory events);
+    // so is the axiom subexpression fr; [F] (fr targets stores).
+    expectDiags("empty",
+                {{"L003", 3, 5, "'nil' is empty"},
+                 {"L003", 6, 29, "subexpression is empty"}});
+}
+
+TEST(Lint, VacuousAxioms)
+{
+    expectDiags("vacuous",
+                {{"L004", 6, 16, "irreflexive by construction"},
+                 {"L004", 7, 10, "empty in every candidate execution"}});
+}
+
+TEST(Lint, RedundantAxiom)
+{
+    // acyclic(ppo | co) follows from acyclicity of the superset
+    // ppo | co | (rf \ po) | fr checked by the first axiom.
+    expectDiags("redundant",
+                {{"L005", 7, 13, "'SubOrder' is implied by axiom "
+                                 "'Order'"}});
+}
+
+TEST(Lint, NonProductiveRecursion)
+{
+    expectDiags("rec",
+                {{"L006", 3, 9, "never references its own names"},
+                 {"L006", 4, 9, "least fixpoint"}});
+}
+
+TEST(Lint, DiagnosticToString)
+{
+    LintDiagnostic d{"L001", "unused-definition",
+                     LintSeverity::Warning, 3, 5, "definition 'dead' "
+                     "is never used by an axiom"};
+    EXPECT_EQ(d.toString(),
+              "3:5: warning: definition 'dead' is never used by an "
+              "axiom [L001 unused-definition]");
+}
+
+// The gate CI enforces: every shipped model must be diagnostic-free.
+TEST(Lint, ShippedModelsAreClean)
+{
+    size_t models = 0;
+    for (const auto &entry :
+         std::filesystem::directory_iterator(GAM_MODELS_DIR)) {
+        if (entry.path().extension() != ".cat")
+            continue;
+        ++models;
+        const std::string stem = entry.path().stem().string();
+        const auto parsed =
+            gam::cat::parseCat(readFile(entry.path()), stem);
+        ASSERT_TRUE(parsed.ok())
+            << entry.path() << ": " << parsed.error.toString();
+        const auto diags = gam::analysis::lint(*parsed.model);
+        for (const auto &d : diags)
+            ADD_FAILURE() << stem << ": " << d.toString();
+    }
+    EXPECT_GE(models, 4u); // sc, tso, gam0, gam at minimum
+}
+
+} // namespace

@@ -51,6 +51,13 @@
  *       ModelKind, cross-check each verdict against the hand-coded
  *       axiomatic checker.  Exits 1 on a diagnostic or mismatch.
  *
+ *   gam-litmus model lint <name|file.cat>...
+ *       Static analysis over the checked AST (analysis/lint.hh):
+ *       unused definitions, shadowing, statically-empty relations,
+ *       vacuous or redundant axioms, non-productive recursion.  Exits
+ *       1 when any model produces a warning (CI lints the shipped
+ *       models with exactly this), 2 on unparseable input.
+ *
  * Every input error (unknown test, malformed file, bad flag) is
  * reported and turned into a nonzero exit; nothing aborts the process.
  * Unknown --engine/--model values list what is available.
@@ -66,6 +73,7 @@
 #include <string>
 #include <vector>
 
+#include "analysis/lint.hh"
 #include "base/table.hh"
 #include "cat/engine.hh"
 #include "harness/fuzz.hh"
@@ -99,8 +107,11 @@ usage()
                  "hardware)\n"
                  "      [--budget M]          explorer visited-state "
                  "budget\n"
-                 "      [--stats]             print decision-cache "
-                 "hit/miss counts\n"
+                 "      [--stats]             print decision-cache, "
+                 "prescreen and\n"
+                 "                            enumeration counters\n"
+                 "      [--no-prescreen]      disable the static "
+                 "pre-screen in decide()\n"
                  "  print <test|file>...      re-emit tests in "
                  "canonical text form\n"
                  "  gen [--tests N] [--seed S] [--out DIR] "
@@ -122,7 +133,11 @@ usage()
                  "  model check <name|file>   validate a cat model "
                  "and cross-check its\n"
                  "                            verdicts on the "
-                 "built-in tests\n");
+                 "built-in tests\n"
+                 "  model lint <name|file>... lint cat models "
+                 "(unused/shadowed definitions,\n"
+                 "                            empty relations, vacuous/"
+                 "redundant axioms)\n");
     return 2;
 }
 
@@ -276,6 +291,8 @@ cmdRun(int argc, char **argv)
                 options.run.stateBudget = *n;
         } else if (arg == "--stats") {
             stats = true;
+        } else if (arg == "--no-prescreen") {
+            options.run.prescreen = false;
         } else {
             auto test = loadTest(arg);
             if (!test)
@@ -311,6 +328,18 @@ cmdRun(int argc, char **argv)
                     (unsigned long long)(after.misses - before.misses),
                     (unsigned long long)
                         harness::globalDecisionCache().size());
+        size_t value_cover = 0;
+        size_t sc_delegate = 0;
+        for (const auto &v : verdicts) {
+            value_cover +=
+                v.prescreened == harness::PrescreenKind::ValueCover;
+            sc_delegate +=
+                v.prescreened == harness::PrescreenKind::ScDelegate;
+        }
+        std::printf("prescreen: %zu/%zu decisions short-circuited "
+                    "(%zu value-cover, %zu sc-delegate)\n",
+                    value_cover + sc_delegate, verdicts.size(),
+                    value_cover, sc_delegate);
         // Aggregate the incremental-enumeration counters over the
         // axiomatic/cat rows (operational rows carry none).
         axiomatic::CheckerStats enum_stats;
@@ -657,17 +686,34 @@ cmdModelCheck(const std::string &arg)
 }
 
 int
+cmdModelLint(const std::string &arg)
+{
+    auto m = loadCatModel(arg);
+    if (!m)
+        return 2;
+    const auto diags = analysis::lint(*m);
+    for (const auto &d : diags)
+        std::printf("%s: %s\n", arg.c_str(), d.toString().c_str());
+    bool warned = false;
+    for (const auto &d : diags)
+        warned |= d.severity == analysis::LintSeverity::Warning;
+    if (diags.empty())
+        std::printf("%s: clean\n", arg.c_str());
+    return warned ? 1 : 0;
+}
+
+int
 cmdModel(int argc, char **argv)
 {
     if (argc < 1) {
         std::fprintf(stderr, "gam-litmus: model needs a subcommand "
-                             "(list, show, check)\n");
+                             "(list, show, check, lint)\n");
         return 2;
     }
     const std::string sub = argv[0];
     if (sub == "list")
         return cmdModelList();
-    if (sub == "show" || sub == "check") {
+    if (sub == "show" || sub == "check" || sub == "lint") {
         if (argc < 2) {
             std::fprintf(stderr, "gam-litmus: model %s needs a model "
                          "name or .cat file\n", sub.c_str());
@@ -676,14 +722,15 @@ cmdModel(int argc, char **argv)
         }
         int rc = 0;
         for (int i = 1; i < argc; ++i) {
-            const int one = sub == "show" ? cmdModelShow(argv[i])
-                                          : cmdModelCheck(argv[i]);
+            const int one = sub == "show"    ? cmdModelShow(argv[i])
+                            : sub == "check" ? cmdModelCheck(argv[i])
+                                             : cmdModelLint(argv[i]);
             rc = std::max(rc, one);
         }
         return rc;
     }
     std::fprintf(stderr, "gam-litmus: unknown model subcommand '%s' "
-                         "(expected list, show or check)\n",
+                         "(expected list, show, check or lint)\n",
                  sub.c_str());
     return 2;
 }
