@@ -215,6 +215,38 @@ main()
                 "(%.1fx fewer, %.1fx wall time)\n\n",
                 (unsigned long long)cat.prunedCandidates,
                 cat.prunedSeconds, cat_work_ratio, cat_time_ratio);
+    // Machine-readable artifact for CI upload and trend tracking.
+    if (FILE *json = std::fopen("BENCH_candidate_prune.json", "w")) {
+        std::fprintf(
+            json,
+            "{\n"
+            "  \"suite\": \"3-thread builtins + stressors\",\n"
+            "  \"tests\": %zu,\n"
+            "  \"models\": %zu,\n"
+            "  \"axiomatic_legacy_candidates\": %llu,\n"
+            "  \"axiomatic_pruned_candidates\": %llu,\n"
+            "  \"axiomatic_legacy_seconds\": %.6f,\n"
+            "  \"axiomatic_pruned_seconds\": %.6f,\n"
+            "  \"axiomatic_candidate_reduction\": %.4f,\n"
+            "  \"cat_legacy_candidates\": %llu,\n"
+            "  \"cat_pruned_candidates\": %llu,\n"
+            "  \"cat_legacy_seconds\": %.6f,\n"
+            "  \"cat_pruned_seconds\": %.6f,\n"
+            "  \"cat_candidate_reduction\": %.4f,\n"
+            "  \"outcome_mismatches\": %d,\n"
+            "  \"gate_candidate_reduction_min\": 5.0\n"
+            "}\n",
+            suite.size(), std::size(models),
+            (unsigned long long)ax.legacyCandidates,
+            (unsigned long long)ax.prunedCandidates,
+            ax.legacySeconds, ax.prunedSeconds, work_ratio,
+            (unsigned long long)cat.legacyCandidates,
+            (unsigned long long)cat.prunedCandidates,
+            cat.legacySeconds, cat.prunedSeconds, cat_work_ratio,
+            mismatches);
+        std::fclose(json);
+    }
+
     std::printf("  gate: axiomatic candidate reduction %.1fx "
                 "(target: >= 5x), outcome mismatches %d\n",
                 work_ratio, mismatches);

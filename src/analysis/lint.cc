@@ -692,6 +692,82 @@ struct Linter
         }
     }
 
+    /** Operator (internal node) count of @p e. */
+    static int
+    opCount(const Expr &e)
+    {
+        if (e.kind == Expr::Kind::Name
+            || e.kind == Expr::Kind::EmptyRel)
+            return 0;
+        int n = 1;
+        if (e.a)
+            n += opCount(*e.a);
+        if (e.b)
+            n += opCount(*e.b);
+        return n;
+    }
+
+    /**
+     * L007 walk: the *maximal* co/fr-independent subtrees of a
+     * coherence-dependent expression (per-node Expr::polarity, the
+     * same dataflow the model compiler folds constants with).  The
+     * interpreting evaluator recomputes such a subtree for every
+     * coherence candidate of an rf epoch even though its value is
+     * fixed per epoch.  @p context is the enclosing binding (nullptr
+     * for an axiom), which bounds the definitions in scope.
+     */
+    void
+    scanInvariant(const Expr &e, const cat::Binding *context)
+    {
+        if (e.polarity == cat::Polarity::Independent) {
+            if (e.kind == Expr::Kind::Name
+                || e.kind == Expr::Kind::EmptyRel)
+                return; // a lookup or literal: free either way
+            for (int s = 0; s < model.slotCount; ++s) {
+                const cat::Binding *b = def[size_t(s)];
+                if (!b || b->coDependent()
+                    || (context && b->slot >= context->slot))
+                    continue;
+                if (exprEqual(e, *b->body)) {
+                    report("L007", "invariant-recomputation", e.line,
+                           e.col,
+                           "candidate-invariant subexpression "
+                           "duplicates definition '"
+                               + b->name
+                               + "'; reference the name instead");
+                    return;
+                }
+            }
+            if (opCount(e) >= 2) {
+                report("L007", "invariant-recomputation", e.line,
+                       e.col,
+                       "candidate-invariant subexpression is "
+                       "recomputed for every coherence candidate; "
+                       "hoist it into its own 'let' so it is "
+                       "evaluated once per read-from epoch");
+            }
+            return; // maximal: children are subsumed
+        }
+        if (e.a)
+            scanInvariant(*e.a, context);
+        if (e.b)
+            scanInvariant(*e.b, context);
+    }
+
+    void
+    checkInvariantRecomputation()
+    {
+        for (const Stmt &stmt : model.statements) {
+            for (const cat::Binding &b : stmt.bindings)
+                if (b.coDependent())
+                    scanInvariant(*b.body, &b);
+            if (stmt.check
+                && stmt.check->polarity
+                       != cat::Polarity::Independent)
+                scanInvariant(*stmt.check, nullptr);
+        }
+    }
+
     void
     checkRecursion()
     {
@@ -754,6 +830,7 @@ lint(const CatModel &model)
     linter.checkVacuousAxioms();
     linter.checkRedundantAxioms();
     linter.checkRecursion();
+    linter.checkInvariantRecomputation();
     std::stable_sort(linter.diags.begin(), linter.diags.end(),
                      [](const LintDiagnostic &a, const LintDiagnostic &b) {
                          return std::tuple(a.line, a.col,

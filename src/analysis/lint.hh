@@ -25,6 +25,19 @@
  *   L006 non-productive-recursion a `let rec` that never recurses, or
  *                                 whose least fixpoint is statically
  *                                 empty
+ *   L007 invariant-recomputation  candidate-invariant work in a
+ *                                 coherence-dependent context: a
+ *                                 co/fr-independent subexpression (per-
+ *                                 node cat::Polarity dataflow) that the
+ *                                 interpreting evaluator recomputes for
+ *                                 every coherence candidate of an rf
+ *                                 epoch -- either a duplicate of a
+ *                                 named definition (reference the name)
+ *                                 or a multi-operator subtree worth
+ *                                 hoisting into its own `let`.  The
+ *                                 model compiler (cat/compile.hh) folds
+ *                                 these automatically; the lint keeps
+ *                                 the source honest about the cost.
  *
  * Every claim is *sound*: a relation is only called empty (resp.
  * irreflexive, acyclic) when it is so in every candidate execution of
@@ -53,7 +66,7 @@ enum class LintSeverity { Info, Warning };
 /** One lint finding with a 1-based source position. */
 struct LintDiagnostic
 {
-    /** Stable rule ID ("L001" ... "L006"). */
+    /** Stable rule ID ("L001" ... "L007"). */
     const char *rule;
     /** Rule slug ("unused-definition"). */
     const char *ruleName;

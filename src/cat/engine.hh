@@ -25,6 +25,8 @@
 #include <string>
 #include <vector>
 
+#include <memory>
+
 #include "axiomatic/checker.hh"
 #include "cat/parser.hh"
 #include "litmus/outcome.hh"
@@ -34,10 +36,25 @@
 namespace gam::cat
 {
 
+struct CompiledPlan;
+
 /** Cat-model enumeration for one litmus test. */
 class CatEngine
 {
   public:
+    /**
+     * How the model's axioms run against the candidate stream.
+     *
+     * Compiled (the default) runs the model through the static
+     * compiler (cat/compile.hh): per-epoch constants, fused
+     * incremental axioms, generic evaluation only where the analysis
+     * could not specialize.  Interpreted is the pre-compiler pipeline
+     * -- the generic Evaluator invoked through checkPartial() -- kept
+     * as the differential reference.  Both decide identical outcome
+     * sets by construction; cat_compile_test enforces it.
+     */
+    enum class Mode { Compiled, Interpreted };
+
     /**
      * @p options carries the shared candidate-builder knobs (OOTA
      * seed values); enforceInstOrder is meaningless here -- the model
@@ -45,16 +62,21 @@ class CatEngine
      * engine.
      */
     CatEngine(const litmus::LitmusTest &test, const CatModel &model,
-              axiomatic::Options options = {});
+              axiomatic::Options options = {},
+              Mode mode = Mode::Compiled);
 
     /**
      * All outcomes the model's axioms accept, via the shared
      * incremental pruned search: axioms whose expressions are
      * Independent/Monotone in co and fr (cat::Polarity) veto partial
      * candidates early, the rest fall back to full evaluation at
-     * complete leaves.
+     * complete leaves.  In Mode::Compiled the veto runs the compiled
+     * plan's fused filters instead of generic expression evaluation.
      */
     litmus::OutcomeSet enumerate();
+
+    /** The compiled plan (Mode::Compiled; compiles lazily). */
+    const CompiledPlan &plan();
 
     /**
      * The pre-incremental pipeline: full evaluation of every complete
@@ -78,6 +100,9 @@ class CatEngine
     const litmus::LitmusTest &test;
     const CatModel &model;
     axiomatic::Options options;
+    Mode mode;
+    /** Compiled once on first use, shared by every worker's filter. */
+    std::shared_ptr<const CompiledPlan> _plan;
     axiomatic::CheckerStats _stats;
 };
 

@@ -55,8 +55,15 @@ Evaluator::Evaluator(const CatModel &model) : model(model)
 }
 
 Value
-Evaluator::evalExpr(const Expr &e, const ExecView &view) const
+evalCatExpr(const Expr &e, const ExecView &view,
+            const std::vector<Value> &slots, const FoldMap *folds)
 {
+    // A folded subtree was evaluated elsewhere (once per rf epoch);
+    // short-circuit before any structural work.
+    if (folds != nullptr) {
+        if (auto it = folds->find(&e); it != folds->end())
+            return slots[size_t(it->second)];
+    }
     switch (e.kind) {
       case Expr::Kind::Name: {
         if (e.slot >= 0)
@@ -90,7 +97,8 @@ Evaluator::evalExpr(const Expr &e, const ExecView &view) const
       case Expr::Kind::EmptyRel:
         return emptyOfType(e.type, view.n);
       case Expr::Kind::Union: {
-        Value a = evalExpr(*e.a, view), b = evalExpr(*e.b, view);
+        Value a = evalCatExpr(*e.a, view, slots, folds);
+        Value b = evalCatExpr(*e.b, view, slots, folds);
         // A polymorphic 0 operand adopts the other side's sort.
         if (a.type != b.type) {
             if (e.a->type == Type::Any)
@@ -103,7 +111,8 @@ Evaluator::evalExpr(const Expr &e, const ExecView &view) const
             : relValue(asRel(a) | asRel(b));
       }
       case Expr::Kind::Inter: {
-        Value a = evalExpr(*e.a, view), b = evalExpr(*e.b, view);
+        Value a = evalCatExpr(*e.a, view, slots, folds);
+        Value b = evalCatExpr(*e.b, view, slots, folds);
         if (a.type != b.type) {
             if (e.a->type == Type::Any)
                 a = emptyOfType(b.type, view.n);
@@ -115,7 +124,8 @@ Evaluator::evalExpr(const Expr &e, const ExecView &view) const
             : relValue(asRel(a) & asRel(b));
       }
       case Expr::Kind::Diff: {
-        Value a = evalExpr(*e.a, view), b = evalExpr(*e.b, view);
+        Value a = evalCatExpr(*e.a, view, slots, folds);
+        Value b = evalCatExpr(*e.b, view, slots, folds);
         if (a.type != b.type) {
             if (e.a->type == Type::Any)
                 a = emptyOfType(b.type, view.n);
@@ -127,40 +137,51 @@ Evaluator::evalExpr(const Expr &e, const ExecView &view) const
             : relValue(asRel(a).minus(asRel(b)));
       }
       case Expr::Kind::Seq:
-        return relValue(asRel(evalExpr(*e.a, view))
-                            .compose(asRel(evalExpr(*e.b, view))));
+        return relValue(
+            asRel(evalCatExpr(*e.a, view, slots, folds))
+                .compose(asRel(evalCatExpr(*e.b, view, slots,
+                                           folds))));
       case Expr::Kind::Product:
         return relValue(
-            Rel::product(asSet(evalSet(*e.a, view)),
-                         asSet(evalSet(*e.b, view))));
+            Rel::product(asSet(evalCatSet(*e.a, view, slots, folds)),
+                         asSet(evalCatSet(*e.b, view, slots, folds))));
       case Expr::Kind::Compl: {
-        const Value a = evalExpr(*e.a, view);
+        const Value a = evalCatExpr(*e.a, view, slots, folds);
         return a.type == Type::Set ? setValue(a.set.complement())
                                    : relValue(a.rel.complement());
       }
       case Expr::Kind::Plus:
-        return relValue(
-            asRel(evalExpr(*e.a, view)).transitiveClosure());
+        return relValue(asRel(evalCatExpr(*e.a, view, slots, folds))
+                            .transitiveClosure());
       case Expr::Kind::Star:
-        return relValue(
-            asRel(evalExpr(*e.a, view)).reflexiveTransitiveClosure());
+        return relValue(asRel(evalCatExpr(*e.a, view, slots, folds))
+                            .reflexiveTransitiveClosure());
       case Expr::Kind::Inverse:
-        return relValue(asRel(evalExpr(*e.a, view)).inverse());
+        return relValue(asRel(evalCatExpr(*e.a, view, slots, folds))
+                            .inverse());
       case Expr::Kind::Diag:
-        return relValue(Rel::diag(asSet(evalSet(*e.a, view))));
+        return relValue(
+            Rel::diag(asSet(evalCatSet(*e.a, view, slots, folds))));
     }
     panic("cat eval: bad expression kind");
 }
 
 Value
-Evaluator::evalSet(const Expr &e, const ExecView &view) const
+evalCatSet(const Expr &e, const ExecView &view,
+           const std::vector<Value> &slots, const FoldMap *folds)
 {
     // A subtree the static checker left polymorphic (built from 0
     // literals only) denotes the empty value; in a set-demanding
     // context that is the empty set, not the default empty relation.
     if (e.type == Type::Any)
         return setValue(EventSet(view.n));
-    return evalExpr(e, view);
+    return evalCatExpr(e, view, slots, folds);
+}
+
+Value
+Evaluator::evalExpr(const Expr &e, const ExecView &view) const
+{
+    return evalCatExpr(e, view, slots, /*folds=*/nullptr);
 }
 
 bool

@@ -19,6 +19,7 @@
 #include <cstdint>
 #include <optional>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "cat/exec.hh"
@@ -35,6 +36,33 @@ struct Value
     EventSet set;
     Rel rel;
 };
+
+/**
+ * Constant-fold table for evalCatExpr(): maps a subtree (by node
+ * identity -- the model AST is shared and immutable, so pointers are
+ * stable) to the slot holding its precomputed value.  The model
+ * compiler (cat/compile.hh) points co/fr-Independent subtrees at
+ * constants evaluated once per rf epoch instead of once per candidate.
+ */
+using FoldMap = std::unordered_map<const Expr *, int>;
+
+/**
+ * Evaluate @p e over @p view with let-binding values in @p slots
+ * (indexed by Expr::slot; a compiler may append extra fold slots past
+ * the model's own).  When @p folds is non-null, any subtree it maps is
+ * read from its slot instead of being recomputed -- the lookup happens
+ * before structural dispatch, so a hit short-circuits the whole
+ * subtree.  The single evaluation core shared by the interpreting
+ * Evaluator and the compiled plans.
+ */
+Value evalCatExpr(const Expr &e, const ExecView &view,
+                  const std::vector<Value> &slots,
+                  const FoldMap *folds = nullptr);
+
+/** evalCatExpr() with a polymorphic-0 subtree coerced to a set. */
+Value evalCatSet(const Expr &e, const ExecView &view,
+                 const std::vector<Value> &slots,
+                 const FoldMap *folds = nullptr);
 
 /** Evaluates one model over candidate executions. */
 class Evaluator
@@ -93,9 +121,8 @@ class Evaluator
   private:
     bool checkImpl(const ExecView &view, bool reuse_stable,
                    bool partial_only);
+    /** Thin wrapper over the shared evalCatExpr() core. */
     Value evalExpr(const Expr &e, const ExecView &view) const;
-    /** evalExpr() with a polymorphic-0 subtree coerced to a set. */
-    Value evalSet(const Expr &e, const ExecView &view) const;
 
     const CatModel &model;
     std::vector<Value> slots;

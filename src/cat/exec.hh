@@ -68,6 +68,26 @@ class ExecBuilder
      */
     const ExecView &view(const axiomatic::CandidateExecution &candidate);
 
+    /**
+     * View event index of candidate (memory) event @p candIdx, or -1
+     * when it has none.  Valid for the candidate stream of the epoch
+     * the last view() call belonged to; compiled filters
+     * (cat/compile.hh) translate enumerator indices into the view's
+     * event numbering through this.
+     */
+    int viewEventOfCand(size_t candIdx) const
+    {
+        return candIdx < eventOfCand.size()
+            ? eventOfCand[candIdx] : -1;
+    }
+
+    /** View event index of the store @p sid, or -1 if unknown. */
+    int viewEventOfStore(model::StoreId sid) const
+    {
+        auto it = eventOfStore.find(sid);
+        return it != eventOfStore.end() ? it->second : -1;
+    }
+
   private:
     void rebuildTraceLevel(const axiomatic::CandidateExecution &cand);
     void rebuildCoherence(const axiomatic::CandidateExecution &cand);

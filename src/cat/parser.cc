@@ -533,6 +533,7 @@ class Checker
                     b.slot = model.slotCount++;
                     b.coPolarity = polarityOf(*b.body);
                     slotPolarity.push_back(b.coPolarity);
+                    annotatePolarity(*b.body);
                     scope[b.name] = {b.slot, t};
                 }
                 break;
@@ -579,6 +580,8 @@ class Checker
                     b.coPolarity = group;
                     slotPolarity[size_t(b.slot)] = group;
                 }
+                for (Binding &b : stmt.bindings)
+                    annotatePolarity(*b.body);
                 break;
               }
               case Stmt::Kind::Acyclic:
@@ -589,11 +592,13 @@ class Checker
                          "this axiom needs a relation, not a set");
                 }
                 stmt.checkPolarity = polarityOf(*stmt.check);
+                annotatePolarity(*stmt.check);
                 break;
               }
               case Stmt::Kind::Empty:
                 checkExpr(*stmt.check);
                 stmt.checkPolarity = polarityOf(*stmt.check);
+                annotatePolarity(*stmt.check);
                 break;
             }
         }
@@ -606,45 +611,26 @@ class Checker
         Type type;
     };
 
-    /** A co/fr occurrence under complement or on the right of '\'
-     *  stops being monotone (but stays NonMonotone, never clears). */
-    static Polarity
-    flip(Polarity p)
-    {
-        return p == Polarity::Independent ? Polarity::Independent
-                                          : Polarity::NonMonotone;
-    }
-
     /** co/fr dependence classification of @p e (see parser.hh). */
     Polarity
     polarityOf(const Expr &e) const
     {
-        switch (e.kind) {
-          case Expr::Kind::Name:
-            if (e.builtin == Builtin::Co || e.builtin == Builtin::Fr)
-                return Polarity::Monotone;
-            if (e.slot >= 0 && size_t(e.slot) < slotPolarity.size())
-                return slotPolarity[size_t(e.slot)];
-            return Polarity::Independent;
-          case Expr::Kind::EmptyRel:
-            return Polarity::Independent;
-          case Expr::Kind::Diff:
-            // a \ b is monotone in a, antitone in b.
-            return std::max(polarityOf(*e.a), flip(polarityOf(*e.b)));
-          case Expr::Kind::Compl:
-            return flip(polarityOf(*e.a));
-          default: {
-            // Union, intersection, composition, product, closures,
-            // inverse and [S] are all monotone in every operand.
-            Polarity p = Polarity::Independent;
-            if (e.a)
-                p = std::max(p, polarityOf(*e.a));
-            if (e.b)
-                p = std::max(p, polarityOf(*e.b));
-            return p;
-          }
-        }
-        panic("unreachable expression kind");
+        return exprPolarity(e, slotPolarity);
+    }
+
+    /**
+     * Stamp Expr::polarity on every node of @p e, bottom-up, under the
+     * final slot polarities.  Runs once per expression after the
+     * enclosing statement's polarity inference has converged.
+     */
+    void
+    annotatePolarity(Expr &e) const
+    {
+        if (e.a)
+            annotatePolarity(*e.a);
+        if (e.b)
+            annotatePolarity(*e.b);
+        e.polarity = exprPolarity(e, slotPolarity);
     }
 
     Type
@@ -801,7 +787,48 @@ class Checker
     std::vector<Polarity> slotPolarity;
 };
 
+/** A co/fr occurrence under complement or on the right of '\'
+ *  stops being monotone (but stays NonMonotone, never clears). */
+Polarity
+flipPolarity(Polarity p)
+{
+    return p == Polarity::Independent ? Polarity::Independent
+                                      : Polarity::NonMonotone;
+}
+
 } // anonymous namespace
+
+Polarity
+exprPolarity(const Expr &e, const std::vector<Polarity> &slotPolarity)
+{
+    switch (e.kind) {
+      case Expr::Kind::Name:
+        if (e.builtin == Builtin::Co || e.builtin == Builtin::Fr)
+            return Polarity::Monotone;
+        if (e.slot >= 0 && size_t(e.slot) < slotPolarity.size())
+            return slotPolarity[size_t(e.slot)];
+        return Polarity::Independent;
+      case Expr::Kind::EmptyRel:
+        return Polarity::Independent;
+      case Expr::Kind::Diff:
+        // a \ b is monotone in a, antitone in b.
+        return std::max(exprPolarity(*e.a, slotPolarity),
+                        flipPolarity(exprPolarity(*e.b, slotPolarity)));
+      case Expr::Kind::Compl:
+        return flipPolarity(exprPolarity(*e.a, slotPolarity));
+      default: {
+        // Union, intersection, composition, product, closures,
+        // inverse and [S] are all monotone in every operand.
+        Polarity p = Polarity::Independent;
+        if (e.a)
+            p = std::max(p, exprPolarity(*e.a, slotPolarity));
+        if (e.b)
+            p = std::max(p, exprPolarity(*e.b, slotPolarity));
+        return p;
+      }
+    }
+    panic("unreachable expression kind");
+}
 
 CatParseResult
 parseCat(const std::string &source, const std::string &defaultName)

@@ -109,7 +109,28 @@ struct Expr
     int slot = -1;              ///< let-binding slot when not builtin
 
     Type type = Type::Any;      ///< inferred sort
+    /**
+     * co/fr dependence of *this node* (not just the whole definition):
+     * the per-node dataflow the model compiler (cat/compile.hh) folds
+     * constants with and lint rule L007 reports on.  Annotated by the
+     * static checker after polarity inference converges; for bodies of
+     * a `let rec` group the slot polarities are the group-tainted ones
+     * (any co/fr mention taints every member), so a node is only ever
+     * classified *more* dependent than it truly is -- sound for both
+     * consumers.
+     */
+    Polarity polarity = Polarity::NonMonotone;
 };
+
+/**
+ * co/fr dependence of @p e given the polarity of every let-binding
+ * slot it may reference (entries beyond the vector default to
+ * Independent, matching slots not yet classified).  The single
+ * polarity dataflow shared by the parser's static checker and the
+ * model compiler's SCC-refined re-analysis.
+ */
+Polarity exprPolarity(const Expr &e,
+                      const std::vector<Polarity> &slotPolarity);
 
 /** One `let` binding. */
 struct Binding

@@ -155,6 +155,10 @@ queryKey(const Query &query, Engine engine)
     // axioms (enforceInstOrder does not).
     RunOptions canonical = query.options;
     canonical.stateBudget = 0;
+    // Compiled and interpreted cat pipelines decide identically, so
+    // the mode never reaches the key (fingerprint() skips it too): a
+    // differential run warms the cache for the default pipeline.
+    canonical.catCompile = true;
     if (engine == Engine::Operational)
         canonical.axiomatic = {};
     if (engine == Engine::Cat)
@@ -236,11 +240,15 @@ runCat(const Query &query, Decision &d)
     axiomatic::Options opts = axiomatic::withConditionSeeds(
         *query.test, query.options.axiomatic);
     opts.searchThreads = query.options.threads;
-    cat::CatEngine engine(*query.test, m, opts);
+    cat::CatEngine engine(*query.test, m, opts,
+                          query.options.catCompile
+                              ? cat::CatEngine::Mode::Compiled
+                              : cat::CatEngine::Mode::Interpreted);
     d.outcomes = engine.enumerate();
     d.allowed = anyConditionMatch(*query.test, d.outcomes);
     d.statesVisited = engine.stats().coCandidates;
     d.enumStats = engine.stats();
+    d.catCompiled = query.options.catCompile;
     d.complete = true;
 }
 

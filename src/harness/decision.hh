@@ -116,6 +116,16 @@ struct RunOptions
      * are never cached, and ScDelegate decisions are exact.
      */
     bool prescreen = true;
+    /**
+     * Run cat-engine queries through the compiled plan
+     * (cat/compile.hh) rather than the interpreting evaluator.  Both
+     * modes decide identical outcome sets by construction (the
+     * compiler's differential tests enforce it), so this knob is
+     * canonicalized away in queryKey(): it selects a pipeline, not an
+     * answer.  Kept as an escape hatch for differential runs and
+     * debugging.
+     */
+    bool catCompile = true;
 
     /**
      * 64-bit digest of the option fields (threads excluded, see its
@@ -179,6 +189,12 @@ struct Decision
     bool complete = true;
     /** Engine wall time; ~0 on a cache hit. */
     double wallSeconds = 0.0;
+    /**
+     * The cat engine decided this query through a compiled plan
+     * (RunOptions::catCompile); false for every other engine.  Cached
+     * decisions replay the flag of the run that produced them.
+     */
+    bool catCompiled = false;
     /** True when the decision was served from the DecisionCache. */
     bool cacheHit = false;
     /**

@@ -34,8 +34,13 @@ enum class Engine {
     /**
      * Evaluate a cat-DSL model file (src/cat/) over the same
      * candidate executions the axiomatic checker enumerates.  The
-     * model is data: the builtin .cat files under models/ by default, or any
-     * user-supplied file.
+     * model is data: the builtin .cat files under models/ by default,
+     * or any user-supplied file.  By default the model is *compiled*
+     * (cat/compile.hh) into the same incremental filter shape as the
+     * hand-coded checker -- stratified constants, fused acyclicity,
+     * per-edge guards -- rather than interpreted per candidate; the
+     * two modes decide identically (RunOptions::catCompile is the
+     * differential-testing escape hatch).
      */
     Cat,
 };

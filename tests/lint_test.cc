@@ -124,6 +124,16 @@ TEST(Lint, NonProductiveRecursion)
                  {"L006", 4, 9, "least fixpoint"}});
 }
 
+TEST(Lint, InvariantRecomputation)
+{
+    // `slow`'s body recomputes the co/fr-independent [M]; po; [M] for
+    // every coherence candidate (hoistable); the axiom spells out
+    // `addr | data` where the definition `dep` already names it.
+    expectDiags("invariant",
+                {{"L007", 10, 20, "hoist it into its own 'let'"},
+                 {"L007", 12, 29, "duplicates definition 'dep'"}});
+}
+
 TEST(Lint, DiagnosticToString)
 {
     LintDiagnostic d{"L001", "unused-definition",

@@ -42,8 +42,11 @@
  *   gam-litmus model list
  *       List the cat models shipped with the library.
  *
- *   gam-litmus model show <name|file.cat>
- *       Print a model's source.
+ *   gam-litmus model show <name|file.cat> [--plan]
+ *       Print a model's source; with --plan, the compiled evaluation
+ *       plan instead (cat/compile.hh): stratified definitions,
+ *       per-epoch constant slots, and the incremental pass each axiom
+ *       lowered to.
  *
  *   gam-litmus model check <name|file.cat>
  *       Parse and statically check a model, then run it over every
@@ -75,6 +78,7 @@
 
 #include "analysis/lint.hh"
 #include "base/table.hh"
+#include "cat/compile.hh"
 #include "cat/engine.hh"
 #include "harness/fuzz.hh"
 #include "harness/litmus_runner.hh"
@@ -112,6 +116,10 @@ usage()
                  "                            enumeration counters\n"
                  "      [--no-prescreen]      disable the static "
                  "pre-screen in decide()\n"
+                 "      [--no-cat-compile]    run cat queries through "
+                 "the interpreting\n"
+                 "                            evaluator instead of the "
+                 "compiled plan\n"
                  "  print <test|file>...      re-emit tests in "
                  "canonical text form\n"
                  "  gen [--tests N] [--seed S] [--out DIR] "
@@ -130,6 +138,10 @@ usage()
                  "models\n"
                  "  model show <name|file>    print a cat model's "
                  "source\n"
+                 "      [--plan]              print the compiled plan "
+                 "instead: strata,\n"
+                 "                            constant slots and fused "
+                 "axiom passes\n"
                  "  model check <name|file>   validate a cat model "
                  "and cross-check its\n"
                  "                            verdicts on the "
@@ -293,6 +305,8 @@ cmdRun(int argc, char **argv)
             stats = true;
         } else if (arg == "--no-prescreen") {
             options.run.prescreen = false;
+        } else if (arg == "--no-cat-compile") {
+            options.run.catCompile = false;
         } else {
             auto test = loadTest(arg);
             if (!test)
@@ -611,11 +625,17 @@ cmdModelList()
 }
 
 int
-cmdModelShow(const std::string &arg)
+cmdModelShow(const std::string &arg, bool plan)
 {
     auto m = loadCatModel(arg);
     if (!m)
         return 2;
+    if (plan) {
+        // The compiler's own view of the model: what the incremental
+        // filter evaluates once per epoch, per push, and at leaves.
+        std::printf("%s", cat::compileCatModel(*m)->describe().c_str());
+        return 0;
+    }
     std::printf("%s", m->source.c_str());
     return 0;
 }
@@ -714,17 +734,26 @@ cmdModel(int argc, char **argv)
     if (sub == "list")
         return cmdModelList();
     if (sub == "show" || sub == "check" || sub == "lint") {
-        if (argc < 2) {
+        bool plan = false;
+        std::vector<std::string> names;
+        for (int i = 1; i < argc; ++i) {
+            if (std::string(argv[i]) == "--plan" && sub == "show")
+                plan = true;
+            else
+                names.push_back(argv[i]);
+        }
+        if (names.empty()) {
             std::fprintf(stderr, "gam-litmus: model %s needs a model "
                          "name or .cat file\n", sub.c_str());
             listCatModels();
             return 2;
         }
         int rc = 0;
-        for (int i = 1; i < argc; ++i) {
-            const int one = sub == "show"    ? cmdModelShow(argv[i])
-                            : sub == "check" ? cmdModelCheck(argv[i])
-                                             : cmdModelLint(argv[i]);
+        for (const std::string &name : names) {
+            const int one = sub == "show"
+                ? cmdModelShow(name, plan)
+                : sub == "check" ? cmdModelCheck(name)
+                                 : cmdModelLint(name);
             rc = std::max(rc, one);
         }
         return rc;
