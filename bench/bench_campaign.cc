@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Campaign cold vs. store-resumed throughput.
+ *
+ * Runs the same bounded campaign (every canonical cycle up to length
+ * 4, the four cat-and-axiom models, axiomatic engine) twice against
+ * one decision store: the first run decides every (test, model) pair
+ * through the engines and persists the verdicts; the second run should
+ * answer ~everything from the store without touching an engine.
+ *
+ * Two properties are gated:
+ *
+ *   hit rate   the second run must serve >= 99% of its decisions from
+ *              the store -- a drop means persisted keys stopped
+ *              matching decide()'s query keys (a silently cold store).
+ *   speedup    the store-served run must be >= 3x faster than the
+ *              engine run.  Verdict-only reconstruction is hash-map
+ *              lookups; if it is within 3x of running the engines,
+ *              the store is doing real work per hit and resume has
+ *              quietly lost its point.
+ *
+ * Also emits BENCH_campaign.json (universe size, decisions, seconds,
+ * throughput, hit rate, speedup) for CI artifact upload and trend
+ * tracking.
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <memory>
+
+#include "campaign/driver.hh"
+#include "campaign/store.hh"
+
+namespace
+{
+
+using namespace gam;
+
+campaign::CampaignResult
+pass(const campaign::CampaignOptions &options,
+     campaign::DecisionStore *store, double *wall)
+{
+    const auto start = std::chrono::steady_clock::now();
+    const campaign::CampaignResult result =
+        campaign::runCampaign(options, store);
+    *wall = std::chrono::duration<double>(
+                std::chrono::steady_clock::now() - start)
+                .count();
+    return result;
+}
+
+} // namespace
+
+int
+main()
+{
+    const char *store_path = "bench_campaign.store";
+    std::remove(store_path);
+
+    campaign::CampaignOptions options;
+    options.enumerate.maxLen = 4;
+    options.shards = 16;
+    options.threads = 2;
+
+    double cold_s = 0.0, resumed_s = 0.0;
+
+    campaign::CampaignResult cold, resumed;
+    {
+        campaign::DecisionStore store(store_path);
+        cold = pass(options, &store, &cold_s);
+    }
+    {
+        // Reopen: the resumed pass also pays the store's recovery
+        // scan, exactly like a restarted campaign would.
+        campaign::DecisionStore store(store_path);
+        resumed = pass(options, &store, &resumed_s);
+    }
+    std::remove(store_path);
+
+    const double cold_rate =
+        cold_s > 0 ? double(cold.decisions) / cold_s : 0.0;
+    const double resumed_rate =
+        resumed_s > 0 ? double(resumed.decisions) / resumed_s : 0.0;
+    const double hit_rate = resumed.decisions > 0
+        ? double(resumed.storeHits) / double(resumed.decisions)
+        : 0.0;
+    const double speedup = resumed_s > 0 ? cold_s / resumed_s : 0.0;
+
+    std::printf("campaign benchmark: %llu canonical tests (cycles up "
+                "to length %u) x %zu models, %u shards\n\n",
+                static_cast<unsigned long long>(cold.units),
+                options.enumerate.maxLen, options.models.size(),
+                options.shards);
+    std::printf("cold    pass: %8llu decisions in %7.3fs  (%9.0f "
+                "dec/s, %llu store hits)\n",
+                static_cast<unsigned long long>(cold.decisions), cold_s,
+                cold_rate,
+                static_cast<unsigned long long>(cold.storeHits));
+    std::printf("resumed pass: %8llu decisions in %7.3fs  (%9.0f "
+                "dec/s, %llu store hits)\n",
+                static_cast<unsigned long long>(resumed.decisions),
+                resumed_s, resumed_rate,
+                static_cast<unsigned long long>(resumed.storeHits));
+    std::printf("\nstore hit rate %.2f%%, store-resumed speedup "
+                "%.2fx\n",
+                hit_rate * 100.0, speedup);
+
+    if (FILE *json = std::fopen("BENCH_campaign.json", "w")) {
+        std::fprintf(
+            json,
+            "{\n"
+            "  \"universe\": \"cycles up to length %u\",\n"
+            "  \"tests\": %llu,\n"
+            "  \"models\": %zu,\n"
+            "  \"decisions\": %llu,\n"
+            "  \"cold_seconds\": %.6f,\n"
+            "  \"cold_decisions_per_second\": %.1f,\n"
+            "  \"resumed_seconds\": %.6f,\n"
+            "  \"resumed_decisions_per_second\": %.1f,\n"
+            "  \"store_hit_rate\": %.6f,\n"
+            "  \"resumed_speedup\": %.4f,\n"
+            "  \"gate_hit_rate_min\": 0.99,\n"
+            "  \"gate_resumed_speedup_min\": 3.0\n"
+            "}\n",
+            options.enumerate.maxLen,
+            static_cast<unsigned long long>(cold.units),
+            options.models.size(),
+            static_cast<unsigned long long>(cold.decisions), cold_s,
+            cold_rate, resumed_s, resumed_rate, hit_rate, speedup);
+        std::fclose(json);
+    }
+
+    bool ok = true;
+    if (hit_rate < 0.99) {
+        std::printf("FAIL: store hit rate %.2f%% below 99%% -- "
+                    "persisted keys no longer match decide()'s query "
+                    "keys\n",
+                    hit_rate * 100.0);
+        ok = false;
+    }
+    if (speedup < 3.0) {
+        std::printf("FAIL: store-resumed speedup %.2fx below 3x\n",
+                    speedup);
+        ok = false;
+    }
+    if (!ok)
+        return 1;
+    std::printf("PASS\n");
+    return 0;
+}

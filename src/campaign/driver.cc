@@ -1,0 +1,455 @@
+#include "campaign/driver.hh"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <iomanip>
+#include <iterator>
+#include <memory>
+#include <mutex>
+#include <sstream>
+#include <thread>
+#include <unordered_set>
+
+#include "base/hashing.hh"
+#include "base/logging.hh"
+#include "base/thread_pool.hh"
+#include "litmus/test.hh"
+
+namespace gam::campaign
+{
+
+namespace
+{
+
+using harness::Decision;
+using harness::Query;
+using model::Engine;
+using model::ModelKind;
+
+/** Everything a checkpoint must pin down: the universe and its
+ *  partition.  Worker/thread counts and the store path are free. */
+uint64_t
+configHash(const CampaignOptions &o)
+{
+    StateHasher h;
+    h.add(o.enumerate.fingerprint());
+    h.separator();
+    for (ModelKind m : o.models)
+        h.add(uint64_t(m));
+    h.separator();
+    for (Engine e : o.engines)
+        h.add(uint64_t(e));
+    h.separator();
+    h.add(o.shards);
+    h.add(o.limit);
+    h.add(o.run.fingerprint());
+    return h.digest();
+}
+
+/**
+ * The line-oriented shard checkpoint.  Plain appends, one flushed
+ * line per finished shard: a torn final line (killed mid-write) fails
+ * to parse and is simply ignored, which loses one shard's mark, never
+ * the file.
+ */
+class Checkpoint
+{
+  public:
+    Checkpoint(const std::string &path, uint64_t config, bool resume)
+        : filePath(path)
+    {
+        bool valid = false;
+        if (resume) {
+            std::ifstream in(path);
+            std::string line;
+            if (in && std::getline(in, line)
+                && line == "gam-campaign-checkpoint v1"
+                && std::getline(in, line) && line.rfind("config ", 0) == 0) {
+                GAM_ASSERT(line.substr(7) == hex(config),
+                           "checkpoint '%s' was written for a different "
+                           "campaign configuration",
+                           path.c_str());
+                valid = true;
+                unsigned shard = 0;
+                while (std::getline(in, line))
+                    if (std::sscanf(line.c_str(), "done %u", &shard) == 1)
+                        finished.insert(shard);
+            }
+        }
+        if (!valid) {
+            std::ofstream out(path, std::ios::trunc);
+            GAM_ASSERT(out.good(), "cannot write checkpoint '%s'",
+                       path.c_str());
+            out << "gam-campaign-checkpoint v1\n"
+                << "config " << hex(config) << "\n";
+        }
+        log = std::fopen(path.c_str(), "ab");
+        GAM_ASSERT(log != nullptr, "cannot append to checkpoint '%s'",
+                   path.c_str());
+    }
+
+    ~Checkpoint()
+    {
+        if (log)
+            std::fclose(log);
+    }
+
+    bool isDone(unsigned shard) const { return finished.count(shard) > 0; }
+
+    size_t doneCount() const { return finished.size(); }
+
+    void
+    markDone(unsigned shard)
+    {
+        std::lock_guard<std::mutex> lock(mu);
+        std::fprintf(log, "done %u\n", shard);
+        std::fflush(log);
+    }
+
+  private:
+    static std::string
+    hex(uint64_t v)
+    {
+        char buf[17];
+        std::snprintf(buf, sizeof(buf), "%016llx",
+                      static_cast<unsigned long long>(v));
+        return buf;
+    }
+
+    const std::string filePath;
+    std::mutex mu;
+    std::FILE *log = nullptr;
+    std::unordered_set<unsigned> finished;
+};
+
+harness::EngineSelect
+selectFor(Engine engine)
+{
+    switch (engine) {
+      case Engine::Axiomatic: return harness::EngineSelect::Axiomatic;
+      case Engine::Operational:
+        return harness::EngineSelect::Operational;
+      case Engine::Cat: break;
+    }
+    return harness::EngineSelect::Cat;
+}
+
+/** Per-shard tallies, merged in shard order once the pool drains. */
+struct ShardTally
+{
+    std::vector<PairTally> pairs;
+    uint64_t decisions = 0;
+    uint64_t allowed = 0;
+    uint64_t storeHits = 0;
+    uint64_t cacheHits = 0;
+    uint64_t prescreened = 0;
+    uint64_t verified = 0;
+    uint64_t verifyMismatches = 0;
+};
+
+std::string
+percent(uint64_t part, uint64_t whole)
+{
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(1)
+       << (whole ? 100.0 * double(part) / double(whole) : 0.0) << "%";
+    return os.str();
+}
+
+} // namespace
+
+CampaignResult
+runCampaign(const CampaignOptions &options, DecisionStore *store,
+            const std::function<void(const CampaignProgress &)> &progress)
+{
+    const auto start = std::chrono::steady_clock::now();
+    auto elapsed = [&start] {
+        return std::chrono::duration<double>(
+                   std::chrono::steady_clock::now() - start)
+            .count();
+    };
+
+    CampaignResult result;
+
+    // ---- prepare: enumerate, lower, dedupe ------------------------
+    std::vector<CanonicalCycle> units;
+    {
+        std::unordered_set<uint64_t> seen;
+        result.enumerate = enumerateCycles(
+            options.enumerate, [&](const CanonicalCycle &cycle) {
+                auto test = litmus::testFromCycle(cycle.name, cycle.edges,
+                                                  cycle.numLocations);
+                GAM_ASSERT(test.has_value(),
+                           "campaign: emitted cycle '%s' failed to lower",
+                           cycle.name.c_str());
+                if (!seen.insert(litmus::fingerprint(*test)).second) {
+                    ++result.duplicateTests;
+                    return true;
+                }
+                units.push_back(cycle);
+                return options.limit == 0 || units.size() < options.limit;
+            });
+    }
+    result.units = units.size();
+
+    std::vector<std::pair<ModelKind, Engine>> pairs;
+    for (ModelKind m : options.models)
+        for (Engine e : options.engines) {
+            if (model::supportsEngine(m, e))
+                pairs.emplace_back(m, e);
+            else
+                ++result.skippedPairs;
+        }
+    result.pairs = pairs.size();
+
+    const unsigned shard_count = std::max(1u, options.shards);
+    result.shardsTotal = shard_count;
+
+    // ---- checkpoint ----------------------------------------------
+    std::unique_ptr<Checkpoint> checkpoint;
+    if (!options.checkpointPath.empty())
+        checkpoint = std::make_unique<Checkpoint>(
+            options.checkpointPath, configHash(options), options.resume);
+
+    std::vector<unsigned> todo;
+    for (unsigned s = 0; s < shard_count; ++s) {
+        if (checkpoint && checkpoint->isDone(s))
+            ++result.shardsResumed;
+        else
+            todo.push_back(s);
+    }
+
+    uint64_t scheduled_units = 0;
+    for (unsigned s : todo)
+        scheduled_units += s < units.size()
+            ? (units.size() - s - 1) / shard_count + 1 : 0;
+    const uint64_t decisions_total = scheduled_units * pairs.size();
+
+    // ---- decide ---------------------------------------------------
+    harness::DecisionCache cache(options.cacheEntries);
+    harness::RunOptions run = options.run;
+    run.threads = 1; // parallelism lives across shards, not inside engines
+
+    std::vector<ShardTally> tallies(shard_count);
+    std::atomic<uint64_t> done{0};
+    std::atomic<uint64_t> store_hits{0};
+    std::atomic<unsigned> shards_finished{0};
+
+    ThreadPool pool(options.threads);
+    for (unsigned s : todo) {
+        pool.submit([&, s] {
+            ShardTally &tally = tallies[s];
+            tally.pairs.resize(pairs.size());
+            for (size_t i = s; i < units.size(); i += shard_count) {
+                const CanonicalCycle &cycle = units[i];
+                auto test = litmus::testFromCycle(cycle.name, cycle.edges,
+                                                  cycle.numLocations);
+                for (size_t p = 0; p < pairs.size(); ++p) {
+                    const auto [m, e] = pairs[p];
+                    Query q;
+                    q.test = &*test;
+                    q.model = m;
+                    q.engine = selectFor(e);
+                    q.options = run;
+                    Decision d = harness::decide(q, &cache, store);
+
+                    PairTally &pt = tally.pairs[p];
+                    pt.model = m;
+                    pt.engine = e;
+                    ++pt.decided;
+                    ++tally.decisions;
+                    if (d.allowed) {
+                        ++pt.allowed;
+                        ++tally.allowed;
+                    }
+                    if (d.storeHit) {
+                        ++pt.storeHits;
+                        ++tally.storeHits;
+                        store_hits.fetch_add(1,
+                                             std::memory_order_relaxed);
+                    }
+                    tally.cacheHits += d.cacheHit ? 1 : 0;
+                    tally.prescreened +=
+                        d.prescreened != harness::PrescreenKind::None ? 1
+                                                                      : 0;
+                    done.fetch_add(1, std::memory_order_relaxed);
+
+                    if (options.verifySample
+                        && tally.decisions % options.verifySample == 0) {
+                        // Re-decide from scratch -- no cache, no store
+                        // -- and hold the answer against the persisted
+                        // witness.
+                        Decision fresh =
+                            harness::decide(q, nullptr, nullptr);
+                        ++tally.verified;
+                        bool ok = fresh.allowed == d.allowed;
+                        if (store) {
+                            auto rec =
+                                store->record(harness::queryKey(q, e));
+                            ok = ok && rec && rec->allowed == fresh.allowed
+                                && rec->outcomeHash
+                                    == litmus::outcomeSetHash(
+                                        fresh.outcomes)
+                                && rec->outcomeCount
+                                    == fresh.outcomes.size();
+                        }
+                        if (!ok)
+                            ++tally.verifyMismatches;
+                    }
+                }
+            }
+            if (checkpoint)
+                checkpoint->markDone(s);
+            shards_finished.fetch_add(1, std::memory_order_release);
+        });
+    }
+
+    // Coordinate: poll for progress while the pool drains.
+    auto snapshot = [&](unsigned finished) {
+        CampaignProgress p;
+        p.decisionsDone = done.load(std::memory_order_relaxed);
+        p.decisionsTotal = decisions_total;
+        p.storeHits = store_hits.load(std::memory_order_relaxed);
+        p.shardsDone = result.shardsResumed + finished;
+        p.shardsTotal = shard_count;
+        p.seconds = elapsed();
+        return p;
+    };
+    if (progress) {
+        double last = 0.0;
+        while (shards_finished.load(std::memory_order_acquire)
+               < todo.size()) {
+            std::this_thread::sleep_for(std::chrono::milliseconds(100));
+            if (elapsed() - last >= 1.0) {
+                last = elapsed();
+                progress(snapshot(shards_finished.load()));
+            }
+        }
+    }
+    pool.wait();
+    if (store)
+        store->flush();
+
+    // ---- merge (shard order: deterministic) -----------------------
+    result.tallies.resize(pairs.size());
+    for (size_t p = 0; p < pairs.size(); ++p) {
+        result.tallies[p].model = pairs[p].first;
+        result.tallies[p].engine = pairs[p].second;
+    }
+    for (unsigned s = 0; s < shard_count; ++s) {
+        const ShardTally &tally = tallies[s];
+        result.decisions += tally.decisions;
+        result.allowed += tally.allowed;
+        result.storeHits += tally.storeHits;
+        result.cacheHits += tally.cacheHits;
+        result.prescreened += tally.prescreened;
+        result.verified += tally.verified;
+        result.verifyMismatches += tally.verifyMismatches;
+        for (size_t p = 0; p < tally.pairs.size(); ++p) {
+            result.tallies[p].decided += tally.pairs[p].decided;
+            result.tallies[p].allowed += tally.pairs[p].allowed;
+            result.tallies[p].storeHits += tally.pairs[p].storeHits;
+        }
+    }
+    result.shardsDone = result.shardsResumed + unsigned(todo.size());
+    result.cacheStats = cache.stats();
+    result.seconds = elapsed();
+    if (progress)
+        progress(snapshot(unsigned(todo.size())));
+    return result;
+}
+
+std::string
+formatCampaign(const CampaignResult &r)
+{
+    std::ostringstream os;
+    os << "universe: " << r.enumerate.emitted << " canonical cycles ("
+       << r.enumerate.rotationDuplicates << " rotation duplicates, "
+       << r.enumerate.unrealisable << " unrealisable), " << r.units
+       << " tests after deduping " << r.duplicateTests
+       << " repeated lowerings\n";
+    os << "decisions: " << r.decisions << " across " << r.pairs
+       << " model/engine pairs";
+    if (r.skippedPairs)
+        os << " (" << r.skippedPairs << " unsupported pairs skipped)";
+    os << std::fixed << std::setprecision(1) << " in " << r.seconds
+       << "s";
+    if (r.seconds > 0.0)
+        os << " (" << uint64_t(double(r.decisions) / r.seconds)
+           << " dec/s)";
+    os << "\n";
+    os << "verdicts: " << r.allowed << " allowed, "
+       << (r.decisions - r.allowed) << " forbidden\n";
+    os << "served: " << r.storeHits << " store hits ("
+       << percent(r.storeHits, r.decisions) << "), " << r.cacheHits
+       << " cache hits, " << r.prescreened << " prescreened\n";
+    os << "shards: " << r.shardsDone << "/" << r.shardsTotal << " done";
+    if (r.shardsResumed)
+        os << " (" << r.shardsResumed << " resumed from checkpoint)";
+    os << "\n";
+    if (r.verified)
+        os << "verify: " << r.verified << " sampled re-decides, "
+           << r.verifyMismatches << " mismatches\n";
+    for (const PairTally &t : r.tallies)
+        os << "  " << model::modelName(t.model) << "/"
+           << model::engineName(t.engine) << ": " << t.decided
+           << " decided, " << t.allowed << " allowed, " << t.storeHits
+           << " store hits\n";
+    return os.str();
+}
+
+std::string
+formatStoreSummary(const DecisionStore &store,
+                   std::optional<ModelKind> model,
+                   std::optional<bool> allowed)
+{
+    struct Bucket
+    {
+        uint64_t records = 0;
+        uint64_t allowed = 0;
+        uint64_t prescreened = 0;
+    };
+    // Index buckets by (model, engine) ordinal so the report iterates
+    // in enum declaration order, independent of the store's map order.
+    constexpr size_t EngineCount = 3;
+    std::vector<Bucket> buckets(std::size(model::allModelKinds)
+                                * EngineCount);
+    std::unordered_set<uint64_t> tests;
+    uint64_t matched = 0;
+    store.forEach([&](const StoreRecord &rec) {
+        if (model && rec.model != *model)
+            return;
+        if (allowed && rec.allowed != *allowed)
+            return;
+        ++matched;
+        tests.insert(rec.testFingerprint);
+        Bucket &b = buckets[size_t(rec.model) * EngineCount
+                            + size_t(rec.engine)];
+        ++b.records;
+        b.allowed += rec.allowed ? 1 : 0;
+        b.prescreened +=
+            rec.prescreened != harness::PrescreenKind::None ? 1 : 0;
+    });
+
+    std::ostringstream os;
+    os << "store: " << store.path() << "\n";
+    os << "records: " << matched;
+    if (model || allowed)
+        os << " matching (of " << store.size() << " resident)";
+    os << ", " << tests.size() << " distinct tests\n";
+    for (ModelKind m : model::allModelKinds)
+        for (Engine e : model::allEngines) {
+            const Bucket &b = buckets[size_t(m) * EngineCount + size_t(e)];
+            if (!b.records)
+                continue;
+            os << "  " << model::modelName(m) << "/"
+               << model::engineName(e) << ": " << b.records
+               << " records, " << b.allowed << " allowed, "
+               << b.prescreened << " prescreened\n";
+        }
+    return os.str();
+}
+
+} // namespace gam::campaign

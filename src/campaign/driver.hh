@@ -1,0 +1,164 @@
+/**
+ * @file
+ * The campaign driver: decide the exhaustive test universe under a
+ * set of models and engines, sharded over a thread pool, with
+ * checkpoint/resume and an optional persistent decision store.
+ *
+ * A campaign is three deterministic steps:
+ *
+ *  1. *Prepare*: enumerate every canonical cycle (campaign/enumerate),
+ *     lower each to a litmus test, and dedupe by litmus::fingerprint
+ *     (distinct canonical cycles can lower to the same program, e.g.
+ *     when a dependency edge degenerates).  The surviving units keep
+ *     their enumeration order, so unit -> shard assignment (unit i to
+ *     shard i mod N) is reproducible across runs and platforms.
+ *  2. *Decide*: each shard walks its units and decides every
+ *     (model, engine) pair through harness::decide(), backed by a
+ *     private DecisionCache and, when given, a DecisionStore -- so a
+ *     re-run serves from the store instead of the engines, and a
+ *     killed run loses only unfinished shards.
+ *  3. *Checkpoint*: finished shards are appended to a line-oriented
+ *     checkpoint file (config-hash guarded, torn lines ignored);
+ *     --resume skips them wholesale.
+ *
+ * Verification sampling closes the loop on the store: every Nth
+ * decision is re-decided from scratch (no cache, no store) and its
+ * verdict plus outcome-set witness (size, litmus::outcomeSetHash) are
+ * compared against the stored record, proving persisted answers still
+ * match the engines exactly.
+ */
+
+#ifndef GAM_CAMPAIGN_DRIVER_HH
+#define GAM_CAMPAIGN_DRIVER_HH
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "campaign/enumerate.hh"
+#include "campaign/store.hh"
+#include "harness/decision.hh"
+#include "model/engine.hh"
+
+namespace gam::campaign
+{
+
+/** Configuration of one campaign run. */
+struct CampaignOptions
+{
+    /** The test universe (cycle lengths, edge vocabulary). */
+    EnumerateOptions enumerate;
+    /**
+     * Models to decide.  The default is the four models every engine
+     * here can decide -- SC, TSO, GAM0 and GAM all have axioms *and*
+     * builtin cat files -- so the default matrix has no skipped pairs.
+     */
+    std::vector<model::ModelKind> models = {
+        model::ModelKind::SC, model::ModelKind::TSO,
+        model::ModelKind::GAM0, model::ModelKind::GAM};
+    /** Engines to decide each model under (unsupported pairs are
+     *  skipped and counted, not errors). */
+    std::vector<model::Engine> engines = {model::Engine::Axiomatic};
+    /** Work-queue shards (checkpoint granularity), >= 1. */
+    unsigned shards = 64;
+    /** Worker threads; 0 = hardware concurrency. */
+    unsigned threads = 0;
+    /** Cap on deduped units (0 = the whole universe); applied in
+     *  enumeration order, so a capped run is a prefix of the full one. */
+    uint64_t limit = 0;
+    /** Checkpoint file; empty disables checkpointing. */
+    std::string checkpointPath;
+    /** Skip shards the checkpoint records as done (else start over). */
+    bool resume = false;
+    /** Re-decide every Nth decision from scratch and compare verdict
+     *  and outcome witness against the store (0 = off). */
+    uint64_t verifySample = 0;
+    /** Private in-memory cache capacity.  Deliberately small: within
+     *  one campaign only delegated SC sub-queries repeat, and a small
+     *  cache keeps 100k-test runs from holding every outcome set in
+     *  memory (the store keeps compact records instead). */
+    size_t cacheEntries = 1 << 16;
+    /** Engine knobs for every decision (threads forced to 1: the
+     *  campaign parallelises across shards, not within engines). */
+    harness::RunOptions run;
+};
+
+/** One (model, engine) pair's outcome tallies. */
+struct PairTally
+{
+    model::ModelKind model = model::ModelKind::GAM;
+    model::Engine engine = model::Engine::Axiomatic;
+    uint64_t decided = 0;
+    uint64_t allowed = 0;
+    uint64_t storeHits = 0;
+};
+
+/** Live progress snapshot passed to the progress callback. */
+struct CampaignProgress
+{
+    uint64_t decisionsDone = 0;
+    uint64_t decisionsTotal = 0;
+    uint64_t storeHits = 0;
+    unsigned shardsDone = 0;
+    unsigned shardsTotal = 0;
+    double seconds = 0.0;
+};
+
+/** The completed campaign's summary. */
+struct CampaignResult
+{
+    EnumerateStats enumerate;
+    /** Lowered tests discarded as fingerprint duplicates. */
+    uint64_t duplicateTests = 0;
+    /** Deduped canonical tests in the work queue. */
+    uint64_t units = 0;
+    /** (model, engine) pairs decided / skipped as unsupported. */
+    uint64_t pairs = 0;
+    uint64_t skippedPairs = 0;
+    uint64_t decisions = 0;
+    uint64_t allowed = 0;
+    uint64_t storeHits = 0;
+    uint64_t cacheHits = 0;
+    uint64_t prescreened = 0;
+    /** Verification samples taken / that disagreed with the store. */
+    uint64_t verified = 0;
+    uint64_t verifyMismatches = 0;
+    unsigned shardsTotal = 0;
+    unsigned shardsDone = 0;
+    /** Shards skipped wholesale thanks to --resume. */
+    unsigned shardsResumed = 0;
+    double seconds = 0.0;
+    std::vector<PairTally> tallies;
+    harness::DecisionCacheStats cacheStats;
+};
+
+/**
+ * Run a campaign.  @p store may be nullptr (no persistence).  The
+ * progress callback, when given, is invoked from the coordinating
+ * thread roughly once a second and once at completion.
+ *
+ * Asserts on a checkpoint whose config hash does not match the
+ * options when resuming -- a checkpoint only describes one universe.
+ */
+CampaignResult
+runCampaign(const CampaignOptions &options, DecisionStore *store,
+            const std::function<void(const CampaignProgress &)> &progress
+            = {});
+
+/** Multi-line human-readable summary of a finished campaign. */
+std::string formatCampaign(const CampaignResult &result);
+
+/**
+ * Aggregate a store's resident records per (model, engine): the
+ * `campaign status`/`campaign query` view.  @p model / @p allowed
+ * filter when set (query); both unset summarises everything (status).
+ */
+std::string
+formatStoreSummary(const DecisionStore &store,
+                   std::optional<model::ModelKind> model = std::nullopt,
+                   std::optional<bool> allowed = std::nullopt);
+
+} // namespace gam::campaign
+
+#endif // GAM_CAMPAIGN_DRIVER_HH

@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Exhaustive, canonical relaxation-cycle enumeration.
+ *
+ * The random generator (litmus/generator.hh) draws *one* cycle per
+ * seed; a campaign needs the complete, deterministic test universe up
+ * to a bounded cycle length instead.  Following the diy7 methodology
+ * (Herding Cats, PAPERS.md), this module enumerates every cycle over
+ * the generator's edge vocabulary -- the external communication
+ * relations rf/co/fr, plain program order, the four basic fences
+ * LL/LS/SL/SS, and address/data/control dependencies, with load+store
+ * conflicts becoming RMWs -- and canonicalizes each one so isomorphic
+ * tests collapse to a single representative *before* lowering:
+ *
+ *  - Thread rotation: a cycle has no distinguished start; of all
+ *    rotations ending with a communication edge (the ones the lowering
+ *    accepts verbatim), only the lexicographically least encoding is
+ *    emitted.
+ *  - Address renaming: event locations are restricted-growth labels
+ *    (location k first appears only after 0..k-1), so any relabelling
+ *    of addresses normalizes to the same encoding.
+ *  - Value renaming: the deterministic lowering
+ *    (litmus::testFromCycle) assigns store values by per-location
+ *    counters, so value names never distinguish two cycles.
+ *
+ * Enumeration is a lexicographic depth-first search over plain arrays:
+ * the emission order is a pure function of EnumerateOptions -- no
+ * unordered-container iteration anywhere near it -- which is what
+ * makes campaign shard assignment reproducible across platforms and
+ * PRs (enumerateCycles asserts the order it emits is strictly
+ * increasing).
+ */
+
+#ifndef GAM_CAMPAIGN_ENUMERATE_HH
+#define GAM_CAMPAIGN_ENUMERATE_HH
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "litmus/generator.hh"
+
+namespace gam::campaign
+{
+
+/** The canonical representative of one cycle-isomorphism class. */
+struct CanonicalCycle
+{
+    /**
+     * The canonical rotation's edges, ready for
+     * litmus::testFromCycle(): the last edge is a communication edge,
+     * so the lowering's own realisability rotation is the identity.
+     */
+    std::vector<litmus::CycleEdge> edges;
+    /** Distinct locations the cycle touches, clamped to the 2..4 the
+     *  lowering supports (a single-location cycle lowers with 2, the
+     *  unused one is never named). */
+    int numLocations = 2;
+    /** 64-bit digest of the canonical encoding (cycle identity). */
+    uint64_t key = 0;
+    /**
+     * Deterministic diy-style name spelling the canonical encoding:
+     * one token per edge (rfe/coe/fre/po/fll/fls/fsl/fss/adr/dat/ctl)
+     * suffixed with the head event's location label, e.g.
+     * "camp_rfea_pob_freb_rfeb_poa_frea" for IRIW.  Unique per
+     * canonical cycle.
+     */
+    std::string name;
+};
+
+/** Bounds of one exhaustive enumeration. */
+struct EnumerateOptions
+{
+    /** Cycle length in edges (== events), 3..8. */
+    int minLen = 3;
+    int maxLen = 6;
+    /** Thread budget: communication edges per cycle, 2..4. */
+    int maxThreads = 4;
+    /** Distinct shared locations, 1..4. */
+    int maxLocations = 4;
+    /** Include fence-decorated program-order edges. */
+    bool fences = true;
+    /** Include dependency-decorated program-order edges. */
+    bool deps = true;
+    /** Allow load+store type conflicts (lowered as AMOSWAP RMWs). */
+    bool rmws = true;
+    /**
+     * Only emit fence kinds whose sides match the adjacent events'
+     * access types (an RMW matches either side), as the random
+     * generator does; false enumerates all four kinds per fence edge.
+     */
+    bool matchedFencesOnly = true;
+
+    /** 64-bit digest of every field (campaign config identity). */
+    uint64_t fingerprint() const;
+};
+
+/** Counters of one enumerateCycles() sweep. */
+struct EnumerateStats
+{
+    /** Canonical cycles emitted to the sink. */
+    uint64_t emitted = 0;
+    /** Complete cycles discarded as non-minimal rotations. */
+    uint64_t rotationDuplicates = 0;
+    /** Canonical cycles litmus::testFromCycle() rejected (register or
+     *  event-budget overflow in the lowering). */
+    uint64_t unrealisable = 0;
+};
+
+/**
+ * Enumerate every canonical cycle admitted by @p options, in a fixed
+ * deterministic order (length-major, then lexicographic by canonical
+ * encoding), invoking @p sink for each.  Cycles whose lowering the
+ * generator rejects are skipped and counted instead of emitted, so
+ * every emitted cycle is guaranteed to lower: testFromCycle(name,
+ * edges, numLocations) has a value.
+ *
+ * Return @c false from @p sink to stop early (the stats then cover the
+ * prefix enumerated so far).
+ */
+EnumerateStats
+enumerateCycles(const EnumerateOptions &options,
+                const std::function<bool(const CanonicalCycle &)> &sink);
+
+/**
+ * The canonicalization hook: normalize an arbitrary cycle spec (as
+ * litmus::testFromCycle takes it) to its class representative.  Two
+ * isomorphic specs -- rotations of one another, or relabellings of the
+ * same location walk -- canonicalize to byte-identical results.
+ * Returns nullopt when the spec is not a closed cycle the lowering
+ * could accept (no communication edge, an open location walk, or a
+ * location outside the 4 the lowering names).  Realisability budgets
+ * (loads, stores, threads) are *not* checked here; testFromCycle
+ * still has the last word.
+ */
+std::optional<CanonicalCycle>
+canonicalCycle(const std::vector<litmus::CycleEdge> &edges,
+               int numLocations);
+
+} // namespace gam::campaign
+
+#endif // GAM_CAMPAIGN_ENUMERATE_HH

@@ -1,0 +1,293 @@
+#include "campaign/store.hh"
+
+#include <array>
+#include <filesystem>
+
+#include "base/hashing.hh"
+#include "base/logging.hh"
+
+namespace gam::campaign
+{
+
+namespace
+{
+
+// On-disk format: a 16-byte header followed by fixed 40-byte records,
+// all fields little-endian.  The magic spells "GAMSTOR1".
+constexpr uint64_t StoreMagic = 0x3152'4f54'534d'4147ull;
+constexpr uint32_t StoreVersion = 1;
+constexpr size_t HeaderSize = 16;
+constexpr size_t RecordSize = 40;
+
+void
+putLe64(unsigned char *p, uint64_t v)
+{
+    for (int i = 0; i < 8; ++i)
+        p[i] = static_cast<unsigned char>(v >> (8 * i));
+}
+
+uint64_t
+getLe64(const unsigned char *p)
+{
+    uint64_t v = 0;
+    for (int i = 0; i < 8; ++i)
+        v |= uint64_t(p[i]) << (8 * i);
+    return v;
+}
+
+/** The four one-byte fields and the count, packed into one word. */
+uint64_t
+packMeta(const StoreRecord &r)
+{
+    return uint64_t(r.outcomeCount)
+        | uint64_t(uint8_t(r.model)) << 32
+        | uint64_t(uint8_t(r.engine)) << 40
+        | uint64_t(r.allowed ? 1 : 0) << 48
+        | uint64_t(uint8_t(r.prescreened)) << 56;
+}
+
+uint64_t
+recordChecksum(uint64_t key, uint64_t test_fp, uint64_t outcome_hash,
+               uint64_t meta)
+{
+    StateHasher h;
+    h.add(key);
+    h.add(test_fp);
+    h.add(outcome_hash);
+    h.add(meta);
+    return h.digest();
+}
+
+void
+encodeRecord(const StoreRecord &r, unsigned char (&buf)[RecordSize])
+{
+    const uint64_t meta = packMeta(r);
+    putLe64(buf + 0, r.key);
+    putLe64(buf + 8, r.testFingerprint);
+    putLe64(buf + 16, r.outcomeHash);
+    putLe64(buf + 24, meta);
+    putLe64(buf + 32,
+            recordChecksum(r.key, r.testFingerprint, r.outcomeHash, meta));
+}
+
+/** Checksum-validate and decode; nullopt means corrupt (torn tail). */
+std::optional<StoreRecord>
+decodeRecord(const unsigned char (&buf)[RecordSize])
+{
+    const uint64_t key = getLe64(buf + 0);
+    const uint64_t test_fp = getLe64(buf + 8);
+    const uint64_t outcome_hash = getLe64(buf + 16);
+    const uint64_t meta = getLe64(buf + 24);
+    const uint64_t sum = getLe64(buf + 32);
+    if (recordChecksum(key, test_fp, outcome_hash, meta) != sum)
+        return std::nullopt;
+
+    const auto model = uint8_t(meta >> 32);
+    const auto engine = uint8_t(meta >> 40);
+    const auto allowed = uint8_t(meta >> 48);
+    const auto prescreen = uint8_t(meta >> 56);
+    // A checksum collision over garbage is astronomically unlikely,
+    // but enum ranges are free to check and keep a bad record from
+    // ever turning into an out-of-range enum.
+    if (model > uint8_t(model::ModelKind::PerLocSC)
+        || engine > uint8_t(model::Engine::Cat) || allowed > 1
+        || prescreen > uint8_t(harness::PrescreenKind::ScDelegate))
+        return std::nullopt;
+
+    StoreRecord r;
+    r.key = key;
+    r.testFingerprint = test_fp;
+    r.outcomeHash = outcome_hash;
+    r.outcomeCount = uint32_t(meta);
+    r.model = model::ModelKind(model);
+    r.engine = model::Engine(engine);
+    r.allowed = allowed != 0;
+    r.prescreened = harness::PrescreenKind(prescreen);
+    return r;
+}
+
+void
+writeHeader(std::FILE *f)
+{
+    unsigned char buf[HeaderSize] = {};
+    putLe64(buf + 0, StoreMagic);
+    putLe64(buf + 8, uint64_t(StoreVersion)); // low u32 version, high 0
+    const size_t n = std::fwrite(buf, 1, HeaderSize, f);
+    GAM_ASSERT(n == HeaderSize, "campaign store: short header write");
+}
+
+} // namespace
+
+DecisionStore::DecisionStore(const std::string &path) : filePath(path)
+{
+    namespace fs = std::filesystem;
+
+    // Recovery pass: read the existing log front to back, keeping the
+    // longest valid prefix.
+    uint64_t file_size = 0;
+    if (std::FILE *in = std::fopen(path.c_str(), "rb")) {
+        unsigned char header[HeaderSize];
+        if (std::fread(header, 1, HeaderSize, in) == HeaderSize) {
+            GAM_ASSERT(getLe64(header + 0) == StoreMagic,
+                       "'%s' is not a campaign decision store",
+                       path.c_str());
+            GAM_ASSERT(uint32_t(getLe64(header + 8)) == StoreVersion,
+                       "campaign store '%s': unsupported version",
+                       path.c_str());
+            unsigned char buf[RecordSize];
+            while (std::fread(buf, 1, RecordSize, in) == RecordSize) {
+                auto r = decodeRecord(buf);
+                if (!r)
+                    break; // first corrupt record: the tail starts here
+                if (index.emplace(r->key, *r).second)
+                    ++counters.loaded;
+                else
+                    ++counters.duplicates;
+            }
+        }
+        std::fclose(in);
+        std::error_code ec;
+        file_size = fs::file_size(path, ec);
+        if (ec)
+            file_size = 0;
+    }
+
+    const uint64_t good_size =
+        HeaderSize + (counters.loaded + counters.duplicates) * RecordSize;
+    if (file_size > good_size) {
+        // Torn or corrupt tail: drop it now so the recovered prefix
+        // and new appends form one contiguous valid log.
+        counters.droppedBytes = file_size - good_size;
+        std::error_code ec;
+        fs::resize_file(filePath, good_size, ec);
+        GAM_ASSERT(!ec, "campaign store '%s': cannot truncate torn tail",
+                   filePath.c_str());
+        file_size = good_size;
+    }
+
+    if (file_size < HeaderSize) {
+        // New (or headerless-stub) file: start a fresh log.
+        counters.droppedBytes += file_size;
+        std::FILE *f = std::fopen(filePath.c_str(), "wb");
+        GAM_ASSERT(f != nullptr, "campaign store: cannot create '%s'",
+                   filePath.c_str());
+        writeHeader(f);
+        std::fclose(f);
+    }
+
+    log = std::fopen(filePath.c_str(), "ab");
+    GAM_ASSERT(log != nullptr, "campaign store: cannot append to '%s'",
+               filePath.c_str());
+}
+
+DecisionStore::~DecisionStore()
+{
+    if (log)
+        std::fclose(log);
+}
+
+std::optional<harness::Decision>
+DecisionStore::load(uint64_t key)
+{
+    std::lock_guard<std::mutex> lock(mu);
+    auto it = index.find(key);
+    if (it == index.end()) {
+        ++counters.misses;
+        return std::nullopt;
+    }
+    ++counters.hits;
+    const StoreRecord &r = it->second;
+    harness::Decision d;
+    d.allowed = r.allowed;
+    d.engine = r.engine;
+    d.prescreened = r.prescreened;
+    d.complete = true;
+    d.storeHit = true;
+    return d;
+}
+
+void
+DecisionStore::store(uint64_t key, const harness::Query &query,
+                     const harness::Decision &decision)
+{
+    if (!decision.complete)
+        return;
+    GAM_ASSERT(!decision.storeHit,
+               "campaign store: refusing to re-persist a verdict-only "
+               "store hit");
+
+    StoreRecord r;
+    r.key = key;
+    r.testFingerprint = litmus::fingerprint(*query.test);
+    r.outcomeHash = litmus::outcomeSetHash(decision.outcomes);
+    r.outcomeCount = uint32_t(decision.outcomes.size());
+    r.model = query.model;
+    r.engine = decision.engine;
+    r.allowed = decision.allowed;
+    r.prescreened = decision.prescreened;
+
+    std::lock_guard<std::mutex> lock(mu);
+    if (!index.emplace(key, r).second) {
+        ++counters.duplicates;
+        return;
+    }
+    append(r);
+}
+
+void
+DecisionStore::append(const StoreRecord &r)
+{
+    unsigned char buf[RecordSize];
+    encodeRecord(r, buf);
+    const size_t n = std::fwrite(buf, 1, RecordSize, log);
+    GAM_ASSERT(n == RecordSize, "campaign store '%s': append failed",
+               filePath.c_str());
+    // Per-record flush: a killed campaign loses at most the record
+    // being written (a torn tail the next open truncates), not a
+    // buffer full of finished work.
+    std::fflush(log);
+    ++counters.appended;
+}
+
+std::optional<StoreRecord>
+DecisionStore::record(uint64_t key) const
+{
+    std::lock_guard<std::mutex> lock(mu);
+    auto it = index.find(key);
+    if (it == index.end())
+        return std::nullopt;
+    return it->second;
+}
+
+void
+DecisionStore::forEach(
+    const std::function<void(const StoreRecord &)> &fn) const
+{
+    std::lock_guard<std::mutex> lock(mu);
+    for (const auto &[key, r] : index)
+        fn(r);
+}
+
+size_t
+DecisionStore::size() const
+{
+    std::lock_guard<std::mutex> lock(mu);
+    return index.size();
+}
+
+StoreStats
+DecisionStore::stats() const
+{
+    std::lock_guard<std::mutex> lock(mu);
+    return counters;
+}
+
+void
+DecisionStore::flush()
+{
+    std::lock_guard<std::mutex> lock(mu);
+    if (log)
+        std::fflush(log);
+}
+
+} // namespace gam::campaign

@@ -1,0 +1,138 @@
+/**
+ * @file
+ * The persistent campaign decision store: a crash-safe append-log of
+ * decided model queries, implementing harness::DecisionBackend.
+ *
+ * A million-test campaign cannot afford to lose its work to a crash,
+ * nor to re-run every engine on resume, so each complete decision is
+ * appended to an on-disk log as one fixed-size checksummed record
+ * keyed by the same 64-bit queryKey the in-memory DecisionCache uses
+ * -- (litmus::fingerprint, model, engine, RunOptions::fingerprint()).
+ * Records carry the verdict plus a compact round-trip witness of the
+ * outcome set (its size and order-independent 64-bit digest,
+ * litmus::outcomeSetHash), not the set itself: campaigns need
+ * verdicts, and the witness lets a sampled fresh re-decide prove the
+ * stored answer still matches the engines bit-for-bit.
+ *
+ * Crash safety is recovery-side, not write-side: appends are plain
+ * buffered writes flushed per record, and opening a store validates
+ * the log prefix record by record, truncating everything from the
+ * first short or checksum-failed record onward (a torn tail from a
+ * kill or power cut) instead of refusing the file.  Lost tail records
+ * simply get re-decided and re-appended; every surviving record was
+ * validated, so a load never serves corrupted bytes.
+ */
+
+#ifndef GAM_CAMPAIGN_STORE_HH
+#define GAM_CAMPAIGN_STORE_HH
+
+#include <cstdint>
+#include <cstdio>
+#include <functional>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "harness/decision.hh"
+
+namespace gam::campaign
+{
+
+/** One persisted decision, as recovered from or appended to the log. */
+struct StoreRecord
+{
+    /** harness::queryKey of the decided query. */
+    uint64_t key = 0;
+    /** litmus::fingerprint of the decided test (query/status axis). */
+    uint64_t testFingerprint = 0;
+    /** litmus::outcomeSetHash of the engine's outcome set; the
+     *  round-trip witness a fresh re-decide must reproduce. */
+    uint64_t outcomeHash = 0;
+    /** Outcome-set size (0 for ValueCover-prescreened verdicts). */
+    uint32_t outcomeCount = 0;
+    model::ModelKind model = model::ModelKind::GAM;
+    model::Engine engine = model::Engine::Axiomatic;
+    bool allowed = false;
+    harness::PrescreenKind prescreened = harness::PrescreenKind::None;
+};
+
+/** Counters of one DecisionStore's lifetime (openStats + traffic). */
+struct StoreStats
+{
+    /** Valid records recovered when the store was opened. */
+    uint64_t loaded = 0;
+    /** Torn-tail bytes dropped (and truncated away) at open. */
+    uint64_t droppedBytes = 0;
+    /** load() calls answered from the log. */
+    uint64_t hits = 0;
+    /** load() calls with no record. */
+    uint64_t misses = 0;
+    /** Records appended this session. */
+    uint64_t appended = 0;
+    /** store() offers skipped because the key was already present. */
+    uint64_t duplicates = 0;
+};
+
+/**
+ * The append-log store.  Thread-safe: campaign workers call
+ * load()/store() concurrently through decide().  One process owns a
+ * store file at a time (no cross-process locking).
+ */
+class DecisionStore final : public harness::DecisionBackend
+{
+  public:
+    /**
+     * Open (or create) the store at @p path, recovering every valid
+     * record and truncating any torn tail.  Asserts that an existing
+     * non-empty file is actually a campaign store (magic + version).
+     */
+    explicit DecisionStore(const std::string &path);
+    ~DecisionStore() override;
+
+    DecisionStore(const DecisionStore &) = delete;
+    DecisionStore &operator=(const DecisionStore &) = delete;
+
+    /**
+     * Reconstruct the persisted decision under @p key: verdict-only
+     * (storeHit set, empty outcome set) -- see Decision::storeHit.
+     */
+    std::optional<harness::Decision> load(uint64_t key) override;
+
+    /**
+     * Append @p decision unless @p key is already present (first
+     * write wins; the log never rewrites).  Incomplete decisions are
+     * never offered by decide(), and would be ignored here anyway.
+     */
+    void store(uint64_t key, const harness::Query &query,
+               const harness::Decision &decision) override;
+
+    /** The raw record under @p key (verify sampling, query CLI). */
+    std::optional<StoreRecord> record(uint64_t key) const;
+
+    /** Visit every resident record (order unspecified). */
+    void forEach(const std::function<void(const StoreRecord &)> &fn) const;
+
+    /** Records resident (recovered + appended this session). */
+    size_t size() const;
+
+    StoreStats stats() const;
+
+    /** Push buffered appends to the OS (also done per append). */
+    void flush();
+
+    const std::string &path() const { return filePath; }
+
+  private:
+    void append(const StoreRecord &record);
+
+    const std::string filePath;
+    mutable std::mutex mu;
+    std::unordered_map<uint64_t, StoreRecord> index;
+    std::FILE *log = nullptr;
+    StoreStats counters;
+};
+
+} // namespace gam::campaign
+
+#endif // GAM_CAMPAIGN_STORE_HH

@@ -98,6 +98,7 @@ DecisionCache::insert(uint64_t key, const Decision &decision)
         // Full: evict an arbitrary resident (hash order is as good a
         // victim policy as any here) so campaigns stay bounded.
         shard.map.erase(shard.map.begin());
+        evictions.fetch_add(1, std::memory_order_relaxed);
     }
     shard.map.insert_or_assign(key, decision);
 }
@@ -113,10 +114,17 @@ DecisionCache::size() const
     return n;
 }
 
+size_t
+DecisionCache::capacity() const
+{
+    return shardCapacity * ShardCount;
+}
+
 DecisionCacheStats
 DecisionCache::stats() const
 {
-    return {hits.load(), misses.load(), uncached.load()};
+    return {hits.load(), misses.load(), uncached.load(),
+            evictions.load()};
 }
 
 void
@@ -129,6 +137,7 @@ DecisionCache::clear()
     hits.store(0);
     misses.store(0);
     uncached.store(0);
+    evictions.store(0);
 }
 
 DecisionCache &
@@ -300,7 +309,7 @@ prescreenApplies(const Query &query)
 } // namespace
 
 Decision
-decide(const Query &query, DecisionCache *cache)
+decide(const Query &query, DecisionCache *cache, DecisionBackend *backend)
 {
     GAM_ASSERT(query.test != nullptr, "decide: null test");
     const Engine engine = resolveEngine(query);
@@ -319,10 +328,22 @@ decide(const Query &query, DecisionCache *cache)
             .count();
     };
 
-    const uint64_t key = cache ? queryKey(query, engine) : 0;
+    const uint64_t key =
+        (cache || backend) ? queryKey(query, engine) : 0;
     if (cache) {
         if (auto hit = cache->lookup(key)) {
             hit->cacheHit = true;
+            hit->wallSeconds = elapsed();
+            return *std::move(hit);
+        }
+    }
+    if (backend) {
+        // Second level: the persistent store.  A hit is verdict-only
+        // (Decision::storeHit), so it must never be inserted into the
+        // in-memory cache -- outcome-set consumers sharing the cache
+        // would silently receive an empty enumeration.
+        if (auto hit = backend->load(key)) {
+            hit->storeHit = true;
             hit->wallSeconds = elapsed();
             return *std::move(hit);
         }
@@ -341,6 +362,12 @@ decide(const Query &query, DecisionCache *cache)
             d.complete = true;
             d.prescreened = PrescreenKind::ValueCover;
             d.wallSeconds = elapsed();
+            // Persistable even though no outcomes exist: the analysis
+            // is deterministic, so a fresh re-decide under the same
+            // options reproduces this exact (verdict, empty-set) shape
+            // -- the store round-trip check still holds.
+            if (backend)
+                backend->store(key, query, d);
             return d;
         }
         if (pre.verdict == analysis::PrescreenVerdict::ScEquivalent
@@ -359,11 +386,19 @@ decide(const Query &query, DecisionCache *cache)
                 : engine == Engine::Operational
                 ? EngineSelect::Operational
                 : EngineSelect::Cat;
-            Decision d = decide(sub, cache);
+            Decision d = decide(sub, cache, backend);
             d.engine = engine;
             d.cacheHit = false;
             d.prescreened = PrescreenKind::ScDelegate;
             d.wallSeconds = elapsed();
+            // Persist under *this* query's key too (the delegated set
+            // is exact), so a later run is one store hit instead of a
+            // re-screen plus delegation -- but only when the inner
+            // decision carries real outcomes: if it was itself a store
+            // hit it is verdict-only, and persisting its empty set here
+            // would corrupt the round-trip witness.
+            if (backend && !d.storeHit)
+                backend->store(key, query, d);
             return d;
         }
     }
@@ -385,6 +420,8 @@ decide(const Query &query, DecisionCache *cache)
 
     if (cache)
         cache->insert(key, d);
+    if (backend && d.complete)
+        backend->store(key, query, d);
     return d;
 }
 

@@ -198,6 +198,17 @@ struct Decision
     /** True when the decision was served from the DecisionCache. */
     bool cacheHit = false;
     /**
+     * True when the decision was served from a persistent
+     * DecisionBackend (e.g. the campaign store).  Backend records keep
+     * a compact witness of the outcome set (its size and 64-bit
+     * digest), not the set itself, so a store-served Decision is
+     * *verdict-only*: `outcomes` is empty even when outcomes exist.
+     * Consumers that need the enumeration must decide without a
+     * backend; decide() never inserts such a reconstruction into the
+     * in-memory cache for the same reason.
+     */
+    bool storeHit = false;
+    /**
      * How the static pre-screen short-circuited this decision; None
      * when an engine (or the cache) answered.  See PrescreenKind for
      * what each value guarantees about `outcomes`.
@@ -212,6 +223,8 @@ struct DecisionCacheStats
     uint64_t misses = 0;
     /** Decisions not stored (truncated by the state budget). */
     uint64_t uncached = 0;
+    /** Residents displaced to make room once a shard filled up. */
+    uint64_t evictions = 0;
 };
 
 /**
@@ -249,6 +262,9 @@ class DecisionCache
     /** Decisions currently resident. */
     size_t size() const;
 
+    /** Total entry capacity across all shards (occupancy = size()/this). */
+    size_t capacity() const;
+
     DecisionCacheStats stats() const;
 
     /** Drop every entry and zero the stats. */
@@ -266,6 +282,37 @@ class DecisionCache
     std::atomic<uint64_t> hits{0};
     std::atomic<uint64_t> misses{0};
     std::atomic<uint64_t> uncached{0};
+    std::atomic<uint64_t> evictions{0};
+};
+
+/**
+ * A persistent second-level decision source behind the in-memory
+ * cache, implemented by campaign/store.hh.  decide() consults it on a
+ * cache miss and offers every freshly engine-decided (or exactly
+ * SC-delegated) complete decision back through store().
+ *
+ * Contract for load(): a hit must reconstruct the verdict faithfully
+ * (allowed, engine, prescreened, complete = true) with storeHit set,
+ * but carries no outcome enumeration -- see Decision::storeHit.
+ * Implementations must be thread-safe; decide() is called from
+ * campaign worker threads concurrently.
+ */
+class DecisionBackend
+{
+  public:
+    virtual ~DecisionBackend() = default;
+
+    /** The persisted decision under @p key, if any. */
+    virtual std::optional<Decision> load(uint64_t key) = 0;
+
+    /**
+     * Offer a freshly decided @p decision for persistence.  decide()
+     * only calls this with complete decisions that carry their exact
+     * outcome enumeration (or a deterministically reproducible
+     * ValueCover verdict); implementations may still ignore the offer.
+     */
+    virtual void store(uint64_t key, const Query &query,
+                       const Decision &decision) = 0;
 };
 
 /**
@@ -286,18 +333,25 @@ model::Engine resolveEngine(const Query &query);
 
 /**
  * Decide @p query: resolve the engine through the registry, serve from
- * @p cache when possible, otherwise run the engine and memoize.
+ * @p cache when possible, then from @p backend, otherwise run the
+ * engine and memoize.
  *
- * @param cache  the memoization cache; nullptr disables caching
- *               entirely (every call recomputes).  Defaults to the
- *               process-wide cache.
+ * @param cache   the memoization cache; nullptr disables caching
+ *                entirely (every call recomputes).  Defaults to the
+ *                process-wide cache.
+ * @param backend optional persistent store consulted after a cache
+ *                miss.  A backend hit returns a verdict-only Decision
+ *                (storeHit set, no outcome enumeration) and is *not*
+ *                inserted into the cache; a backend miss persists the
+ *                fresh decision once the engine has produced it.
  *
  * Preconditions (GAM_ASSERT): query.test is non-null and the resolved
  * engine supports query.model -- gate explicit engine selections with
  * model::supportsEngine() first.
  */
 Decision decide(const Query &query,
-                DecisionCache *cache = &globalDecisionCache());
+                DecisionCache *cache = &globalDecisionCache(),
+                DecisionBackend *backend = nullptr);
 
 } // namespace gam::harness
 

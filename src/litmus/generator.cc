@@ -549,7 +549,45 @@ cycleFromSpec(const std::vector<CycleEdge> &spec, int nlocs)
     return cy;
 }
 
+/** The internal edge relation a public CycleEdge::Kind names. */
+EdgeKind
+edgeKindOf(CycleEdge::Kind kind)
+{
+    switch (kind) {
+      case CycleEdge::Kind::Rfe: return EdgeKind::Rfe;
+      case CycleEdge::Kind::Coe: return EdgeKind::Coe;
+      case CycleEdge::Kind::Fre: return EdgeKind::Fre;
+      case CycleEdge::Kind::Po: return EdgeKind::Po;
+      case CycleEdge::Kind::PoFence: return EdgeKind::PoFence;
+      case CycleEdge::Kind::PoAddr: return EdgeKind::PoDepAddr;
+      case CycleEdge::Kind::PoData: return EdgeKind::PoDepData;
+      case CycleEdge::Kind::PoCtrl: return EdgeKind::PoDepCtrl;
+    }
+    return EdgeKind::Po;
+}
+
 } // anonymous namespace
+
+std::vector<CycleEventKind>
+cycleEventKinds(const std::vector<CycleEdge> &edges)
+{
+    const int n = static_cast<int>(edges.size());
+    std::vector<CycleEventKind> kinds(size_t(n), CycleEventKind::Load);
+    for (int i = 0; i < n; ++i) {
+        const Need in =
+            headNeed(edgeKindOf(edges[size_t((i + n - 1) % n)].kind));
+        const Need out = tailNeed(edgeKindOf(edges[size_t(i)].kind));
+        if ((in == Need::Load && out == Need::Store)
+            || (in == Need::Store && out == Need::Load)) {
+            kinds[size_t(i)] = CycleEventKind::Rmw;
+        } else if (in == Need::Store || out == Need::Store) {
+            kinds[size_t(i)] = CycleEventKind::Store;
+        } else {
+            kinds[size_t(i)] = CycleEventKind::Load;
+        }
+    }
+    return kinds;
+}
 
 std::optional<LitmusTest>
 testFromCycle(const std::string &name,

@@ -71,6 +71,26 @@ struct CycleEdge
 };
 
 /**
+ * The event kind the deterministic lowering assigns to each cycle
+ * event: events[i] is the source of edges[i] and the destination of
+ * edges[i-1] (cyclically).  An event forced to be both a load and a
+ * store by its adjacent edges becomes an RMW; an unconstrained event
+ * becomes a load (the deterministic pin of the random generator's
+ * coin flip).
+ */
+enum class CycleEventKind : uint8_t { Load, Store, Rmw };
+
+/**
+ * The kinds cycleFromSpec/testFromCycle would assign to the events of
+ * @p edges, *before* any realisability rotation -- the canonicalization
+ * hook the campaign enumerator (campaign/enumerate.hh) shares with the
+ * lowering, so enumeration-time pruning (load/store budgets, fence
+ * side matching) agrees with the lowered test edge for edge.
+ */
+std::vector<CycleEventKind>
+cycleEventKinds(const std::vector<CycleEdge> &edges);
+
+/**
  * Deterministically lower an explicit relation cycle to a finalized
  * litmus test over @p numLocations shared locations (2..4).  Follows
  * exactly the random generator's realisability rules -- 2..4

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <sstream>
 
+#include "base/hashing.hh"
+
 namespace gam::litmus
 {
 
@@ -31,6 +33,26 @@ Outcome::toString() const
                << m.value;
     }
     return os.str();
+}
+
+uint64_t
+outcomeSetHash(const OutcomeSet &outcomes)
+{
+    StateHasher h;
+    for (const Outcome &o : outcomes) {
+        for (const auto &r : o.regs) {
+            h.add(uint64_t(r.tid));
+            h.add(uint64_t(r.reg));
+            h.add(uint64_t(r.value));
+        }
+        h.separator();
+        for (const auto &m : o.mem) {
+            h.add(uint64_t(m.addr));
+            h.add(uint64_t(m.value));
+        }
+        h.separator();
+    }
+    return h.digest();
 }
 
 std::string

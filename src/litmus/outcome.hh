@@ -59,6 +59,15 @@ struct Outcome
 /** A set of outcomes, as enumerated by a verification engine. */
 using OutcomeSet = std::set<Outcome>;
 
+/**
+ * Order-independent 64-bit digest of an outcome set (the std::set
+ * iterates in its canonical order, so equal sets hash equally).  The
+ * compact round-trip witness the persistent campaign store records
+ * next to each verdict: a re-decided decision must reproduce both the
+ * verdict and this digest exactly (campaign/store.hh).
+ */
+uint64_t outcomeSetHash(const OutcomeSet &outcomes);
+
 /** Multi-line rendering of an outcome set. */
 std::string toString(const OutcomeSet &outcomes);
 

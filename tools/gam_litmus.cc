@@ -39,6 +39,31 @@
  *       shipped model files) on generated tests.  Exits 1 if any
  *       divergence was found.
  *
+ *   gam-litmus campaign run [--max-cycle-len N] [--min-cycle-len N]
+ *                           [--models A,B,..] [--engines A,B,..]
+ *                           [--shards N] [--threads N] [--limit N]
+ *                           [--store FILE] [--checkpoint FILE]
+ *                           [--resume] [--verify N]
+ *                           [--min-store-hit-rate P] [--quiet]
+ *                           [--no-fences] [--no-deps] [--no-rmws]
+ *       Decide the exhaustive canonical test universe up to the given
+ *       cycle length under every requested (model, engine) pair,
+ *       sharded over a thread pool.  --store appends every decision
+ *       to a crash-safe persistent store consulted before the
+ *       engines; --resume skips shards the checkpoint (FILE.ckpt by
+ *       default) records as finished; --verify N re-decides every Nth
+ *       decision from scratch and compares it against the store
+ *       (exit 1 on any mismatch); --min-store-hit-rate P exits 1 when
+ *       fewer than P percent of decisions were served by the store.
+ *
+ *   gam-litmus campaign status --store FILE
+ *       Summarise a store: records and distinct tests per
+ *       (model, engine), plus any torn tail dropped during recovery.
+ *
+ *   gam-litmus campaign query --store FILE [--model M]
+ *                             [--allowed|--forbidden]
+ *       The status summary restricted to matching records.
+ *
  *   gam-litmus model list
  *       List the cat models shipped with the library.
  *
@@ -78,6 +103,7 @@
 
 #include "analysis/lint.hh"
 #include "base/table.hh"
+#include "campaign/driver.hh"
 #include "cat/compile.hh"
 #include "cat/engine.hh"
 #include "harness/fuzz.hh"
@@ -134,6 +160,27 @@ usage()
                  "engine (axiomatic or\n"
                  "                            cat) against the "
                  "operational explorer\n"
+                 "  campaign run              decide the exhaustive "
+                 "canonical test universe\n"
+                 "      [--max-cycle-len N]   cycle length bound "
+                 "(default 6)\n"
+                 "      [--models A,B,..]     default SC,TSO,GAM0,GAM\n"
+                 "      [--engines A,B,..]    default axiomatic\n"
+                 "      [--shards N] [--threads N] [--limit N]\n"
+                 "      [--store FILE]        persistent decision "
+                 "store (append-log)\n"
+                 "      [--resume]            skip checkpointed shards\n"
+                 "      [--verify N]          re-decide every Nth "
+                 "decision from scratch\n"
+                 "      [--min-store-hit-rate P]  exit 1 below P%% "
+                 "store hits\n"
+                 "  campaign status --store FILE\n"
+                 "                            summarise a decision "
+                 "store\n"
+                 "  campaign query --store FILE [--model M] "
+                 "[--allowed|--forbidden]\n"
+                 "                            summarise matching "
+                 "records\n"
                  "  model list                list the shipped cat "
                  "models\n"
                  "  model show <name|file>    print a cat model's "
@@ -336,12 +383,19 @@ cmdRun(int argc, char **argv)
     std::printf("%s", harness::formatLitmusMatrix(verdicts).c_str());
     if (stats) {
         const auto after = harness::globalDecisionCache().stats();
+        const size_t resident = harness::globalDecisionCache().size();
+        const size_t capacity = harness::globalDecisionCache().capacity();
         std::printf("decision cache: %llu hits, %llu misses, "
-                    "%llu resident\n",
+                    "%llu evictions, %llu/%llu resident (%.1f%% "
+                    "occupancy)\n",
                     (unsigned long long)(after.hits - before.hits),
                     (unsigned long long)(after.misses - before.misses),
-                    (unsigned long long)
-                        harness::globalDecisionCache().size());
+                    (unsigned long long)(after.evictions
+                                         - before.evictions),
+                    (unsigned long long)resident,
+                    (unsigned long long)capacity,
+                    capacity ? 100.0 * double(resident) / double(capacity)
+                             : 0.0);
         size_t value_cover = 0;
         size_t sc_delegate = 0;
         for (const auto &v : verdicts) {
@@ -722,6 +776,293 @@ cmdModelLint(const std::string &arg)
     return warned ? 1 : 0;
 }
 
+/** Parse one comma-separated --models value into ModelKinds. */
+std::optional<std::vector<ModelKind>>
+parseModelList(const char *value)
+{
+    std::vector<ModelKind> models;
+    std::istringstream is(value);
+    std::string name;
+    while (std::getline(is, name, ',')) {
+        auto kind = model::modelFromName(name);
+        if (!kind) {
+            std::fprintf(stderr, "gam-litmus: unknown model '%s'\n",
+                         name.c_str());
+            listModels();
+            return std::nullopt;
+        }
+        models.push_back(*kind);
+    }
+    return models;
+}
+
+/** Parse one comma-separated --engines value into Engines. */
+std::optional<std::vector<model::Engine>>
+parseEngineList(const char *value)
+{
+    std::vector<model::Engine> engines;
+    std::istringstream is(value);
+    std::string name;
+    while (std::getline(is, name, ',')) {
+        auto engine = model::engineFromName(name);
+        if (!engine) {
+            std::fprintf(stderr, "gam-litmus: unknown engine '%s'\n",
+                         name.c_str());
+            listEngines(false);
+            return std::nullopt;
+        }
+        engines.push_back(*engine);
+    }
+    return engines;
+}
+
+std::string
+formatEta(double seconds)
+{
+    const auto s = uint64_t(seconds);
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%llu:%02llu:%02llu",
+                  (unsigned long long)(s / 3600),
+                  (unsigned long long)(s / 60 % 60),
+                  (unsigned long long)(s % 60));
+    return buf;
+}
+
+int
+cmdCampaignRun(int argc, char **argv)
+{
+    campaign::CampaignOptions options;
+    std::string store_path;
+    double min_store_hit_rate = -1.0;
+    bool quiet = false;
+
+    for (int i = 0; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--resume") {
+            options.resume = true;
+            continue;
+        }
+        if (arg == "--quiet") {
+            quiet = true;
+            continue;
+        }
+        if (arg == "--no-fences") {
+            options.enumerate.fences = false;
+            continue;
+        }
+        if (arg == "--no-deps") {
+            options.enumerate.deps = false;
+            continue;
+        }
+        if (arg == "--no-rmws") {
+            options.enumerate.rmws = false;
+            continue;
+        }
+        const char *value = flagValue(argc, argv, i, arg.c_str());
+        if (!value)
+            return 2;
+        if (arg == "--models") {
+            auto models = parseModelList(value);
+            if (!models)
+                return 2;
+            options.models = *std::move(models);
+        } else if (arg == "--engines") {
+            auto engines = parseEngineList(value);
+            if (!engines)
+                return 2;
+            options.engines = *std::move(engines);
+        } else if (arg == "--store") {
+            store_path = value;
+        } else if (arg == "--checkpoint") {
+            options.checkpointPath = value;
+        } else if (arg == "--min-store-hit-rate") {
+            char *end = nullptr;
+            min_store_hit_rate = std::strtod(value, &end);
+            if (end == value || *end != '\0' || min_store_hit_rate < 0
+                || min_store_hit_rate > 100) {
+                std::fprintf(stderr,
+                             "gam-litmus: --min-store-hit-rate wants a "
+                             "percentage, got '%s'\n",
+                             value);
+                return 2;
+            }
+        } else {
+            auto n = parseCount(value);
+            if (!n) {
+                std::fprintf(stderr, "gam-litmus: bad %s value '%s'\n",
+                             arg.c_str(), value);
+                return 2;
+            }
+            if (arg == "--max-cycle-len")
+                options.enumerate.maxLen = int(*n);
+            else if (arg == "--min-cycle-len")
+                options.enumerate.minLen = int(*n);
+            else if (arg == "--shards")
+                options.shards = unsigned(*n);
+            else if (arg == "--threads")
+                options.threads = unsigned(*n);
+            else if (arg == "--limit")
+                options.limit = *n;
+            else if (arg == "--verify")
+                options.verifySample = *n;
+            else {
+                std::fprintf(stderr,
+                             "gam-litmus: unknown campaign run option "
+                             "'%s'\n",
+                             arg.c_str());
+                return 2;
+            }
+        }
+    }
+
+    if (store_path.empty() && options.resume
+        && options.checkpointPath.empty()) {
+        std::fprintf(stderr, "gam-litmus: --resume needs --store or "
+                             "--checkpoint to resume from\n");
+        return 2;
+    }
+    if (!store_path.empty() && options.checkpointPath.empty())
+        options.checkpointPath = store_path + ".ckpt";
+
+    std::unique_ptr<campaign::DecisionStore> store;
+    if (!store_path.empty())
+        store = std::make_unique<campaign::DecisionStore>(store_path);
+    if (store) {
+        const auto s = store->stats();
+        std::fprintf(stderr,
+                     "store: %llu records recovered from %s (%llu "
+                     "torn-tail bytes dropped)\n",
+                     (unsigned long long)s.loaded, store_path.c_str(),
+                     (unsigned long long)s.droppedBytes);
+    }
+
+    auto progress = [&](const campaign::CampaignProgress &p) {
+        const double rate = p.seconds > 0
+            ? double(p.decisionsDone) / p.seconds : 0.0;
+        const uint64_t left = p.decisionsTotal - p.decisionsDone;
+        std::fprintf(stderr,
+                     "campaign: %llu/%llu decisions (%.0f/s, %.1f%% "
+                     "store hits), %u/%u shards, ETA %s\n",
+                     (unsigned long long)p.decisionsDone,
+                     (unsigned long long)p.decisionsTotal, rate,
+                     p.decisionsDone ? 100.0 * double(p.storeHits)
+                             / double(p.decisionsDone)
+                                     : 0.0,
+                     p.shardsDone, p.shardsTotal,
+                     rate > 0 ? formatEta(double(left) / rate).c_str()
+                              : "--");
+    };
+    const campaign::CampaignResult result = campaign::runCampaign(
+        options, store.get(),
+        quiet ? std::function<void(const campaign::CampaignProgress &)>{}
+              : progress);
+
+    std::printf("%s", campaign::formatCampaign(result).c_str());
+    if (store) {
+        const auto s = store->stats();
+        std::printf("store: %llu appended this run, %zu resident, "
+                    "%llu duplicate offers\n",
+                    (unsigned long long)s.appended, store->size(),
+                    (unsigned long long)s.duplicates);
+    }
+
+    if (result.verifyMismatches > 0) {
+        std::fprintf(stderr,
+                     "gam-litmus: %llu verification samples disagreed "
+                     "with the store\n",
+                     (unsigned long long)result.verifyMismatches);
+        return 1;
+    }
+    if (min_store_hit_rate >= 0.0) {
+        const double rate = result.decisions
+            ? 100.0 * double(result.storeHits) / double(result.decisions)
+            : 0.0;
+        if (rate < min_store_hit_rate) {
+            std::fprintf(stderr,
+                         "gam-litmus: store hit rate %.2f%% below the "
+                         "required %.2f%%\n",
+                         rate, min_store_hit_rate);
+            return 1;
+        }
+    }
+    return 0;
+}
+
+int
+cmdCampaignStatus(int argc, char **argv, bool query)
+{
+    std::string store_path;
+    std::optional<ModelKind> model_filter;
+    std::optional<bool> allowed_filter;
+
+    for (int i = 0; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (query && arg == "--allowed") {
+            allowed_filter = true;
+            continue;
+        }
+        if (query && arg == "--forbidden") {
+            allowed_filter = false;
+            continue;
+        }
+        const char *value = flagValue(argc, argv, i, arg.c_str());
+        if (!value)
+            return 2;
+        if (arg == "--store") {
+            store_path = value;
+        } else if (query && arg == "--model") {
+            auto kind = model::modelFromName(value);
+            if (!kind) {
+                std::fprintf(stderr, "gam-litmus: unknown model '%s'\n",
+                             value);
+                listModels();
+                return 2;
+            }
+            model_filter = *kind;
+        } else {
+            std::fprintf(stderr,
+                         "gam-litmus: unknown campaign %s option '%s'\n",
+                         query ? "query" : "status", arg.c_str());
+            return 2;
+        }
+    }
+    if (store_path.empty()) {
+        std::fprintf(stderr, "gam-litmus: campaign %s needs --store\n",
+                     query ? "query" : "status");
+        return 2;
+    }
+    campaign::DecisionStore store(store_path);
+    const auto s = store.stats();
+    std::printf("%s", campaign::formatStoreSummary(store, model_filter,
+                                                   allowed_filter)
+                          .c_str());
+    if (s.droppedBytes)
+        std::printf("recovery: %llu torn-tail bytes dropped at open\n",
+                    (unsigned long long)s.droppedBytes);
+    return 0;
+}
+
+int
+cmdCampaign(int argc, char **argv)
+{
+    if (argc < 1) {
+        std::fprintf(stderr, "gam-litmus: campaign needs a subcommand "
+                             "(run, status, query)\n");
+        return 2;
+    }
+    const std::string sub = argv[0];
+    if (sub == "run")
+        return cmdCampaignRun(argc - 1, argv + 1);
+    if (sub == "status")
+        return cmdCampaignStatus(argc - 1, argv + 1, false);
+    if (sub == "query")
+        return cmdCampaignStatus(argc - 1, argv + 1, true);
+    std::fprintf(stderr, "gam-litmus: unknown campaign subcommand '%s' "
+                         "(expected run, status or query)\n",
+                 sub.c_str());
+    return 2;
+}
+
 int
 cmdModel(int argc, char **argv)
 {
@@ -782,6 +1123,8 @@ main(int argc, char **argv)
         return cmdGen(argc - 2, argv + 2);
     if (command == "fuzz")
         return cmdFuzz(argc - 2, argv + 2);
+    if (command == "campaign")
+        return cmdCampaign(argc - 2, argv + 2);
     if (command == "model")
         return cmdModel(argc - 2, argv + 2);
     std::fprintf(stderr, "gam-litmus: unknown command '%s'\n",
