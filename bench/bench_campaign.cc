@@ -20,16 +20,19 @@
  *              quietly lost its point.
  *
  * Also emits BENCH_campaign.json (universe size, decisions, seconds,
- * throughput, hit rate, speedup) for CI artifact upload and trend
- * tracking.
+ * throughput, hit rate, speedup) in the gam-metrics-v1 snapshot
+ * schema for CI artifact upload and trend tracking; the gates ride
+ * along as gauges (bench.campaign.gate_*).
  */
 
 #include <chrono>
 #include <cstdio>
+#include <fstream>
 #include <memory>
 
 #include "campaign/driver.hh"
 #include "campaign/store.hh"
+#include "obs/registry.hh"
 
 namespace
 {
@@ -105,29 +108,25 @@ main()
                 "%.2fx\n",
                 hit_rate * 100.0, speedup);
 
-    if (FILE *json = std::fopen("BENCH_campaign.json", "w")) {
-        std::fprintf(
-            json,
-            "{\n"
-            "  \"universe\": \"cycles up to length %u\",\n"
-            "  \"tests\": %llu,\n"
-            "  \"models\": %zu,\n"
-            "  \"decisions\": %llu,\n"
-            "  \"cold_seconds\": %.6f,\n"
-            "  \"cold_decisions_per_second\": %.1f,\n"
-            "  \"resumed_seconds\": %.6f,\n"
-            "  \"resumed_decisions_per_second\": %.1f,\n"
-            "  \"store_hit_rate\": %.6f,\n"
-            "  \"resumed_speedup\": %.4f,\n"
-            "  \"gate_hit_rate_min\": 0.99,\n"
-            "  \"gate_resumed_speedup_min\": 3.0\n"
-            "}\n",
-            options.enumerate.maxLen,
-            static_cast<unsigned long long>(cold.units),
-            options.models.size(),
-            static_cast<unsigned long long>(cold.decisions), cold_s,
-            cold_rate, resumed_s, resumed_rate, hit_rate, speedup);
-        std::fclose(json);
+    {
+        obs::MetricRegistry reg;
+        reg.counter("bench.campaign.max_cycle_len")
+            .inc(options.enumerate.maxLen);
+        reg.counter("bench.campaign.tests").inc(cold.units);
+        reg.counter("bench.campaign.models").inc(options.models.size());
+        reg.counter("bench.campaign.decisions").inc(cold.decisions);
+        reg.gauge("bench.campaign.cold_seconds").set(cold_s);
+        reg.gauge("bench.campaign.cold_decisions_per_second")
+            .set(cold_rate);
+        reg.gauge("bench.campaign.resumed_seconds").set(resumed_s);
+        reg.gauge("bench.campaign.resumed_decisions_per_second")
+            .set(resumed_rate);
+        reg.gauge("bench.campaign.store_hit_rate").set(hit_rate);
+        reg.gauge("bench.campaign.resumed_speedup").set(speedup);
+        reg.gauge("bench.campaign.gate_hit_rate_min").set(0.99);
+        reg.gauge("bench.campaign.gate_resumed_speedup_min").set(3.0);
+        std::ofstream json("BENCH_campaign.json", std::ios::trunc);
+        json << reg.snapshot().toJson();
     }
 
     bool ok = true;

@@ -23,6 +23,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <fstream>
 #include <vector>
 
 #include "axiomatic/checker.hh"
@@ -31,6 +32,7 @@
 #include "litmus/generator.hh"
 #include "litmus/suite.hh"
 #include "model/engine.hh"
+#include "obs/registry.hh"
 
 namespace
 {
@@ -215,36 +217,40 @@ main()
                 "(%.1fx fewer, %.1fx wall time)\n\n",
                 (unsigned long long)cat.prunedCandidates,
                 cat.prunedSeconds, cat_work_ratio, cat_time_ratio);
-    // Machine-readable artifact for CI upload and trend tracking.
-    if (FILE *json = std::fopen("BENCH_candidate_prune.json", "w")) {
-        std::fprintf(
-            json,
-            "{\n"
-            "  \"suite\": \"3-thread builtins + stressors\",\n"
-            "  \"tests\": %zu,\n"
-            "  \"models\": %zu,\n"
-            "  \"axiomatic_legacy_candidates\": %llu,\n"
-            "  \"axiomatic_pruned_candidates\": %llu,\n"
-            "  \"axiomatic_legacy_seconds\": %.6f,\n"
-            "  \"axiomatic_pruned_seconds\": %.6f,\n"
-            "  \"axiomatic_candidate_reduction\": %.4f,\n"
-            "  \"cat_legacy_candidates\": %llu,\n"
-            "  \"cat_pruned_candidates\": %llu,\n"
-            "  \"cat_legacy_seconds\": %.6f,\n"
-            "  \"cat_pruned_seconds\": %.6f,\n"
-            "  \"cat_candidate_reduction\": %.4f,\n"
-            "  \"outcome_mismatches\": %d,\n"
-            "  \"gate_candidate_reduction_min\": 5.0\n"
-            "}\n",
-            suite.size(), std::size(models),
-            (unsigned long long)ax.legacyCandidates,
-            (unsigned long long)ax.prunedCandidates,
-            ax.legacySeconds, ax.prunedSeconds, work_ratio,
-            (unsigned long long)cat.legacyCandidates,
-            (unsigned long long)cat.prunedCandidates,
-            cat.legacySeconds, cat.prunedSeconds, cat_work_ratio,
-            mismatches);
-        std::fclose(json);
+    // Machine-readable artifact (gam-metrics-v1 snapshot schema) for
+    // CI upload and trend tracking; the gate rides along as a gauge.
+    {
+        obs::MetricRegistry reg;
+        reg.counter("bench.candidate_prune.tests").inc(suite.size());
+        reg.counter("bench.candidate_prune.models")
+            .inc(std::size(models));
+        reg.counter("bench.candidate_prune.axiomatic_legacy_candidates")
+            .inc(ax.legacyCandidates);
+        reg.counter("bench.candidate_prune.axiomatic_pruned_candidates")
+            .inc(ax.prunedCandidates);
+        reg.counter("bench.candidate_prune.cat_legacy_candidates")
+            .inc(cat.legacyCandidates);
+        reg.counter("bench.candidate_prune.cat_pruned_candidates")
+            .inc(cat.prunedCandidates);
+        reg.counter("bench.candidate_prune.outcome_mismatches")
+            .inc(uint64_t(mismatches));
+        reg.gauge("bench.candidate_prune.axiomatic_legacy_seconds")
+            .set(ax.legacySeconds);
+        reg.gauge("bench.candidate_prune.axiomatic_pruned_seconds")
+            .set(ax.prunedSeconds);
+        reg.gauge("bench.candidate_prune.axiomatic_candidate_reduction")
+            .set(work_ratio);
+        reg.gauge("bench.candidate_prune.cat_legacy_seconds")
+            .set(cat.legacySeconds);
+        reg.gauge("bench.candidate_prune.cat_pruned_seconds")
+            .set(cat.prunedSeconds);
+        reg.gauge("bench.candidate_prune.cat_candidate_reduction")
+            .set(cat_work_ratio);
+        reg.gauge("bench.candidate_prune.gate_candidate_reduction_min")
+            .set(5.0);
+        std::ofstream json("BENCH_candidate_prune.json",
+                           std::ios::trunc);
+        json << reg.snapshot().toJson();
     }
 
     std::printf("  gate: axiomatic candidate reduction %.1fx "

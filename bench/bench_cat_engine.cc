@@ -21,16 +21,20 @@
  *                         not gated: it grows with test size).
  *
  * Also emits BENCH_cat_compile.json (test count, wall seconds,
- * candidates, ratios) for CI artifact upload and trend tracking.
+ * candidates, ratios) in the gam-metrics-v1 snapshot schema for CI
+ * artifact upload and trend tracking; the gate rides along as the
+ * gauge bench.cat_compile.gate_compiled_vs_axiomatic_max.
  */
 
 #include <chrono>
 #include <cstdio>
+#include <fstream>
 #include <vector>
 
 #include "harness/decision.hh"
 #include "litmus/suite.hh"
 #include "model/engine.hh"
+#include "obs/registry.hh"
 
 namespace
 {
@@ -122,25 +126,24 @@ main()
                 ax_total, compiled_total, interp_total, vs_ax,
                 vs_interp);
 
-    if (FILE *json = std::fopen("BENCH_cat_compile.json", "w")) {
-        std::fprintf(
-            json,
-            "{\n"
-            "  \"suite\": \"3-thread builtins\",\n"
-            "  \"tests\": %zu,\n"
-            "  \"models\": %zu,\n"
-            "  \"candidates\": %llu,\n"
-            "  \"axiomatic_seconds\": %.6f,\n"
-            "  \"compiled_cat_seconds\": %.6f,\n"
-            "  \"interpreted_cat_seconds\": %.6f,\n"
-            "  \"compiled_vs_axiomatic\": %.4f,\n"
-            "  \"compiled_vs_interpreted\": %.4f,\n"
-            "  \"gate_compiled_vs_axiomatic_max\": 2.0\n"
-            "}\n",
-            tests.size(), models.size(),
-            static_cast<unsigned long long>(candidates_total),
-            ax_total, compiled_total, interp_total, vs_ax, vs_interp);
-        std::fclose(json);
+    {
+        obs::MetricRegistry reg;
+        reg.counter("bench.cat_compile.tests").inc(tests.size());
+        reg.counter("bench.cat_compile.models").inc(models.size());
+        reg.counter("bench.cat_compile.candidates")
+            .inc(candidates_total);
+        reg.gauge("bench.cat_compile.axiomatic_seconds").set(ax_total);
+        reg.gauge("bench.cat_compile.compiled_cat_seconds")
+            .set(compiled_total);
+        reg.gauge("bench.cat_compile.interpreted_cat_seconds")
+            .set(interp_total);
+        reg.gauge("bench.cat_compile.compiled_vs_axiomatic").set(vs_ax);
+        reg.gauge("bench.cat_compile.compiled_vs_interpreted")
+            .set(vs_interp);
+        reg.gauge("bench.cat_compile.gate_compiled_vs_axiomatic_max")
+            .set(2.0);
+        std::ofstream json("BENCH_cat_compile.json", std::ios::trunc);
+        json << reg.snapshot().toJson();
     }
 
     // The gate: the compiled plan does the same incremental bitset

@@ -1,0 +1,207 @@
+/**
+ * @file
+ * Observability overhead of the instrumented decide() pipeline.
+ *
+ * The same source builds two binaries:
+ *
+ *   bench_obs_overhead_notrace   linked against gam_notrace (the
+ *                                library compiled with GAM_NO_TRACING,
+ *                                so TraceSpan is an empty class).
+ *                                Measures the compiled-out baseline
+ *                                and writes it as
+ *                                BENCH_obs_overhead_baseline.json.
+ *   bench_obs_overhead           linked against the normal library.
+ *                                Measures decide() with tracing
+ *                                disabled (the production default) and
+ *                                enabled, reads the baseline file, and
+ *                                gates disabled/baseline at <= 1.03:
+ *                                a disabled span must cost one relaxed
+ *                                load and a branch, nothing more.
+ *
+ * The workload is every <= 3-thread built-in litmus test decided under
+ * the four cat-and-axiom models with the axiomatic engine and no
+ * cache, so every decision walks the whole instrumented pipeline
+ * (spans at decide/cache/store/prescreen/engine plus the per-epoch
+ * enumerator spans).  Timing is min-of-N passes: the minimum is the
+ * run least disturbed by the machine, which is exactly the comparison
+ * the gate wants.
+ *
+ * Both artifacts use the gam-metrics-v1 snapshot schema, so the
+ * instrumented binary parses the baseline with
+ * MetricSnapshot::fromJson rather than a bespoke parser.  When the
+ * baseline file is absent (a local build that never compiled
+ * gam_notrace) the bench still reports and writes its artifact but
+ * exits 0 without gating.
+ */
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "harness/decision.hh"
+#include "litmus/suite.hh"
+#include "model/engine.hh"
+#include "obs/registry.hh"
+#include "obs/trace.hh"
+
+namespace
+{
+
+using namespace gam;
+
+constexpr int Passes = 7;
+constexpr double GateRatioMax = 1.03;
+constexpr const char *BaselinePath = "BENCH_obs_overhead_baseline.json";
+
+/** One full sweep: every test x model through decide(), no cache. */
+double
+sweep(const std::vector<litmus::LitmusTest> &tests,
+      const std::vector<model::ModelKind> &models)
+{
+    const auto start = std::chrono::steady_clock::now();
+    for (const litmus::LitmusTest &test : tests) {
+        for (model::ModelKind model : models) {
+            harness::Query query;
+            query.test = &test;
+            query.model = model;
+            query.engine = harness::EngineSelect::Axiomatic;
+            (void)harness::decide(query, nullptr);
+        }
+    }
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - start)
+        .count();
+}
+
+/** Best (minimum) sweep time of Passes runs, after one warmup. */
+double
+minSweep(const std::vector<litmus::LitmusTest> &tests,
+         const std::vector<model::ModelKind> &models)
+{
+    (void)sweep(tests, models);
+    double best = sweep(tests, models);
+    for (int i = 1; i < Passes; ++i)
+        best = std::min(best, sweep(tests, models));
+    return best;
+}
+
+bool
+writeSnapshot(const char *path, const obs::MetricSnapshot &snap)
+{
+    std::ofstream out(path, std::ios::trunc);
+    out << snap.toJson();
+    out.flush();
+    return out.good();
+}
+
+} // namespace
+
+int
+main()
+{
+    std::vector<litmus::LitmusTest> tests;
+    for (const litmus::LitmusTest &test : litmus::allTests())
+        if (test.threads.size() <= 3)
+            tests.push_back(test);
+    const std::vector<model::ModelKind> models = {
+        model::ModelKind::SC, model::ModelKind::TSO,
+        model::ModelKind::GAM0, model::ModelKind::GAM,
+    };
+    const uint64_t decisions = tests.size() * models.size();
+
+    obs::MetricRegistry reg;
+    reg.counter("obs_overhead.tests").inc(tests.size());
+    reg.counter("obs_overhead.models").inc(models.size());
+    reg.counter("obs_overhead.passes").inc(Passes);
+    reg.counter("obs_overhead.decisions_per_pass").inc(decisions);
+
+#ifdef GAM_NO_TRACING
+    // ------------------------------------------- compiled-out baseline
+    std::printf("obs-overhead baseline (GAM_NO_TRACING): %zu tests x "
+                "%zu models, min of %d passes\n",
+                tests.size(), models.size(), Passes);
+    const double baseline_s = minSweep(tests, models);
+    std::printf("baseline sweep: %.6fs (%llu decisions)\n", baseline_s,
+                static_cast<unsigned long long>(decisions));
+
+    reg.gauge("obs_overhead.seconds").set(baseline_s);
+    if (!writeSnapshot(BaselinePath, reg.snapshot())) {
+        std::printf("FAIL: cannot write %s\n", BaselinePath);
+        return 1;
+    }
+    std::printf("baseline written to %s\nPASS\n", BaselinePath);
+    return 0;
+#else
+    // -------------------------------------- instrumented measurements
+    std::printf("obs-overhead benchmark: %zu tests x %zu models, min "
+                "of %d passes\n",
+                tests.size(), models.size(), Passes);
+
+    const double disabled_s = minSweep(tests, models);
+
+    obs::TraceCollector::instance().enable();
+    const double enabled_s = minSweep(tests, models);
+    obs::TraceCollector::instance().disable();
+    obs::TraceCollector::instance().clear();
+
+    std::printf("tracing disabled: %.6fs   tracing enabled: %.6fs "
+                "(%.2fx)\n",
+                disabled_s, enabled_s,
+                disabled_s > 0 ? enabled_s / disabled_s : 0.0);
+
+    reg.gauge("obs_overhead.seconds").set(disabled_s);
+    reg.gauge("obs_overhead.enabled_seconds").set(enabled_s);
+    reg.gauge("obs_overhead.gate_ratio_max").set(GateRatioMax);
+
+    // The gate needs the compiled-out twin's artifact; CI runs
+    // bench_obs_overhead_notrace first in the same directory.
+    double baseline_s = 0.0;
+    bool have_baseline = false;
+    if (std::ifstream in{BaselinePath}) {
+        std::ostringstream text;
+        text << in.rdbuf();
+        const auto parsed = obs::MetricSnapshot::fromJson(text.str());
+        if (!parsed) {
+            std::printf("FAIL: %s is not a gam-metrics-v1 document\n",
+                        BaselinePath);
+            return 1;
+        }
+        baseline_s = parsed->gauge("obs_overhead.seconds");
+        have_baseline = baseline_s > 0.0;
+    }
+
+    double ratio = 0.0;
+    if (have_baseline) {
+        ratio = disabled_s / baseline_s;
+        reg.gauge("obs_overhead.baseline_seconds").set(baseline_s);
+        reg.gauge("obs_overhead.ratio").set(ratio);
+        std::printf("compiled-out baseline: %.6fs   "
+                    "instrumented/baseline: %.4fx (gate <= %.2fx)\n",
+                    baseline_s, ratio, GateRatioMax);
+    }
+
+    if (!writeSnapshot("BENCH_obs_overhead.json", reg.snapshot())) {
+        std::printf("FAIL: cannot write BENCH_obs_overhead.json\n");
+        return 1;
+    }
+
+    if (!have_baseline) {
+        std::printf("no %s -- run bench_obs_overhead_notrace first to "
+                    "gate; reporting only\nPASS\n",
+                    BaselinePath);
+        return 0;
+    }
+    if (ratio > GateRatioMax) {
+        std::printf("FAIL: instrumented decide() is %.2f%% over the "
+                    "compiled-out build (gate: %.0f%%) -- a disabled "
+                    "span must cost one relaxed load and a branch\n",
+                    (ratio - 1.0) * 100.0, (GateRatioMax - 1.0) * 100.0);
+        return 1;
+    }
+    std::printf("PASS\n");
+    return 0;
+#endif
+}

@@ -10,6 +10,7 @@
 #include "cat/rel.hh"
 #include "isa/semantics.hh"
 #include "model/ppo.hh"
+#include "obs/trace.hh"
 
 namespace gam::axiomatic
 {
@@ -250,6 +251,7 @@ Checker::Checker(const litmus::LitmusTest &test, model::ModelKind model,
 litmus::OutcomeSet
 Checker::enumerate()
 {
+    GAM_TRACE_SCOPE("axiomatic.enumerate");
     CandidateEnumerator enumerator(test, options);
     litmus::OutcomeSet outcomes = enumerator.run([&] {
         return std::make_unique<BuiltinAxiomFilter>(

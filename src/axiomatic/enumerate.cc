@@ -7,6 +7,8 @@
 #include "base/logging.hh"
 #include "base/thread_pool.hh"
 #include "isa/semantics.hh"
+#include "obs/registry.hh"
+#include "obs/trace.hh"
 
 namespace gam::axiomatic
 {
@@ -730,6 +732,7 @@ CandidateEnumerator::searchRfRange(size_t prefixLoads,
                   .outcomes = outcomes,
                   .stats = stats,
                   .test = _builder.test()};
+    GAM_TRACE_SCOPE("enum.search");
     for (;;) {
         for (size_t i = 0; i < nloads; ++i)
             rf[i] = choices[i][odo[i]];
@@ -738,6 +741,10 @@ CandidateEnumerator::searchRfRange(size_t prefixLoads,
         ++ctx.rfEpoch;
         if (_builder.computeExecution(rf, ctx.exec)) {
             ++stats.valueConsistent;
+            // The coherence-growth phase of this rf epoch: one span
+            // per value-consistent rf map (tracing-disabled cost is a
+            // relaxed load, far below the search work it brackets).
+            obs::TraceSpan coSpan("enum.co_search");
             searchCoherence(ctx);
         } else {
             ++stats.valueCycles;
@@ -756,9 +763,43 @@ CandidateEnumerator::searchRfRange(size_t prefixLoads,
     }
 }
 
+namespace
+{
+
+/**
+ * Mirror one finished enumeration's counters into the global registry
+ * (references cached: registration locks, increments are relaxed).
+ */
+void
+reportEnumMetrics(const CheckerStats &s)
+{
+    static struct
+    {
+        obs::Counter &rfCandidates =
+            obs::metrics().counter("enum.rf_candidates");
+        obs::Counter &valueConsistent =
+            obs::metrics().counter("enum.value_consistent");
+        obs::Counter &coCandidates =
+            obs::metrics().counter("enum.co_candidates");
+        obs::Counter &accepted = obs::metrics().counter("enum.accepted");
+        obs::Counter &partialsPruned =
+            obs::metrics().counter("enum.partials_pruned");
+        obs::Counter &runs = obs::metrics().counter("enum.runs");
+    } m;
+    m.rfCandidates.inc(s.rfCandidates);
+    m.valueConsistent.inc(s.valueConsistent);
+    m.coCandidates.inc(s.coCandidates);
+    m.accepted.inc(s.accepted);
+    m.partialsPruned.inc(s.partialsPruned);
+    m.runs.inc();
+}
+
+} // anonymous namespace
+
 litmus::OutcomeSet
 CandidateEnumerator::run(const FilterFactory &factory)
 {
+    GAM_TRACE_SCOPE("enum.run");
     _stats = CheckerStats{};
     _stats.rfStaticSkipped = _builder.rfStaticSkipped();
 
@@ -785,6 +826,7 @@ CandidateEnumerator::run(const FilterFactory &factory)
         auto filter = factory();
         GAM_ASSERT(filter != nullptr, "null incremental filter");
         searchRfRange(0, 0, *filter, outcomes, _stats);
+        reportEnumMetrics(_stats);
         return outcomes;
     }
 
@@ -803,6 +845,7 @@ CandidateEnumerator::run(const FilterFactory &factory)
             outcomes.insert(o);
         _stats.merge(stats[i]);
     }
+    reportEnumMetrics(_stats);
     return outcomes;
 }
 
@@ -840,6 +883,7 @@ CandidateEnumerator::runAll(const CandidateFilter &accept)
     litmus::OutcomeSet outcomes;
     AllCandidates filter(accept);
     searchRfRange(0, 0, filter, outcomes, _stats);
+    reportEnumMetrics(_stats);
     return outcomes;
 }
 

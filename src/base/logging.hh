@@ -9,19 +9,67 @@
  *            (bad configuration, malformed program); exits with code 1.
  * warn()   - something suspicious happened but execution continues.
  * inform() - plain status output.
+ *
+ * warn() and inform() route through a pluggable, level-filtered log
+ * sink (setLogSink / setLogMinLevel): tests capture records instead of
+ * scraping stderr, and frontends can tag or silence library chatter.
+ * Every record carries a monotonic timestamp from the same epoch the
+ * tracing layer uses, so log lines and trace spans line up.  panic()
+ * and fatal() terminate the process and stay hard-wired to stderr.
  */
 
 #ifndef GAM_BASE_LOGGING_HH
 #define GAM_BASE_LOGGING_HH
 
 #include <cstdarg>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
+#include <functional>
 #include <sstream>
 #include <string>
 
 namespace gam
 {
+
+/**
+ * Nanoseconds on the steady clock since a process-wide epoch (the
+ * first call).  Shared by log records and trace spans.
+ */
+uint64_t monotonicNanos();
+
+/** Severity of a log record, in increasing order. */
+enum class LogLevel { Debug, Info, Warn, Error };
+
+/** Lowercase name of @p level ("debug", "info", "warn", "error"). */
+const char *logLevelName(LogLevel level);
+
+/** One emitted log message. */
+struct LogRecord
+{
+    LogLevel level = LogLevel::Info;
+    /** monotonicNanos() at emission. */
+    uint64_t monotonicNs = 0;
+    std::string message;
+};
+
+/** Receives every record at or above the minimum level. */
+using LogSink = std::function<void(const LogRecord &)>;
+
+/**
+ * Install @p sink as the process-wide log sink and return the previous
+ * one.  A null sink restores the default (warn/error to stderr as
+ * "warn: ...", info/debug to stdout as "info: ..." / "debug: ...").
+ */
+LogSink setLogSink(LogSink sink);
+
+/** Drop records below @p level before they reach the sink. */
+void setLogMinLevel(LogLevel level);
+
+LogLevel logMinLevel();
+
+/** Emit @p message at @p level through the installed sink. */
+void logMessage(LogLevel level, std::string message);
 
 /** Render a printf-style format string into a std::string. */
 std::string vformatString(const char *fmt, va_list ap);

@@ -16,6 +16,7 @@
 #include "base/logging.hh"
 #include "base/thread_pool.hh"
 #include "litmus/test.hh"
+#include "obs/trace.hh"
 
 namespace gam::campaign
 {
@@ -145,6 +146,7 @@ struct ShardTally
     uint64_t storeHits = 0;
     uint64_t cacheHits = 0;
     uint64_t prescreened = 0;
+    uint64_t storeWrites = 0;
     uint64_t verified = 0;
     uint64_t verifyMismatches = 0;
 };
@@ -170,6 +172,11 @@ runCampaign(const CampaignOptions &options, DecisionStore *store,
                    std::chrono::steady_clock::now() - start)
             .count();
     };
+
+    // Snapshot the accumulating global registry up front so
+    // result.metrics is a delta covering exactly this run.
+    const obs::MetricSnapshot metricsBefore = obs::metrics().snapshot();
+    GAM_TRACE_SCOPE("campaign.run");
 
     CampaignResult result;
 
@@ -237,9 +244,16 @@ runCampaign(const CampaignOptions &options, DecisionStore *store,
     std::atomic<uint64_t> store_hits{0};
     std::atomic<unsigned> shards_finished{0};
 
+    obs::Histogram &shard_wall_us =
+        obs::metrics().histogram("campaign.shard.wall_us");
+    obs::Histogram &shard_decisions =
+        obs::metrics().histogram("campaign.shard.decisions");
+
     ThreadPool pool(options.threads);
     for (unsigned s : todo) {
         pool.submit([&, s] {
+            GAM_TRACE_SCOPE("campaign.shard");
+            const auto shard_start = std::chrono::steady_clock::now();
             ShardTally &tally = tallies[s];
             tally.pairs.resize(pairs.size());
             for (size_t i = s; i < units.size(); i += shard_count) {
@@ -274,6 +288,12 @@ runCampaign(const CampaignOptions &options, DecisionStore *store,
                     tally.prescreened +=
                         d.prescreened != harness::PrescreenKind::None ? 1
                                                                       : 0;
+                    // Mirrors decide()'s backend-offer condition: a
+                    // fresh complete answer (engine or prescreen) was
+                    // persisted; served answers never are.
+                    tally.storeWrites += store && !d.cacheHit
+                            && !d.storeHit && d.complete
+                        ? 1 : 0;
                     done.fetch_add(1, std::memory_order_relaxed);
 
                     if (options.verifySample
@@ -302,6 +322,12 @@ runCampaign(const CampaignOptions &options, DecisionStore *store,
             }
             if (checkpoint)
                 checkpoint->markDone(s);
+            const double shard_seconds =
+                std::chrono::duration<double>(
+                    std::chrono::steady_clock::now() - shard_start)
+                    .count();
+            shard_wall_us.sample(uint64_t(shard_seconds * 1e6));
+            shard_decisions.sample(tally.decisions);
             shards_finished.fetch_add(1, std::memory_order_release);
         });
     }
@@ -345,6 +371,7 @@ runCampaign(const CampaignOptions &options, DecisionStore *store,
         result.storeHits += tally.storeHits;
         result.cacheHits += tally.cacheHits;
         result.prescreened += tally.prescreened;
+        result.storeWrites += tally.storeWrites;
         result.verified += tally.verified;
         result.verifyMismatches += tally.verifyMismatches;
         for (size_t p = 0; p < tally.pairs.size(); ++p) {
@@ -356,6 +383,42 @@ runCampaign(const CampaignOptions &options, DecisionStore *store,
     result.shardsDone = result.shardsResumed + unsigned(todo.size());
     result.cacheStats = cache.stats();
     result.seconds = elapsed();
+
+    // Mirror the driver's own tallies into the registry and capture
+    // this run's delta: campaign_metrics.json carries both the
+    // decide() pipeline counters and these aggregates, and the
+    // reconciliation test cross-checks the two views.
+    {
+        obs::MetricRegistry &reg = obs::metrics();
+        reg.counter("campaign.units").inc(result.units);
+        reg.counter("campaign.decisions").inc(result.decisions);
+        reg.counter("campaign.allowed").inc(result.allowed);
+        reg.counter("campaign.cache.hit").inc(result.cacheHits);
+        reg.counter("campaign.store.hit").inc(result.storeHits);
+        reg.counter("campaign.store.write").inc(result.storeWrites);
+        reg.counter("campaign.prescreened").inc(result.prescreened);
+        reg.counter("campaign.verified").inc(result.verified);
+        reg.counter("campaign.verify_mismatches")
+            .inc(result.verifyMismatches);
+        reg.counter("campaign.shards.done").inc(result.shardsDone);
+        reg.counter("campaign.shards.resumed").inc(result.shardsResumed);
+        reg.gauge("campaign.wall_seconds").set(result.seconds);
+        reg.gauge("campaign.decisions_per_second")
+            .set(result.seconds > 0.0
+                     ? double(result.decisions) / result.seconds
+                     : 0.0);
+        reg.gauge("campaign.store_hit_rate")
+            .set(result.decisions
+                     ? double(result.storeHits) / double(result.decisions)
+                     : 0.0);
+        reg.gauge("campaign.cache.shard_skew")
+            .set(result.cacheStats.shardMean > 0.0
+                     ? double(result.cacheStats.shardMax)
+                         / result.cacheStats.shardMean
+                     : 0.0);
+        result.metrics = reg.snapshot().delta(metricsBefore);
+    }
+
     if (progress)
         progress(snapshot(unsigned(todo.size())));
     return result;
@@ -384,7 +447,10 @@ formatCampaign(const CampaignResult &r)
        << (r.decisions - r.allowed) << " forbidden\n";
     os << "served: " << r.storeHits << " store hits ("
        << percent(r.storeHits, r.decisions) << "), " << r.cacheHits
-       << " cache hits, " << r.prescreened << " prescreened\n";
+       << " cache hits, " << r.prescreened << " prescreened";
+    if (r.storeWrites)
+        os << ", " << r.storeWrites << " store writes";
+    os << "\n";
     os << "shards: " << r.shardsDone << "/" << r.shardsTotal << " done";
     if (r.shardsResumed)
         os << " (" << r.shardsResumed << " resumed from checkpoint)";

@@ -40,6 +40,7 @@
 #include "campaign/store.hh"
 #include "harness/decision.hh"
 #include "model/engine.hh"
+#include "obs/registry.hh"
 
 namespace gam::campaign
 {
@@ -121,6 +122,17 @@ struct CampaignResult
     uint64_t storeHits = 0;
     uint64_t cacheHits = 0;
     uint64_t prescreened = 0;
+    /**
+     * Decisions this run offered to the store (fresh engine or
+     * prescreen answers; cache/store hits are never re-offered).  With
+     * a store attached, every decision is served from exactly one
+     * source, so the driver's tallies reconcile exactly:
+     *
+     *   decisions == storeWrites + cacheHits + storeHits
+     *
+     * (the obs_campaign reconciliation test enforces this).
+     */
+    uint64_t storeWrites = 0;
     /** Verification samples taken / that disagreed with the store. */
     uint64_t verified = 0;
     uint64_t verifyMismatches = 0;
@@ -131,6 +143,12 @@ struct CampaignResult
     double seconds = 0.0;
     std::vector<PairTally> tallies;
     harness::DecisionCacheStats cacheStats;
+    /**
+     * Registry delta of exactly this run (decide.* pipeline counters,
+     * campaign.* aggregates, enum.* work counters): what `campaign run
+     * --metrics` writes as campaign_metrics.json.
+     */
+    obs::MetricSnapshot metrics;
 };
 
 /**

@@ -1,5 +1,6 @@
 #include "harness/decision.hh"
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <mutex>
@@ -9,6 +10,8 @@
 #include "base/hashing.hh"
 #include "base/logging.hh"
 #include "cat/engine.hh"
+#include "obs/registry.hh"
+#include "obs/trace.hh"
 #include "operational/explorer.hh"
 #include "operational/gam_machine.hh"
 #include "operational/sc_machine.hh"
@@ -123,8 +126,20 @@ DecisionCache::capacity() const
 DecisionCacheStats
 DecisionCache::stats() const
 {
-    return {hits.load(), misses.load(), uncached.load(),
-            evictions.load()};
+    DecisionCacheStats s;
+    s.hits = hits.load();
+    s.misses = misses.load();
+    s.uncached = uncached.load();
+    s.evictions = evictions.load();
+    s.shardCount = ShardCount;
+    for (unsigned i = 0; i < ShardCount; ++i) {
+        std::lock_guard<std::mutex> lock(shards[i].mu);
+        const uint64_t n = shards[i].map.size();
+        s.residents += n;
+        s.shardMax = std::max(s.shardMax, n);
+    }
+    s.shardMean = double(s.residents) / double(ShardCount);
+    return s;
 }
 
 void
@@ -306,6 +321,62 @@ prescreenApplies(const Query &query)
         && query.options.axiomatic.seedValues.empty();
 }
 
+/**
+ * The decide() pipeline's registry metrics, resolved once (metric
+ * registration takes a lock; these references are process-lifetime).
+ * Every request ends at exactly one terminal counter, so
+ *
+ *   decide.requests == decide.cache.hit + decide.store.hit
+ *                    + decide.prescreen.value_cover
+ *                    + decide.prescreen.sc_delegate
+ *                    + decide.engine.{axiomatic,operational,cat}
+ *
+ * (an ScDelegate's inner SC decision is its own request with its own
+ * terminal).  decide.store.write counts backend->store() offers.
+ */
+struct DecideMetrics
+{
+    obs::Counter &requests = obs::metrics().counter("decide.requests");
+    obs::Counter &cacheHit = obs::metrics().counter("decide.cache.hit");
+    obs::Counter &cacheMiss =
+        obs::metrics().counter("decide.cache.miss");
+    obs::Counter &storeHit = obs::metrics().counter("decide.store.hit");
+    obs::Counter &storeWrite =
+        obs::metrics().counter("decide.store.write");
+    obs::Counter &valueCover =
+        obs::metrics().counter("decide.prescreen.value_cover");
+    obs::Counter &scDelegate =
+        obs::metrics().counter("decide.prescreen.sc_delegate");
+    obs::Counter &engineAxiomatic =
+        obs::metrics().counter("decide.engine.axiomatic");
+    obs::Counter &engineOperational =
+        obs::metrics().counter("decide.engine.operational");
+    obs::Counter &engineCat =
+        obs::metrics().counter("decide.engine.cat");
+    obs::Counter &incomplete =
+        obs::metrics().counter("decide.incomplete");
+    obs::Histogram &wallUs =
+        obs::metrics().histogram("decide.wall_us");
+
+    obs::Counter &
+    engineCounter(Engine engine)
+    {
+        switch (engine) {
+          case Engine::Axiomatic: return engineAxiomatic;
+          case Engine::Operational: return engineOperational;
+          case Engine::Cat: return engineCat;
+        }
+        return engineAxiomatic;
+    }
+};
+
+DecideMetrics &
+decideMetrics()
+{
+    static DecideMetrics m;
+    return m;
+}
+
 } // namespace
 
 Decision
@@ -321,35 +392,60 @@ decide(const Query &query, DecisionCache *cache, DecisionBackend *backend)
                model::engineName(engine).c_str(),
                model::modelName(query.model).c_str());
 
+    DecideMetrics &m = decideMetrics();
+    m.requests.inc();
+    obs::TraceSpan span("decide");
+
     const auto start = std::chrono::steady_clock::now();
     auto elapsed = [&start] {
         return std::chrono::duration<double>(
                    std::chrono::steady_clock::now() - start)
             .count();
     };
+    // Every return path stamps the decision with its span and reports
+    // its wall time; exactly one terminal counter fires per request.
+    auto stamp = [&](Decision &d) {
+        d.wallSeconds = elapsed();
+        d.traceSpanId = span.id();
+        m.wallUs.sample(uint64_t(d.wallSeconds * 1e6));
+    };
 
     const uint64_t key =
         (cache || backend) ? queryKey(query, engine) : 0;
     if (cache) {
-        if (auto hit = cache->lookup(key)) {
+        std::optional<Decision> hit;
+        {
+            obs::TraceSpan lookupSpan("decide.cache");
+            hit = cache->lookup(key);
+        }
+        if (hit) {
+            m.cacheHit.inc();
             hit->cacheHit = true;
-            hit->wallSeconds = elapsed();
+            stamp(*hit);
             return *std::move(hit);
         }
+        m.cacheMiss.inc();
     }
     if (backend) {
         // Second level: the persistent store.  A hit is verdict-only
         // (Decision::storeHit), so it must never be inserted into the
         // in-memory cache -- outcome-set consumers sharing the cache
         // would silently receive an empty enumeration.
-        if (auto hit = backend->load(key)) {
+        std::optional<Decision> hit;
+        {
+            obs::TraceSpan loadSpan("decide.store");
+            hit = backend->load(key);
+        }
+        if (hit) {
+            m.storeHit.inc();
             hit->storeHit = true;
-            hit->wallSeconds = elapsed();
+            stamp(*hit);
             return *std::move(hit);
         }
     }
 
     if (prescreenApplies(query)) {
+        obs::TraceSpan prescreenSpan("decide.prescreen");
         const analysis::PrescreenResult pre =
             analysis::prescreen(*query.test, query.model);
         if (pre.verdict == analysis::PrescreenVerdict::Forbidden) {
@@ -361,13 +457,16 @@ decide(const Query &query, DecisionCache *cache, DecisionBackend *backend)
             d.allowed = false;
             d.complete = true;
             d.prescreened = PrescreenKind::ValueCover;
-            d.wallSeconds = elapsed();
+            m.valueCover.inc();
+            stamp(d);
             // Persistable even though no outcomes exist: the analysis
             // is deterministic, so a fresh re-decide under the same
             // options reproduces this exact (verdict, empty-set) shape
             // -- the store round-trip check still holds.
-            if (backend)
+            if (backend) {
                 backend->store(key, query, d);
+                m.storeWrite.inc();
+            }
             return d;
         }
         if (pre.verdict == analysis::PrescreenVerdict::ScEquivalent
@@ -390,38 +489,49 @@ decide(const Query &query, DecisionCache *cache, DecisionBackend *backend)
             d.engine = engine;
             d.cacheHit = false;
             d.prescreened = PrescreenKind::ScDelegate;
-            d.wallSeconds = elapsed();
+            m.scDelegate.inc();
+            stamp(d);
             // Persist under *this* query's key too (the delegated set
             // is exact), so a later run is one store hit instead of a
             // re-screen plus delegation -- but only when the inner
             // decision carries real outcomes: if it was itself a store
             // hit it is verdict-only, and persisting its empty set here
             // would corrupt the round-trip witness.
-            if (backend && !d.storeHit)
+            if (backend && !d.storeHit) {
                 backend->store(key, query, d);
+                m.storeWrite.inc();
+            }
             return d;
         }
     }
 
     Decision d;
     d.engine = engine;
-    switch (engine) {
-      case Engine::Axiomatic:
-        runAxiomatic(query, d);
-        break;
-      case Engine::Operational:
-        runOperational(query, d);
-        break;
-      case Engine::Cat:
-        runCat(query, d);
-        break;
+    {
+        obs::TraceSpan engineSpan("decide.engine");
+        switch (engine) {
+          case Engine::Axiomatic:
+            runAxiomatic(query, d);
+            break;
+          case Engine::Operational:
+            runOperational(query, d);
+            break;
+          case Engine::Cat:
+            runCat(query, d);
+            break;
+        }
     }
-    d.wallSeconds = elapsed();
+    m.engineCounter(engine).inc();
+    if (!d.complete)
+        m.incomplete.inc();
+    stamp(d);
 
     if (cache)
         cache->insert(key, d);
-    if (backend && d.complete)
+    if (backend && d.complete) {
         backend->store(key, query, d);
+        m.storeWrite.inc();
+    }
     return d;
 }
 

@@ -214,9 +214,16 @@ struct Decision
      * what each value guarantees about `outcomes`.
      */
     PrescreenKind prescreened = PrescreenKind::None;
+    /**
+     * Id of the obs::TraceSpan covering this decision, 0 when tracing
+     * was disabled.  Lets a frontend correlate a Decision with its
+     * "decide" span (and that span's cache/store/prescreen/engine
+     * children) in an exported Chrome trace.
+     */
+    uint64_t traceSpanId = 0;
 };
 
-/** Hit/miss counters of one DecisionCache. */
+/** Hit/miss counters and occupancy shape of one DecisionCache. */
 struct DecisionCacheStats
 {
     uint64_t hits = 0;
@@ -225,6 +232,20 @@ struct DecisionCacheStats
     uint64_t uncached = 0;
     /** Residents displaced to make room once a shard filled up. */
     uint64_t evictions = 0;
+    /** Decisions currently resident across all shards. */
+    uint64_t residents = 0;
+    /** Number of shards (denominator of shardMean). */
+    unsigned shardCount = 0;
+    /** Residents in the fullest shard. */
+    uint64_t shardMax = 0;
+    /**
+     * Mean residents per shard.  shardMax / shardMean is the occupancy
+     * skew: ~1 when keys spread evenly, >> 1 when fingerprints cluster
+     * onto few shards (premature evictions while the cache is mostly
+     * empty -- the key router routes on the top 5 bits, so a biased
+     * fingerprint hash shows up here first).
+     */
+    double shardMean = 0.0;
 };
 
 /**

@@ -4,6 +4,8 @@
 
 #include "base/logging.hh"
 #include "harness/decision.hh"
+#include "obs/registry.hh"
+#include "obs/trace.hh"
 
 namespace gam::harness
 {
@@ -47,7 +49,23 @@ SynthResult
 synthesizeFences(const litmus::LitmusTest &test, model::ModelKind model,
                  int max_fences)
 {
+    GAM_TRACE_SCOPE("fence_synth");
     SynthResult result;
+    // Fold this synthesis into the registry on every return path.
+    struct Report
+    {
+        const SynthResult &r;
+        ~Report()
+        {
+            obs::MetricRegistry &reg = obs::metrics();
+            reg.counter("fence_synth.requests").inc();
+            reg.counter("fence_synth.queries").inc(r.queriesIssued);
+            reg.counter("fence_synth.cache_hits").inc(r.cacheHits);
+            reg.counter(r.solved ? "fence_synth.solved"
+                                 : "fence_synth.unsolved")
+                .inc();
+        }
+    } reporter{result};
 
     auto allowed = [&](const litmus::LitmusTest &t) {
         ++result.queriesIssued;

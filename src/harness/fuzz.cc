@@ -10,6 +10,7 @@
 #include "harness/decision.hh"
 #include "litmus/parser.hh"
 #include "model/engine.hh"
+#include "obs/registry.hh"
 
 namespace gam::harness
 {
@@ -230,6 +231,14 @@ fuzzDifferential(const FuzzOptions &options)
 
     report.checksRun = checks.load();
     report.skippedBudget = skipped.load();
+
+    // Report through the registry too, so fuzz runs show up in the
+    // same snapshot stream as everything else in the decide() stack.
+    obs::MetricRegistry &reg = obs::metrics();
+    reg.counter("fuzz.tests").inc(report.testsRun);
+    reg.counter("fuzz.checks").inc(report.checksRun);
+    reg.counter("fuzz.skipped_budget").inc(report.skippedBudget);
+    reg.counter("fuzz.divergences").inc(hits.size());
 
     // Deterministic report order regardless of worker scheduling.
     std::sort(hits.begin(), hits.end(), [](const Hit &a, const Hit &b) {

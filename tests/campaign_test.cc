@@ -502,6 +502,53 @@ TEST(CampaignDriver, DecidesTheUniverseAndVerifies)
         EXPECT_EQ(again.tallies[i].allowed, result.tallies[i].allowed);
 }
 
+TEST(CampaignDriver, MetricsReconcileExactlyWithDriverTallies)
+{
+    // With a store attached every decision is served from exactly one
+    // source, so the tallies must reconcile to the decision count --
+    // and the embedded registry delta must agree with the tallies it
+    // mirrors, on both the engine-cold and the store-served pass.
+    ScratchFile store_file("gam_campaign_obs_reconcile.bin");
+    DecisionStore store(store_file.str());
+    CampaignOptions opt = smallCampaign();
+
+    const auto cold = runCampaign(opt, &store);
+    EXPECT_GT(cold.storeWrites, 0u);
+    EXPECT_EQ(cold.decisions,
+              cold.storeWrites + cold.cacheHits + cold.storeHits);
+
+    const obs::MetricSnapshot &m = cold.metrics;
+    EXPECT_EQ(m.counter("campaign.units"), cold.units);
+    EXPECT_EQ(m.counter("campaign.decisions"), cold.decisions);
+    EXPECT_EQ(m.counter("campaign.allowed"), cold.allowed);
+    EXPECT_EQ(m.counter("campaign.cache.hit"), cold.cacheHits);
+    EXPECT_EQ(m.counter("campaign.store.hit"), cold.storeHits);
+    EXPECT_EQ(m.counter("campaign.store.write"), cold.storeWrites);
+    EXPECT_EQ(m.counter("campaign.shards.done"), cold.shardsDone);
+    // Every shard samples its wall time and decision count once.
+    EXPECT_EQ(m.histograms.at("campaign.shard.wall_us").count,
+              cold.shardsDone);
+    EXPECT_EQ(m.histograms.at("campaign.shard.decisions").sum,
+              cold.decisions);
+    // The delta is what --metrics writes; it must survive its own
+    // JSON exactly.
+    const auto parsed = obs::MetricSnapshot::fromJson(m.toJson());
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_TRUE(*parsed == m);
+
+    // Second pass: everything is a store hit and the equation holds
+    // with zero writes.
+    const auto resumed = runCampaign(opt, &store);
+    EXPECT_EQ(resumed.storeHits, resumed.decisions);
+    EXPECT_EQ(resumed.storeWrites, 0u);
+    EXPECT_EQ(resumed.decisions,
+              resumed.storeWrites + resumed.cacheHits
+                  + resumed.storeHits);
+    EXPECT_EQ(resumed.metrics.counter("campaign.store.hit"),
+              resumed.storeHits);
+    EXPECT_EQ(resumed.metrics.counter("campaign.store.write"), 0u);
+}
+
 TEST(CampaignDriver, SkipsUnsupportedPairs)
 {
     CampaignOptions opt = smallCampaign();

@@ -245,6 +245,41 @@ TEST(DecisionCache, WarmDecisionIdenticalToCold)
     EXPECT_EQ(cache.stats().misses, 0u);
 }
 
+TEST(DecisionCache, StatsReportShardOccupancySkew)
+{
+    // Keys route to shard (key >> 59): three keys sharing their top 5
+    // bits pile onto one shard, one key with different top bits lands
+    // elsewhere.  The skew (max/mean) flags exactly this clustering.
+    DecisionCache cache;
+    Decision d;
+    d.complete = true;
+    cache.insert(0x1ull, d);
+    cache.insert(0x2ull, d);
+    cache.insert(0x3ull, d);
+
+    auto stats = cache.stats();
+    EXPECT_EQ(stats.residents, 3u);
+    EXPECT_GT(stats.shardCount, 0u);
+    EXPECT_EQ(stats.shardMax, 3u);
+    EXPECT_DOUBLE_EQ(stats.shardMean,
+                     3.0 / double(stats.shardCount));
+
+    cache.insert(0x1ull << 59, d); // a different shard
+    stats = cache.stats();
+    EXPECT_EQ(stats.residents, 4u);
+    EXPECT_EQ(stats.shardMax, 3u);
+    EXPECT_DOUBLE_EQ(stats.shardMean,
+                     4.0 / double(stats.shardCount));
+
+    // clear() zeroes occupancy (and, as with every stat, evictions).
+    cache.clear();
+    stats = cache.stats();
+    EXPECT_EQ(stats.residents, 0u);
+    EXPECT_EQ(stats.shardMax, 0u);
+    EXPECT_DOUBLE_EQ(stats.shardMean, 0.0);
+    EXPECT_EQ(stats.evictions, 0u);
+}
+
 TEST(DecisionCache, TruncatedDecisionsAreNotCached)
 {
     DecisionCache cache;

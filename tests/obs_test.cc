@@ -1,0 +1,469 @@
+/**
+ * Tests for the observability layer: the metric registry (counters,
+ * gauges, log-scale histograms), snapshot exposition and parsing
+ * (text, JSON golden + round-trip, Prometheus), the trace collector
+ * (Chrome JSON round-trip with span nesting, ring overflow), the
+ * pluggable log sink, and the decide() pipeline's metric invariant.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "base/logging.hh"
+#include "harness/decision.hh"
+#include "litmus/suite.hh"
+#include "model/engine.hh"
+#include "obs/registry.hh"
+#include "obs/trace.hh"
+
+namespace gam::obs
+{
+namespace
+{
+
+// ----------------------------------------------------------- registry
+
+TEST(Registry, CountersGaugesAndHistogramsAreNamedSingletons)
+{
+    MetricRegistry reg;
+    Counter &c = reg.counter("a.b");
+    c.inc();
+    c.inc(4);
+    EXPECT_EQ(reg.counter("a.b").value(), 5u);
+    EXPECT_EQ(&reg.counter("a.b"), &c);
+
+    reg.gauge("g").set(2.5);
+    EXPECT_DOUBLE_EQ(reg.gauge("g").value(), 2.5);
+
+    Histogram &h = reg.histogram("h");
+    h.sample(10);
+    EXPECT_EQ(reg.histogram("h").count(), 1u);
+
+    // reset() zeroes values but keeps every reference valid.
+    reg.reset();
+    EXPECT_EQ(c.value(), 0u);
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_DOUBLE_EQ(reg.gauge("g").value(), 0.0);
+    c.inc();
+    EXPECT_EQ(reg.counter("a.b").value(), 1u);
+}
+
+TEST(Registry, ReRegisteringUnderAnotherKindPanics)
+{
+    MetricRegistry reg;
+    reg.counter("x");
+    EXPECT_DEATH(reg.gauge("x"), "registered");
+}
+
+TEST(Registry, HistogramBucketsAreLog2)
+{
+    EXPECT_EQ(Histogram::bucketOf(0), 0u);
+    EXPECT_EQ(Histogram::bucketOf(1), 1u);
+    EXPECT_EQ(Histogram::bucketOf(2), 2u);
+    EXPECT_EQ(Histogram::bucketOf(3), 2u);
+    EXPECT_EQ(Histogram::bucketOf(4), 3u);
+    EXPECT_EQ(Histogram::bucketOf(7), 3u);
+    EXPECT_EQ(Histogram::bucketOf(8), 4u);
+    EXPECT_EQ(Histogram::bucketOf(~0ull), 64u);
+
+    EXPECT_EQ(Histogram::bucketUpperBound(0), 0u);
+    EXPECT_EQ(Histogram::bucketUpperBound(1), 1u);
+    EXPECT_EQ(Histogram::bucketUpperBound(3), 7u);
+
+    Histogram h;
+    h.sample(0);
+    h.sample(5);
+    h.sample(6);
+    EXPECT_EQ(h.count(), 3u);
+    EXPECT_EQ(h.sum(), 11u);
+    EXPECT_EQ(h.max(), 6u);
+    EXPECT_EQ(h.bucketCount(0), 1u);
+    EXPECT_EQ(h.bucketCount(3), 2u);
+    EXPECT_EQ(h.bucketCount(2), 0u);
+}
+
+TEST(Registry, ConcurrentUpdatesAreRaceFreeAndExact)
+{
+    // Hammer one counter, gauge and histogram from many threads; run
+    // under TSan in CI.  Counter totals and histogram count/sum are
+    // exact because every update is a single atomic RMW.
+    MetricRegistry reg;
+    constexpr int Threads = 8;
+    constexpr uint64_t PerThread = 20000;
+
+    std::vector<std::thread> workers;
+    for (int t = 0; t < Threads; ++t) {
+        workers.emplace_back([&reg, t] {
+            Counter &c = reg.counter("hammer.count");
+            Histogram &h = reg.histogram("hammer.hist");
+            Gauge &g = reg.gauge("hammer.gauge");
+            for (uint64_t i = 0; i < PerThread; ++i) {
+                c.inc();
+                h.sample(i & 0xff);
+                g.set(double(t));
+                if ((i & 0x3ff) == 0)
+                    (void)reg.snapshot();
+            }
+        });
+    }
+    for (auto &w : workers)
+        w.join();
+
+    const MetricSnapshot snap = reg.snapshot();
+    EXPECT_EQ(snap.counter("hammer.count"), Threads * PerThread);
+    EXPECT_EQ(snap.histograms.at("hammer.hist").count,
+              Threads * PerThread);
+    EXPECT_EQ(snap.histograms.at("hammer.hist").max, 0xffu);
+    const double g = snap.gauge("hammer.gauge");
+    EXPECT_GE(g, 0.0);
+    EXPECT_LT(g, double(Threads));
+}
+
+TEST(Registry, MetricSegmentFoldsArbitraryText)
+{
+    EXPECT_EQ(metricSegment("Alpha*"), "alpha_");
+    EXPECT_EQ(metricSegment("GAM0"), "gam0");
+    EXPECT_EQ(metricSegment("per-loc SC"), "per_loc_sc");
+    EXPECT_EQ(metricSegment("a.b"), "a.b");
+}
+
+// ---------------------------------------------------------- snapshots
+
+MetricSnapshot
+sampleSnapshot()
+{
+    MetricRegistry reg;
+    reg.counter("a.b").inc(3);
+    reg.gauge("g.rate").set(0.5);
+    reg.histogram("h.us").sample(0);
+    reg.histogram("h.us").sample(5);
+    reg.histogram("h.us").sample(6);
+    return reg.snapshot();
+}
+
+TEST(Snapshot, JsonGolden)
+{
+    // The v1 schema is an artifact format (campaign_metrics.json,
+    // BENCH_*.json); pin it byte-for-byte.
+    EXPECT_EQ(sampleSnapshot().toJson(),
+              "{\n"
+              "  \"schema\": \"gam-metrics-v1\",\n"
+              "  \"counters\": {\n"
+              "    \"a.b\": 3\n"
+              "  },\n"
+              "  \"gauges\": {\n"
+              "    \"g.rate\": 0.5\n"
+              "  },\n"
+              "  \"histograms\": {\n"
+              "    \"h.us\": {\"count\": 3, \"sum\": 11, \"max\": 6, "
+              "\"buckets\": [[0, 1], [3, 2]]}\n"
+              "  }\n"
+              "}\n");
+}
+
+TEST(Snapshot, JsonRoundTripsExactly)
+{
+    const MetricSnapshot snap = sampleSnapshot();
+    const auto parsed = MetricSnapshot::fromJson(snap.toJson());
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_TRUE(*parsed == snap);
+
+    // Doubles survive exactly (shortest round-trip rendering).
+    MetricRegistry reg;
+    reg.gauge("pi").set(3.141592653589793);
+    reg.gauge("tiny").set(1e-300);
+    const MetricSnapshot doubles = reg.snapshot();
+    const auto parsed2 = MetricSnapshot::fromJson(doubles.toJson());
+    ASSERT_TRUE(parsed2.has_value());
+    EXPECT_TRUE(*parsed2 == doubles);
+}
+
+TEST(Snapshot, FromJsonRejectsForeignDocuments)
+{
+    EXPECT_FALSE(MetricSnapshot::fromJson("").has_value());
+    EXPECT_FALSE(MetricSnapshot::fromJson("{}").has_value());
+    EXPECT_FALSE(
+        MetricSnapshot::fromJson("{\"schema\": \"gam-metrics-v2\"}")
+            .has_value());
+    const std::string good = sampleSnapshot().toJson();
+    EXPECT_FALSE(MetricSnapshot::fromJson(good + "x").has_value());
+}
+
+TEST(Snapshot, DeltaSubtractsCountersAndKeepsGauges)
+{
+    MetricRegistry reg;
+    reg.counter("c").inc(10);
+    reg.gauge("g").set(1.0);
+    reg.histogram("h").sample(4);
+    const MetricSnapshot before = reg.snapshot();
+
+    reg.counter("c").inc(5);
+    reg.gauge("g").set(2.0);
+    reg.histogram("h").sample(4);
+    reg.histogram("h").sample(100);
+    reg.counter("fresh").inc(2);
+    const MetricSnapshot after = reg.snapshot();
+
+    const MetricSnapshot d = after.delta(before);
+    EXPECT_EQ(d.counter("c"), 5u);
+    EXPECT_EQ(d.counter("fresh"), 2u);
+    EXPECT_DOUBLE_EQ(d.gauge("g"), 2.0);
+    EXPECT_EQ(d.histograms.at("h").count, 2u);
+    EXPECT_EQ(d.histograms.at("h").sum, 104u);
+    EXPECT_EQ(d.histograms.at("h").max, 100u);
+
+    // A reset in between must saturate at zero, not wrap.
+    reg.reset();
+    const MetricSnapshot wrapped = reg.snapshot().delta(before);
+    EXPECT_EQ(wrapped.counter("c"), 0u);
+}
+
+TEST(Snapshot, TextAndPrometheusExposition)
+{
+    const MetricSnapshot snap = sampleSnapshot();
+    const std::string text = snap.toText();
+    EXPECT_NE(text.find("a.b"), std::string::npos);
+    EXPECT_NE(text.find("count 3, mean 3.666"), std::string::npos);
+    EXPECT_NE(text.find("max 6"), std::string::npos);
+
+    const std::string prom = snap.toPrometheus();
+    EXPECT_NE(prom.find("# TYPE gam_a_b counter\ngam_a_b 3\n"),
+              std::string::npos);
+    EXPECT_NE(prom.find("# TYPE gam_g_rate gauge"), std::string::npos);
+    // Histogram buckets are cumulative with le labels.
+    EXPECT_NE(prom.find("gam_h_us_bucket{le=\"0\"} 1"),
+              std::string::npos);
+    EXPECT_NE(prom.find("gam_h_us_bucket{le=\"7\"} 3"),
+              std::string::npos);
+    EXPECT_NE(prom.find("gam_h_us_bucket{le=\"+Inf\"} 3"),
+              std::string::npos);
+    EXPECT_NE(prom.find("gam_h_us_count 3"), std::string::npos);
+}
+
+// ------------------------------------------------------------ tracing
+
+/** One parsed Chrome trace event. */
+struct ParsedEvent
+{
+    std::string name;
+    unsigned tid = 0;
+    double ts = 0.0;
+    double dur = 0.0;
+    uint64_t id = 0;
+};
+
+/**
+ * Parse exportChromeJson() output: one "ph":"X" complete event per
+ * line, exactly as chrome://tracing consumes it.
+ */
+std::vector<ParsedEvent>
+parseChromeTrace(const std::string &json)
+{
+    EXPECT_NE(json.find("{\"traceEvents\": ["), std::string::npos);
+    EXPECT_NE(json.find("\"displayTimeUnit\": \"ms\""),
+              std::string::npos);
+    std::vector<ParsedEvent> events;
+    size_t pos = 0;
+    while ((pos = json.find("{\"name\": \"", pos)) != std::string::npos) {
+        char name[64] = {};
+        ParsedEvent e;
+        unsigned long long id = 0;
+        const int matched = std::sscanf(
+            json.c_str() + pos,
+            "{\"name\": \"%63[^\"]\", \"cat\": \"gam\", "
+            "\"ph\": \"X\", \"pid\": 1, \"tid\": %u, \"ts\": %lf, "
+            "\"dur\": %lf, \"args\": {\"id\": %llu}}",
+            name, &e.tid, &e.ts, &e.dur, &id);
+        EXPECT_EQ(matched, 5) << json.substr(pos, 120);
+        e.name = name;
+        e.id = id;
+        events.push_back(e);
+        ++pos;
+    }
+    return events;
+}
+
+TEST(Trace, ChromeJsonRoundTripsWithProperNesting)
+{
+    TraceCollector &collector = TraceCollector::instance();
+    collector.clear();
+    collector.enable();
+    {
+        TraceSpan outer("outer");
+        EXPECT_GT(outer.id(), 0u);
+        {
+            TraceSpan inner("inner");
+            EXPECT_GT(inner.id(), outer.id());
+        }
+    }
+    std::thread([] {
+        GAM_TRACE_SCOPE("worker");
+    }).join();
+    collector.disable();
+
+    const auto events = parseChromeTrace(collector.exportChromeJson());
+    ASSERT_EQ(events.size(), 3u);
+
+    const ParsedEvent *outer = nullptr, *inner = nullptr,
+                      *worker = nullptr;
+    for (const auto &e : events) {
+        if (e.name == "outer")
+            outer = &e;
+        else if (e.name == "inner")
+            inner = &e;
+        else if (e.name == "worker")
+            worker = &e;
+    }
+    ASSERT_TRUE(outer && inner && worker);
+
+    // The inner span nests inside the outer one on the same thread
+    // (ts/dur are microseconds rounded to 3 decimals, so allow the
+    // rounding step).
+    EXPECT_EQ(inner->tid, outer->tid);
+    EXPECT_NE(worker->tid, outer->tid);
+    const double eps = 0.002;
+    EXPECT_LE(outer->ts, inner->ts + eps);
+    EXPECT_LE(inner->ts + inner->dur, outer->ts + outer->dur + eps);
+    // Distinct ids, allocated in construction order.
+    EXPECT_LT(outer->id, inner->id);
+
+    collector.clear();
+    EXPECT_EQ(collector.retainedEvents(), 0u);
+}
+
+TEST(Trace, SpansAreInertWhileDisabled)
+{
+    TraceCollector &collector = TraceCollector::instance();
+    collector.clear();
+    ASSERT_FALSE(collector.enabled());
+    {
+        TraceSpan span("ghost");
+        EXPECT_EQ(span.id(), 0u);
+    }
+    EXPECT_EQ(collector.retainedEvents(), 0u);
+}
+
+TEST(Trace, RingOverflowDropsOldestAndCounts)
+{
+    TraceCollector &collector = TraceCollector::instance();
+    collector.clear();
+    collector.enable();
+    constexpr uint64_t Capacity = 1 << 14;
+    constexpr uint64_t Written = Capacity + 100;
+    // A fresh thread gets its own ring; overflow only drops there.
+    std::thread([] {
+        for (uint64_t i = 0; i < Written; ++i)
+            GAM_TRACE_SCOPE("spin");
+    }).join();
+    collector.disable();
+
+    EXPECT_EQ(collector.droppedEvents(), Written - Capacity);
+    EXPECT_EQ(collector.retainedEvents(), Capacity);
+    collector.clear();
+    EXPECT_EQ(collector.droppedEvents(), 0u);
+}
+
+// ----------------------------------------------------------- log sink
+
+TEST(LogSink, CapturesRecordsWithLevelsAndMonotonicTimestamps)
+{
+    std::vector<LogRecord> records;
+    LogSink previous = setLogSink([&records](const LogRecord &r) {
+        records.push_back(r);
+    });
+
+    warn("watch out %d", 7);
+    inform("status: %s", "ok");
+    logMessage(LogLevel::Debug, "very chatty");
+
+    ASSERT_EQ(records.size(), 3u);
+    EXPECT_EQ(records[0].level, LogLevel::Warn);
+    EXPECT_EQ(records[0].message, "watch out 7");
+    EXPECT_EQ(records[1].level, LogLevel::Info);
+    EXPECT_EQ(records[1].message, "status: ok");
+    EXPECT_EQ(records[2].level, LogLevel::Debug);
+    EXPECT_LE(records[0].monotonicNs, records[1].monotonicNs);
+    EXPECT_LE(records[1].monotonicNs, records[2].monotonicNs);
+
+    // Below-minimum levels are dropped before the sink.
+    setLogMinLevel(LogLevel::Warn);
+    inform("suppressed");
+    warn("still heard");
+    EXPECT_EQ(records.size(), 4u);
+    EXPECT_EQ(records.back().message, "still heard");
+
+    setLogMinLevel(LogLevel::Debug);
+    LogSink mine = setLogSink(std::move(previous));
+    EXPECT_TRUE(mine != nullptr);
+    EXPECT_EQ(logMinLevel(), LogLevel::Debug);
+
+    EXPECT_STREQ(logLevelName(LogLevel::Debug), "debug");
+    EXPECT_STREQ(logLevelName(LogLevel::Error), "error");
+}
+
+// ------------------------------------------- the decide() instrument
+
+TEST(DecideMetrics, RequestsEqualTerminalsAndSpansStamp)
+{
+    // Every decide() ends in exactly one of: cache hit, store hit,
+    // prescreen verdict, or an engine run.  The registry must agree.
+    const MetricSnapshot before = metrics().snapshot();
+
+    harness::DecisionCache cache(1 << 10);
+    const char *names[] = {"mp", "dekker", "lb", "iriw"};
+    for (const char *name : names) {
+        const litmus::LitmusTest &test = litmus::testByName(name);
+        for (int round = 0; round < 2; ++round) {
+            harness::Query q;
+            q.test = &test;
+            q.model = model::ModelKind::GAM;
+            q.engine = harness::EngineSelect::Axiomatic;
+            const harness::Decision d = harness::decide(q, &cache);
+            // Tracing is disabled here, so no span id is stamped.
+            EXPECT_EQ(d.traceSpanId, 0u);
+        }
+    }
+
+    const MetricSnapshot d = metrics().snapshot().delta(before);
+    EXPECT_GT(d.counter("decide.requests"), 0u);
+    EXPECT_GT(d.counter("decide.cache.hit"), 0u);
+    EXPECT_EQ(d.counter("decide.requests"),
+              d.counter("decide.cache.hit")
+                  + d.counter("decide.store.hit")
+                  + d.counter("decide.prescreen.value_cover")
+                  + d.counter("decide.prescreen.sc_delegate")
+                  + d.counter("decide.engine.axiomatic")
+                  + d.counter("decide.engine.operational")
+                  + d.counter("decide.engine.cat"));
+    EXPECT_EQ(d.histograms.at("decide.wall_us").count,
+              d.counter("decide.requests"));
+
+    // With tracing enabled every decision carries its span id.
+    TraceCollector::instance().clear();
+    TraceCollector::instance().enable();
+    harness::Query q;
+    const litmus::LitmusTest &test = litmus::testByName("mp");
+    q.test = &test;
+    q.model = model::ModelKind::GAM;
+    q.engine = harness::EngineSelect::Axiomatic;
+    const harness::Decision traced = harness::decide(q, nullptr);
+    TraceCollector::instance().disable();
+    EXPECT_GT(traced.traceSpanId, 0u);
+
+    // The span actually landed in the exported trace.
+    bool found = false;
+    for (const auto &e :
+         parseChromeTrace(TraceCollector::instance().exportChromeJson())) {
+        if (e.name == "decide" && e.id == traced.traceSpanId)
+            found = true;
+    }
+    EXPECT_TRUE(found);
+    TraceCollector::instance().clear();
+}
+
+} // namespace
+} // namespace gam::obs

@@ -7,13 +7,17 @@
  *
  *   gam-litmus run <test|file.litmus>... [--model M]...
  *                  [--engine {axiomatic,operational,auto}]
- *                  [--threads N] [--budget M] [--stats]
+ *                  [--threads N] [--budget M] [--stats] [--json]
+ *                  [--trace FILE]
  *       Decide each test and print the verdict matrix.  By default
  *       every engine supporting the model runs; --engine restricts to
  *       one engine or lets the registry pick (auto).  --threads sets
  *       the decision pool width (MatrixOptions::poolThreads); --budget
  *       sets the explorer state budget (RunOptions::stateBudget);
- *       --stats appends decision-cache hit/miss counts.
+ *       --stats appends decision-cache hit/miss counts; --json prints
+ *       the run's metrics-registry delta (gam-metrics-v1 JSON) instead
+ *       of the text output; --trace writes a Chrome trace_event JSON
+ *       of every decide() pipeline span.
  *       Arguments naming a file (anything with a '.' or '/') are
  *       parsed from the litmus text format; anything else must be a
  *       built-in test name.  Exits 1 on a verdict mismatching a
@@ -46,6 +50,7 @@
  *                           [--resume] [--verify N]
  *                           [--min-store-hit-rate P] [--quiet]
  *                           [--no-fences] [--no-deps] [--no-rmws]
+ *                           [--metrics FILE] [--trace FILE]
  *       Decide the exhaustive canonical test universe up to the given
  *       cycle length under every requested (model, engine) pair,
  *       sharded over a thread pool.  --store appends every decision
@@ -55,8 +60,11 @@
  *       decision from scratch and compares it against the store
  *       (exit 1 on any mismatch); --min-store-hit-rate P exits 1 when
  *       fewer than P percent of decisions were served by the store.
+ *       The run's registry delta is written as gam-metrics-v1 JSON to
+ *       --metrics (campaign_metrics.json by default); --trace exports
+ *       the run's spans as Chrome trace_event JSON.
  *
- *   gam-litmus campaign status --store FILE
+ *   gam-litmus campaign status --store FILE [--json]
  *       Summarise a store: records and distinct tests per
  *       (model, engine), plus any torn tail dropped during recovery.
  *
@@ -99,6 +107,7 @@
 #include <optional>
 #include <sstream>
 #include <string>
+#include <unordered_set>
 #include <vector>
 
 #include "analysis/lint.hh"
@@ -112,6 +121,8 @@
 #include "litmus/parser.hh"
 #include "litmus/suite.hh"
 #include "model/engine.hh"
+#include "obs/registry.hh"
+#include "obs/trace.hh"
 
 namespace
 {
@@ -140,6 +151,12 @@ usage()
                  "      [--stats]             print decision-cache, "
                  "prescreen and\n"
                  "                            enumeration counters\n"
+                 "      [--json]              print this run's metrics "
+                 "registry delta as\n"
+                 "                            gam-metrics-v1 JSON "
+                 "instead of text output\n"
+                 "      [--trace FILE]        write a Chrome "
+                 "trace_event JSON of the run\n"
                  "      [--no-prescreen]      disable the static "
                  "pre-screen in decide()\n"
                  "      [--no-cat-compile]    run cat queries through "
@@ -174,7 +191,13 @@ usage()
                  "decision from scratch\n"
                  "      [--min-store-hit-rate P]  exit 1 below P%% "
                  "store hits\n"
-                 "  campaign status --store FILE\n"
+                 "      [--metrics FILE]      write the run's registry "
+                 "delta as JSON\n"
+                 "                            (default "
+                 "campaign_metrics.json)\n"
+                 "      [--trace FILE]        write a Chrome "
+                 "trace_event JSON of the run\n"
+                 "  campaign status --store FILE [--json]\n"
                  "                            summarise a decision "
                  "store\n"
                  "  campaign query --store FILE [--model M] "
@@ -253,6 +276,28 @@ flagValue(int argc, char **argv, int &i, const char *flag)
     return argv[++i];
 }
 
+/**
+ * Export the collected trace to @p path (call only after worker pools
+ * have drained).  Returns false (with a message) on I/O failure.
+ */
+bool
+writeTrace(const std::string &path)
+{
+    const obs::TraceCollector &tc = obs::TraceCollector::instance();
+    if (!tc.writeChromeJson(path)) {
+        std::fprintf(stderr, "gam-litmus: cannot write trace '%s'\n",
+                     path.c_str());
+        return false;
+    }
+    std::fprintf(stderr, "trace: %llu spans written to %s",
+                 (unsigned long long)tc.retainedEvents(), path.c_str());
+    if (tc.droppedEvents())
+        std::fprintf(stderr, " (%llu oldest spans dropped)",
+                     (unsigned long long)tc.droppedEvents());
+    std::fprintf(stderr, "\n");
+    return true;
+}
+
 int
 cmdList()
 {
@@ -305,6 +350,8 @@ cmdRun(int argc, char **argv)
     std::vector<ModelKind> models;
     harness::MatrixOptions options;
     bool stats = false;
+    bool json = false;
+    std::string trace_path;
 
     for (int i = 0; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -350,6 +397,13 @@ cmdRun(int argc, char **argv)
                 options.run.stateBudget = *n;
         } else if (arg == "--stats") {
             stats = true;
+        } else if (arg == "--json") {
+            json = true;
+        } else if (arg == "--trace") {
+            const char *value = flagValue(argc, argv, i, "--trace");
+            if (!value)
+                return 2;
+            trace_path = value;
         } else if (arg == "--no-prescreen") {
             options.run.prescreen = false;
         } else if (arg == "--no-cat-compile") {
@@ -372,13 +426,35 @@ cmdRun(int argc, char **argv)
     }
 
     const auto before = harness::globalDecisionCache().stats();
+    const obs::MetricSnapshot metrics_before = obs::metrics().snapshot();
+    if (!trace_path.empty())
+        obs::TraceCollector::instance().enable();
     auto verdicts = harness::runLitmusMatrix(tests, models, options);
+    if (!trace_path.empty()) {
+        // The matrix pool has drained: the rings are quiescent.
+        obs::TraceCollector::instance().disable();
+        if (!writeTrace(trace_path))
+            return 1;
+    }
     if (verdicts.empty()) {
         // Everything was skipped (e.g. --model PerLocSC --engine
         // operational); an empty matrix must not read as success.
         std::fprintf(stderr, "gam-litmus: no decidable (model, engine) "
                              "combination for the given tests\n");
         return 2;
+    }
+    if (json) {
+        // The machine-readable twin of the text output: exactly this
+        // run's registry delta in the gam-metrics-v1 schema.
+        std::printf("%s", obs::metrics()
+                              .snapshot()
+                              .delta(metrics_before)
+                              .toJson()
+                              .c_str());
+        for (const auto &v : verdicts)
+            if (!v.matchesPaper())
+                return 1;
+        return 0;
     }
     std::printf("%s", harness::formatLitmusMatrix(verdicts).c_str());
     if (stats) {
@@ -396,6 +472,13 @@ cmdRun(int argc, char **argv)
                     (unsigned long long)capacity,
                     capacity ? 100.0 * double(resident) / double(capacity)
                              : 0.0);
+        std::printf("cache shards: %u shards, max %llu residents, "
+                    "mean %.1f (skew %.2f)\n",
+                    after.shardCount,
+                    (unsigned long long)after.shardMax, after.shardMean,
+                    after.shardMean > 0.0
+                        ? double(after.shardMax) / after.shardMean
+                        : 0.0);
         size_t value_cover = 0;
         size_t sc_delegate = 0;
         for (const auto &v : verdicts) {
@@ -833,6 +916,8 @@ cmdCampaignRun(int argc, char **argv)
 {
     campaign::CampaignOptions options;
     std::string store_path;
+    std::string metrics_path = "campaign_metrics.json";
+    std::string trace_path;
     double min_store_hit_rate = -1.0;
     bool quiet = false;
 
@@ -875,6 +960,10 @@ cmdCampaignRun(int argc, char **argv)
             store_path = value;
         } else if (arg == "--checkpoint") {
             options.checkpointPath = value;
+        } else if (arg == "--metrics") {
+            metrics_path = value;
+        } else if (arg == "--trace") {
+            trace_path = value;
         } else if (arg == "--min-store-hit-rate") {
             char *end = nullptr;
             min_store_hit_rate = std::strtod(value, &end);
@@ -952,10 +1041,30 @@ cmdCampaignRun(int argc, char **argv)
                      rate > 0 ? formatEta(double(left) / rate).c_str()
                               : "--");
     };
+    if (!trace_path.empty())
+        obs::TraceCollector::instance().enable();
     const campaign::CampaignResult result = campaign::runCampaign(
         options, store.get(),
         quiet ? std::function<void(const campaign::CampaignProgress &)>{}
               : progress);
+    if (!trace_path.empty()) {
+        // runCampaign() has joined its shard workers.
+        obs::TraceCollector::instance().disable();
+        if (!writeTrace(trace_path))
+            return 1;
+    }
+    if (!metrics_path.empty()) {
+        std::ofstream out(metrics_path, std::ios::trunc);
+        out << result.metrics.toJson();
+        if (!out.good()) {
+            std::fprintf(stderr,
+                         "gam-litmus: cannot write metrics '%s'\n",
+                         metrics_path.c_str());
+            return 1;
+        }
+        std::fprintf(stderr, "metrics: registry delta written to %s\n",
+                     metrics_path.c_str());
+    }
 
     std::printf("%s", campaign::formatCampaign(result).c_str());
     if (store) {
@@ -994,6 +1103,7 @@ cmdCampaignStatus(int argc, char **argv, bool query)
     std::string store_path;
     std::optional<ModelKind> model_filter;
     std::optional<bool> allowed_filter;
+    bool json = false;
 
     for (int i = 0; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -1003,6 +1113,10 @@ cmdCampaignStatus(int argc, char **argv, bool query)
         }
         if (query && arg == "--forbidden") {
             allowed_filter = false;
+            continue;
+        }
+        if (arg == "--json") {
+            json = true;
             continue;
         }
         const char *value = flagValue(argc, argv, i, arg.c_str());
@@ -1033,6 +1147,38 @@ cmdCampaignStatus(int argc, char **argv, bool query)
     }
     campaign::DecisionStore store(store_path);
     const auto s = store.stats();
+    if (json) {
+        // The machine-readable twin of the text summary: a local
+        // registry (not the process-wide one) holding per-(model,
+        // engine) record counts, emitted in the gam-metrics-v1 schema.
+        // Model names are folded through metricSegment ("Alpha*" ->
+        // "alpha_") so every key is a well-formed metric name.
+        obs::MetricRegistry reg;
+        std::unordered_set<uint64_t> tests;
+        uint64_t matched = 0;
+        store.forEach([&](const campaign::StoreRecord &rec) {
+            if (model_filter && rec.model != *model_filter)
+                return;
+            if (allowed_filter && rec.allowed != *allowed_filter)
+                return;
+            ++matched;
+            tests.insert(rec.testFingerprint);
+            const std::string prefix = "store."
+                + obs::metricSegment(model::modelName(rec.model)) + "."
+                + obs::metricSegment(model::engineName(rec.engine));
+            reg.counter(prefix + ".records").inc();
+            if (rec.allowed)
+                reg.counter(prefix + ".allowed").inc();
+            if (rec.prescreened != harness::PrescreenKind::None)
+                reg.counter(prefix + ".prescreened").inc();
+        });
+        reg.counter("store.records").inc(matched);
+        reg.counter("store.tests").inc(tests.size());
+        reg.counter("store.resident").inc(store.size());
+        reg.counter("store.recovery.dropped_bytes").inc(s.droppedBytes);
+        std::printf("%s", reg.snapshot().toJson().c_str());
+        return 0;
+    }
     std::printf("%s", campaign::formatStoreSummary(store, model_filter,
                                                    allowed_filter)
                           .c_str());
