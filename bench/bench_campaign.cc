@@ -1,28 +1,37 @@
 /**
  * @file
- * Campaign cold vs. store-resumed throughput.
+ * Campaign throughput: batched pipeline vs. its pre-batching
+ * baseline, cold vs. store-resumed, and the symmetry quotient.
  *
- * Runs the same bounded campaign (every canonical cycle up to length
- * 4, the four cat-and-axiom models, axiomatic engine) twice against
- * one decision store: the first run decides every (test, model) pair
- * through the engines and persists the verdicts; the second run should
- * answer ~everything from the store without touching an engine.
+ * Three sections, each printing its numbers and contributing gates:
  *
- * Two properties are gated:
+ *  1. **Batched pipeline speedup.**  The same bounded campaign (every
+ *     canonical cycle up to length 4, the four cat-and-axiom models,
+ *     axiomatic engine) runs once in the pre-batching configuration
+ *     -- per-query decide() loop, per-record-flushing store -- and
+ *     once with today's defaults (fused decideBatch pipeline,
+ *     group-buffered store).  Gate: the batched cold pass must be
+ *     >= 2x the baseline's decisions/second, or the fused enumeration
+ *     (one shared walk deciding every model of a test) has quietly
+ *     stopped paying for itself.
  *
- *   hit rate   the second run must serve >= 99% of its decisions from
- *              the store -- a drop means persisted keys stopped
- *              matching decide()'s query keys (a silently cold store).
- *   speedup    the store-served run must be >= 3x faster than the
- *              engine run.  Verdict-only reconstruction is hash-map
- *              lookups; if it is within 3x of running the engines,
- *              the store is doing real work per hit and resume has
- *              quietly lost its point.
+ *  2. **Store resume.**  The batched campaign runs again against its
+ *     populated store.  Gates: >= 99% of the resumed decisions served
+ *     from the store (a drop means persisted keys stopped matching
+ *     decide()'s query keys), and the resumed pass >= 3x faster than
+ *     the cold one (verdict-only reconstruction is hash-map lookups).
  *
- * Also emits BENCH_campaign.json (universe size, decisions, seconds,
- * throughput, hit rate, speedup) in the gam-metrics-v1 snapshot
- * schema for CI artifact upload and trend tracking; the gates ride
- * along as gauges (bench.campaign.gate_*).
+ *  3. **Symmetry quotient.**  Enumerates the length-<=6 universe in
+ *     both canonical forms and a length-7 fence/dep-free slice, then
+ *     decides the slice.  Gate: the full quotient (rotation x
+ *     reversal x value/address renaming) must shrink the rotation
+ *     universe >= 1.5x at length <= 6 -- the reduction that makes
+ *     length 7 reachable at all.
+ *
+ * Emits BENCH_campaign.json (sections 1-2) and
+ * BENCH_campaign_symmetry.json (section 3) in the gam-metrics-v1
+ * snapshot schema for CI artifact upload and trend tracking; the
+ * gates ride along as gauges (bench.campaign.gate_*).
  */
 
 #include <chrono>
@@ -52,22 +61,53 @@ pass(const campaign::CampaignOptions &options,
     return result;
 }
 
+uint64_t
+countClasses(campaign::EnumerateOptions options,
+             campaign::CanonicalForm form, double *wall)
+{
+    options.canonical = form;
+    const auto start = std::chrono::steady_clock::now();
+    const campaign::EnumerateStats stats = campaign::enumerateCycles(
+        options, [](const campaign::CanonicalCycle &) { return true; });
+    *wall = std::chrono::duration<double>(
+                std::chrono::steady_clock::now() - start)
+                .count();
+    return stats.emitted;
+}
+
 } // namespace
 
 int
 main()
 {
     const char *store_path = "bench_campaign.store";
+    const char *baseline_path = "bench_campaign_baseline.store";
     std::remove(store_path);
+    std::remove(baseline_path);
 
     campaign::CampaignOptions options;
     options.enumerate.maxLen = 4;
     options.shards = 16;
     options.threads = 2;
 
-    double cold_s = 0.0, resumed_s = 0.0;
+    // -------- section 1: batched pipeline vs. pre-batching baseline
+    double baseline_s = 0.0, cold_s = 0.0, resumed_s = 0.0;
+    campaign::CampaignResult baseline, cold, resumed;
+    {
+        // The baseline is the campaign as it shipped before the fused
+        // decideBatch pipeline: one decide() per (test, model) and a
+        // store that flushes every record.
+        campaign::StoreOptions per_record;
+        per_record.flushEveryRecords = 1;
+        per_record.flushIntervalMs = 0;
+        campaign::DecisionStore store(baseline_path, per_record);
+        campaign::CampaignOptions legacy = options;
+        legacy.batching = false;
+        baseline = pass(legacy, &store, &baseline_s);
+    }
+    std::remove(baseline_path);
 
-    campaign::CampaignResult cold, resumed;
+    // ------------------------- section 2: cold vs. store-resumed
     {
         campaign::DecisionStore store(store_path);
         cold = pass(options, &store, &cold_s);
@@ -80,10 +120,14 @@ main()
     }
     std::remove(store_path);
 
+    const double baseline_rate =
+        baseline_s > 0 ? double(baseline.decisions) / baseline_s : 0.0;
     const double cold_rate =
         cold_s > 0 ? double(cold.decisions) / cold_s : 0.0;
     const double resumed_rate =
         resumed_s > 0 ? double(resumed.decisions) / resumed_s : 0.0;
+    const double batch_speedup =
+        baseline_rate > 0 ? cold_rate / baseline_rate : 0.0;
     const double hit_rate = resumed.decisions > 0
         ? double(resumed.storeHits) / double(resumed.decisions)
         : 0.0;
@@ -94,19 +138,23 @@ main()
                 static_cast<unsigned long long>(cold.units),
                 options.enumerate.maxLen, options.models.size(),
                 options.shards);
-    std::printf("cold    pass: %8llu decisions in %7.3fs  (%9.0f "
+    std::printf("baseline pass: %8llu decisions in %7.3fs  (%9.0f "
+                "dec/s, per-query loop, per-record flush)\n",
+                static_cast<unsigned long long>(baseline.decisions),
+                baseline_s, baseline_rate);
+    std::printf("cold     pass: %8llu decisions in %7.3fs  (%9.0f "
                 "dec/s, %llu store hits)\n",
                 static_cast<unsigned long long>(cold.decisions), cold_s,
                 cold_rate,
                 static_cast<unsigned long long>(cold.storeHits));
-    std::printf("resumed pass: %8llu decisions in %7.3fs  (%9.0f "
+    std::printf("resumed  pass: %8llu decisions in %7.3fs  (%9.0f "
                 "dec/s, %llu store hits)\n",
                 static_cast<unsigned long long>(resumed.decisions),
                 resumed_s, resumed_rate,
                 static_cast<unsigned long long>(resumed.storeHits));
-    std::printf("\nstore hit rate %.2f%%, store-resumed speedup "
-                "%.2fx\n",
-                hit_rate * 100.0, speedup);
+    std::printf("\nbatched-pipeline speedup %.2fx, store hit rate "
+                "%.2f%%, store-resumed speedup %.2fx\n",
+                batch_speedup, hit_rate * 100.0, speedup);
 
     {
         obs::MetricRegistry reg;
@@ -115,21 +163,99 @@ main()
         reg.counter("bench.campaign.tests").inc(cold.units);
         reg.counter("bench.campaign.models").inc(options.models.size());
         reg.counter("bench.campaign.decisions").inc(cold.decisions);
+        reg.gauge("bench.campaign.baseline_seconds").set(baseline_s);
+        reg.gauge("bench.campaign.baseline_decisions_per_second")
+            .set(baseline_rate);
         reg.gauge("bench.campaign.cold_seconds").set(cold_s);
         reg.gauge("bench.campaign.cold_decisions_per_second")
             .set(cold_rate);
         reg.gauge("bench.campaign.resumed_seconds").set(resumed_s);
         reg.gauge("bench.campaign.resumed_decisions_per_second")
             .set(resumed_rate);
+        reg.gauge("bench.campaign.batch_speedup").set(batch_speedup);
         reg.gauge("bench.campaign.store_hit_rate").set(hit_rate);
         reg.gauge("bench.campaign.resumed_speedup").set(speedup);
+        reg.gauge("bench.campaign.gate_batch_speedup_min").set(2.0);
         reg.gauge("bench.campaign.gate_hit_rate_min").set(0.99);
         reg.gauge("bench.campaign.gate_resumed_speedup_min").set(3.0);
         std::ofstream json("BENCH_campaign.json", std::ios::trunc);
         json << reg.snapshot().toJson();
     }
 
+    // ------------------------------- section 3: symmetry quotient
+    campaign::EnumerateOptions six = options.enumerate;
+    six.maxLen = 6;
+    double rot6_s = 0.0, full6_s = 0.0;
+    const uint64_t rot6 =
+        countClasses(six, campaign::CanonicalForm::Rotation, &rot6_s);
+    const uint64_t full6 =
+        countClasses(six, campaign::CanonicalForm::Full, &full6_s);
+    const double shrink6 = full6 > 0 ? double(rot6) / double(full6) : 0.0;
+
+    campaign::CampaignOptions seven;
+    seven.enumerate.minLen = 7;
+    seven.enumerate.maxLen = 7;
+    seven.enumerate.fences = false;
+    seven.enumerate.deps = false;
+    seven.enumerate.canonical = campaign::CanonicalForm::Full;
+    seven.shards = 16;
+    seven.threads = 2;
+    double rot7_s = 0.0, full7_s = 0.0, seven_s = 0.0;
+    const uint64_t rot7 = countClasses(
+        seven.enumerate, campaign::CanonicalForm::Rotation, &rot7_s);
+    const uint64_t full7 = countClasses(
+        seven.enumerate, campaign::CanonicalForm::Full, &full7_s);
+    const campaign::CampaignResult r7 =
+        pass(seven, nullptr, &seven_s);
+    const double seven_rate =
+        seven_s > 0 ? double(r7.decisions) / seven_s : 0.0;
+
+    std::printf("\nsymmetry quotient, length <= 6: %llu rotation "
+                "classes -> %llu full classes (%.2fx shrink, "
+                "%.2fs/%.2fs to enumerate)\n",
+                static_cast<unsigned long long>(rot6),
+                static_cast<unsigned long long>(full6), shrink6,
+                rot6_s, full6_s);
+    std::printf("length-7 slice (no fences, no deps): %llu rotation "
+                "-> %llu full classes; %llu tests, %llu decisions in "
+                "%.2fs (%.0f dec/s)\n",
+                static_cast<unsigned long long>(rot7),
+                static_cast<unsigned long long>(full7),
+                static_cast<unsigned long long>(r7.units),
+                static_cast<unsigned long long>(r7.decisions), seven_s,
+                seven_rate);
+
+    {
+        obs::MetricRegistry reg;
+        reg.counter("bench.campaign_symmetry.len6_rotation_classes")
+            .inc(rot6);
+        reg.counter("bench.campaign_symmetry.len6_full_classes")
+            .inc(full6);
+        reg.gauge("bench.campaign_symmetry.len6_shrink").set(shrink6);
+        reg.counter("bench.campaign_symmetry.len7_rotation_classes")
+            .inc(rot7);
+        reg.counter("bench.campaign_symmetry.len7_full_classes")
+            .inc(full7);
+        reg.counter("bench.campaign_symmetry.len7_tests").inc(r7.units);
+        reg.counter("bench.campaign_symmetry.len7_decisions")
+            .inc(r7.decisions);
+        reg.gauge("bench.campaign_symmetry.len7_seconds").set(seven_s);
+        reg.gauge("bench.campaign_symmetry.len7_decisions_per_second")
+            .set(seven_rate);
+        reg.gauge("bench.campaign_symmetry.gate_len6_shrink_min")
+            .set(1.5);
+        std::ofstream json("BENCH_campaign_symmetry.json",
+                           std::ios::trunc);
+        json << reg.snapshot().toJson();
+    }
+
     bool ok = true;
+    if (batch_speedup < 2.0) {
+        std::printf("FAIL: batched cold throughput %.2fx the "
+                    "pre-batching baseline, below 2x\n",
+                    batch_speedup);
+        ok = false;
+    }
     if (hit_rate < 0.99) {
         std::printf("FAIL: store hit rate %.2f%% below 99%% -- "
                     "persisted keys no longer match decide()'s query "
@@ -140,6 +266,13 @@ main()
     if (speedup < 3.0) {
         std::printf("FAIL: store-resumed speedup %.2fx below 3x\n",
                     speedup);
+        ok = false;
+    }
+    if (shrink6 < 1.5) {
+        std::printf("FAIL: full canonicalization shrinks the "
+                    "length-<=6 rotation universe only %.2fx, below "
+                    "1.5x\n",
+                    shrink6);
         ok = false;
     }
     if (!ok)

@@ -591,37 +591,58 @@ prescreenVerdictName(PrescreenVerdict verdict)
     return "";
 }
 
-PrescreenResult
-prescreen(const LitmusTest &test, ModelKind model)
+struct PrescreenAnalysis::Impl
 {
-    PrescreenResult result;
+    /** The value fixpoint; disengaged when it bailed (no claims). */
+    std::optional<ValueAnalysis> va;
+    /** The model-independent verdict: Forbidden or Unknown. */
+    PrescreenResult base;
+};
+
+PrescreenAnalysis::PrescreenAnalysis(const LitmusTest &test)
+    : impl(std::make_unique<Impl>())
+{
     if (test.threads.empty())
-        return result;
-
-    ValueAnalysis va(test);
-    if (!va.run())
-        return result;
-
+        return;
+    impl->va.emplace(test);
+    if (!impl->va->run()) {
+        impl->va.reset();
+        return;
+    }
     if (!test.regCond.empty() || !test.memCond.empty()) {
-        if (auto why = valueCoverForbidden(va)) {
-            result.verdict = PrescreenVerdict::Forbidden;
-            result.detail = *why;
-            return result;
+        if (auto why = valueCoverForbidden(*impl->va)) {
+            impl->base.verdict = PrescreenVerdict::Forbidden;
+            impl->base.detail = *why;
         }
     }
+}
+
+PrescreenAnalysis::~PrescreenAnalysis() = default;
+
+PrescreenResult
+PrescreenAnalysis::screen(ModelKind model) const
+{
+    PrescreenResult result = impl->base;
+    if (!impl->va || result.verdict == PrescreenVerdict::Forbidden)
+        return result;
 
     if (model == ModelKind::TSO || model == ModelKind::GAM0
         || model == ModelKind::GAM) {
-        DelegateChecker checker{va, model};
+        DelegateChecker checker{*impl->va, model};
         if (checker.delegates()) {
             result.verdict = PrescreenVerdict::ScEquivalent;
             result.detail = "every po-adjacent memory pair is "
                             "preserved program order; outcomes equal "
                             "SC's";
-            return result;
         }
     }
     return result;
+}
+
+PrescreenResult
+prescreen(const LitmusTest &test, ModelKind model)
+{
+    return PrescreenAnalysis(test).screen(model);
 }
 
 } // namespace gam::analysis

@@ -41,6 +41,7 @@
 #ifndef GAM_ANALYSIS_PRESCREEN_HH
 #define GAM_ANALYSIS_PRESCREEN_HH
 
+#include <memory>
 #include <string>
 
 #include "litmus/test.hh"
@@ -74,6 +75,31 @@ struct PrescreenResult
     PrescreenVerdict verdict = PrescreenVerdict::Unknown;
     /** One-line human-readable justification of a non-Unknown verdict. */
     std::string detail;
+};
+
+/**
+ * The model-independent half of prescreen(), computed once per test
+ * and reusable across models: the abstract value-cover fixpoint and
+ * its Forbidden verdict.  screen(model) then only runs the (cheap)
+ * per-model preserved-program-order walk.  The batched decide
+ * pipeline keys one of these per test, turning N prescreen() fixpoint
+ * runs into one.  Holds a reference to @p test: must not outlive it.
+ */
+class PrescreenAnalysis
+{
+  public:
+    explicit PrescreenAnalysis(const litmus::LitmusTest &test);
+    ~PrescreenAnalysis();
+
+    PrescreenAnalysis(const PrescreenAnalysis &) = delete;
+    PrescreenAnalysis &operator=(const PrescreenAnalysis &) = delete;
+
+    /** Exactly prescreen(test, model), with the fixpoint amortized. */
+    PrescreenResult screen(model::ModelKind model) const;
+
+  private:
+    struct Impl;
+    std::unique_ptr<Impl> impl;
 };
 
 /**

@@ -6,6 +6,7 @@
 #include <map>
 #include <set>
 
+#include "base/hashing.hh"
 #include "base/logging.hh"
 #include "cat/rel.hh"
 #include "isa/semantics.hh"
@@ -40,8 +41,10 @@ namespace
 class BuiltinAxiomFilter final : public IncrementalFilter
 {
   public:
-    BuiltinAxiomFilter(model::ModelKind model, bool enforce_inst_order)
-        : model(model), enforceInstOrder(enforce_inst_order)
+    BuiltinAxiomFilter(model::ModelKind model, bool enforce_inst_order,
+                       PpoCache *ppo_shapes = nullptr)
+        : model(model), enforceInstOrder(enforce_inst_order),
+          ppoShapes(ppo_shapes)
     {}
 
     bool
@@ -71,9 +74,9 @@ class BuiltinAxiomFilter final : public IncrementalFilter
                     if (ev.isLoad)
                         rfTrace[size_t(ev.traceIdx)] = ev.rf;
                 }
-                model::Relation ppo = model::preservedProgramOrder(
-                    trace, model, &rfTrace);
-                for (auto [i, j] : ppo.pairs()) {
+                const std::vector<std::pair<size_t, size_t>> &ppo =
+                    cachedPpoPairs(trace, tid, rfTrace);
+                for (auto [i, j] : ppo) {
                     auto it1 = nodeAt.find(int(i));
                     auto it2 = nodeAt.find(int(j));
                     if (it1 == nodeAt.end() || it2 == nodeAt.end())
@@ -193,6 +196,54 @@ class BuiltinAxiomFilter final : public IncrementalFilter
     }
 
     /**
+     * preservedProgramOrder() edges through the shared shape cache
+     * (when the filter was given one): ppo depends on the executed
+     * instruction sequence, the resolved addresses and the thread's
+     * own read-from sources -- never on data values (model/ppo.cc
+     * reads neither TraceInstr::value nor rmwStored) -- so the key
+     * hashes exactly those.  The cache stores the materialized pair
+     * list (the only form beginRf() consumes), so a hit also skips
+     * Relation::pairs().  Without a cache, compute directly: the
+     * un-batched pipeline's cost model is unchanged.
+     */
+    const std::vector<std::pair<size_t, size_t>> &
+    cachedPpoPairs(const model::Trace &trace, size_t tid,
+                   const model::RfMap &rfTrace)
+    {
+        if (!ppoShapes) {
+            ppoScratch =
+                model::preservedProgramOrder(trace, model, &rfTrace)
+                    .pairs();
+            return ppoScratch;
+        }
+        StateHasher h;
+        h.add(uint64_t(model));
+        h.add(uint64_t(tid));
+        for (const model::TraceInstr &ti : trace) {
+            h.add(uint64_t(ti.instr.op));
+            h.add(uint64_t(ti.instr.dst));
+            h.add(uint64_t(ti.instr.src1));
+            h.add(uint64_t(ti.instr.src2));
+            h.add(uint64_t(ti.instr.imm));
+            h.add(uint64_t(ti.instr.fence));
+            h.add(ti.isMem() ? uint64_t(ti.addr) + 1 : 0);
+        }
+        h.separator();
+        for (model::StoreId s : rfTrace)
+            h.add(uint64_t(uint32_t(s)));
+        const uint64_t key = h.digest();
+        auto it = ppoShapes->find(key);
+        if (it == ppoShapes->end()) {
+            it = ppoShapes
+                     ->emplace(key, model::preservedProgramOrder(
+                                        trace, model, &rfTrace)
+                                        .pairs())
+                     .first;
+        }
+        return it->second;
+    }
+
+    /**
      * Add u -> v to the closed reachability relation.  False when the
      * edge closes a cycle (including u == v); the relation is left
      * unchanged in that case only up to the snapshot discipline --
@@ -217,6 +268,10 @@ class BuiltinAxiomFilter final : public IncrementalFilter
 
     const model::ModelKind model;
     const bool enforceInstOrder;
+    PpoCache *ppoShapes;
+    /** Holds the uncached ppo edges so cachedPpoPairs() can return a
+     *  reference on both paths; valid until the next call. */
+    std::vector<std::pair<size_t, size_t>> ppoScratch;
 
     size_t n = 0;
     cat::Rel reach;
@@ -253,6 +308,18 @@ Checker::enumerate()
 {
     GAM_TRACE_SCOPE("axiomatic.enumerate");
     CandidateEnumerator enumerator(test, options);
+    litmus::OutcomeSet outcomes = enumerator.run([&] {
+        return std::make_unique<BuiltinAxiomFilter>(
+            model, options.enforceInstOrder);
+    });
+    _stats = enumerator.stats();
+    return outcomes;
+}
+
+litmus::OutcomeSet
+Checker::enumerateOn(CandidateEnumerator &enumerator)
+{
+    GAM_TRACE_SCOPE("axiomatic.enumerate");
     litmus::OutcomeSet outcomes = enumerator.run([&] {
         return std::make_unique<BuiltinAxiomFilter>(
             model, options.enforceInstOrder);
@@ -552,6 +619,26 @@ Checker::enumerateLegacyImpl(const CandidateFilter *accept)
             break;
     }
     return outcomes;
+}
+
+// --------------------------------------------- fused multi-model pass
+
+std::vector<litmus::OutcomeSet>
+enumerateModels(CandidateEnumerator &enumerator,
+                const std::vector<model::ModelKind> &models,
+                bool enforceInstOrder,
+                std::vector<CheckerStats> *stats, PpoCache *ppoShapes)
+{
+    GAM_TRACE_SCOPE("axiomatic.enumerate_multi");
+    std::vector<FilterFactory> factories;
+    factories.reserve(models.size());
+    for (model::ModelKind m : models) {
+        factories.push_back([m, enforceInstOrder, ppoShapes] {
+            return std::make_unique<BuiltinAxiomFilter>(
+                m, enforceInstOrder, ppoShapes);
+        });
+    }
+    return enumerator.runMulti(factories, stats);
 }
 
 } // namespace gam::axiomatic

@@ -45,16 +45,35 @@
 #include <functional>
 #include <map>
 #include <optional>
+#include <utility>
 #include <vector>
 
 #include "axiomatic/enumerate.hh"
 #include "litmus/outcome.hh"
 #include "litmus/test.hh"
 #include "model/kind.hh"
+#include "model/ppo.hh"
 #include "model/trace.hh"
 
 namespace gam::axiomatic
 {
+
+/**
+ * Memoized model::preservedProgramOrder() results -- materialized as
+ * their edge lists, which is the only form beginRf() consumes --
+ * keyed by a 64-bit hash of (model, thread, executed instruction
+ * sequence, resolved addresses, the thread's own read-from sources):
+ * every input ppo depends on; data values never reach it
+ * (model/ppo.cc).  Across the rf candidates of one enumeration, and
+ * across the units of one campaign chunk, the same few thread shapes
+ * recur thousands of times, and recomputing their transitive closures
+ * (and re-materializing their pair lists) dominates the built-in
+ * filter's beginRf().  Owned by the caller (the batched decide
+ * pipeline keeps one per batch), single-threaded, unbounded --
+ * bounded in practice by the distinct shapes of the batch.
+ */
+using PpoCache =
+    std::map<uint64_t, std::vector<std::pair<size_t, size_t>>>;
 
 /** Axiomatic enumeration for one litmus test under one model. */
 class Checker
@@ -82,6 +101,18 @@ class Checker
      * model.
      */
     litmus::OutcomeSet enumerateFiltered(const CandidateFilter &accept);
+
+    /**
+     * enumerate(), but over a caller-owned enumerator instead of a
+     * fresh one.  The batched decide pipeline (harness::decideBatch)
+     * builds one CandidateEnumerator per test and drives it once per
+     * model, amortizing the CandidateBuilder arena -- static rf
+     * feasibility, load/store site tables -- across every model in
+     * the batch.  @p enumerator must have been constructed from this
+     * checker's test with equivalent Options; each call resets the
+     * enumerator's stats, so stats() reflects this run only.
+     */
+    litmus::OutcomeSet enumerateOn(CandidateEnumerator &enumerator);
 
     /**
      * Drive the incremental pruned search with a custom filter (one
@@ -130,6 +161,25 @@ class Checker
     Options options;
     CheckerStats _stats;
 };
+
+/**
+ * Decide several models of one test over ONE shared enumeration pass
+ * (CandidateEnumerator::runMulti): the rf-candidate stream, the value
+ * fixpoint and the coherence walk are model-independent, so N models
+ * cost one walk plus N built-in filters instead of N walks.  Verdicts
+ * and outcome sets are exactly what N Checker::enumerate() calls
+ * would produce; @p stats, when given, receives each model's
+ * solo-equivalent counters.  @p ppoShapes, when given, memoizes
+ * preservedProgramOrder() across the pass (and across passes sharing
+ * the cache -- the batched decide pipeline keeps one per batch).  The
+ * pass is serial: Options::searchThreads is ignored.
+ */
+std::vector<litmus::OutcomeSet>
+enumerateModels(CandidateEnumerator &enumerator,
+                const std::vector<model::ModelKind> &models,
+                bool enforceInstOrder,
+                std::vector<CheckerStats> *stats = nullptr,
+                PpoCache *ppoShapes = nullptr);
 
 } // namespace gam::axiomatic
 

@@ -849,6 +849,271 @@ CandidateEnumerator::run(const FilterFactory &factory)
     return outcomes;
 }
 
+// ------------------------------------------------ multi-filter search
+//
+// One walk, N filters.  Each filter keeps a dormancy depth: -1 while
+// live, the placedTotal of the push it vetoed otherwise (0 for a
+// beginRf veto, which never revives mid-candidate).  A dormant filter
+// sees no callbacks until the walk unwinds to its veto depth, where it
+// receives the matching popStore and rejoins -- exactly the callback
+// sequence its solo pruned search would have produced, which is what
+// makes per-lane outcomes and counters identical to N run() calls.
+
+/** Everything one runMulti() pass carries through the walk. */
+struct CandidateEnumerator::MultiCtx
+{
+    std::vector<IncrementalFilter *> filters;
+    std::vector<litmus::OutcomeSet> *outcomes;
+    std::vector<CheckerStats> *lanes;
+    /** Shared-walk counters (rf stream, fixpoint, leaves reached). */
+    CheckerStats walk{};
+    /** Dormancy depth per filter; -1 = live (see above). */
+    std::vector<int64_t> dormantAt;
+    const litmus::LitmusTest &test;
+
+    std::vector<CandidateBuilder::ThreadExec> exec{};
+    uint64_t rfEpoch = 0;
+
+    // Derived per rf candidate (buffers reused across the stream).
+    std::vector<CandidateEvent> events{};
+    std::vector<const model::Trace *> traces{};
+    std::vector<Addr> addrs{};
+    std::map<Addr, std::vector<int>> storesByAddr{};
+    std::map<Addr, std::vector<int>> coOrder{};
+    std::vector<uint64_t> suffixLeaves{};
+    std::vector<std::vector<int>> remaining{};
+    uint64_t placedTotal = 0;
+};
+
+void
+CandidateEnumerator::descendCoherenceMulti(
+    MultiCtx &ctx, size_t ai, const CandidateExecution &partial) const
+{
+    const size_t nlanes = ctx.filters.size();
+    if (ai == ctx.addrs.size()) {
+        ++ctx.walk.coCandidates;
+        const CandidateExecution complete{ctx.events, ctx.coOrder,
+                                          ctx.traces, ctx.rfEpoch,
+                                          /*complete=*/true};
+        for (size_t i = 0; i < nlanes; ++i) {
+            if (ctx.dormantAt[i] >= 0)
+                continue;
+            CheckerStats &lane = (*ctx.lanes)[i];
+            ++lane.coCandidates;
+            if (ctx.filters[i]->accept(complete)) {
+                ++lane.accepted;
+                recordCandidateOutcome(ctx.test, ctx.exec, ctx.events,
+                                       ctx.coOrder,
+                                       (*ctx.outcomes)[i]);
+            }
+        }
+        return;
+    }
+    const Addr a = ctx.addrs[ai];
+    auto &rem = ctx.remaining[ai];
+    if (rem.empty()) {
+        descendCoherenceMulti(ctx, ai + 1, partial);
+        return;
+    }
+    auto &placed = ctx.coOrder[a];
+    for (size_t k = 0; k < rem.size(); ++k) {
+        const int v = rem[k];
+        rem.erase(rem.begin() + std::ptrdiff_t(k));
+        placed.push_back(v);
+        ++ctx.placedTotal;
+        size_t live = 0;
+        for (size_t i = 0; i < nlanes; ++i) {
+            if (ctx.dormantAt[i] >= 0)
+                continue;
+            if (ctx.filters[i]->pushStore(partial, a, v)) {
+                ++live;
+                continue;
+            }
+            // This lane's subtree accounting is exactly the solo
+            // run's; the walk itself descends only for the others.
+            ctx.dormantAt[i] = int64_t(ctx.placedTotal);
+            CheckerStats &lane = (*ctx.lanes)[i];
+            ++lane.partialsPruned;
+            lane.subtreesSkipped = satAdd(
+                lane.subtreesSkipped,
+                satMul(satFactorial(rem.size()),
+                       ctx.suffixLeaves[ai + 1]));
+            lane.maxBacktrackDepth =
+                std::max(lane.maxBacktrackDepth, ctx.placedTotal);
+        }
+        if (live > 0)
+            descendCoherenceMulti(ctx, ai, partial);
+        for (size_t i = 0; i < nlanes; ++i) {
+            if (ctx.dormantAt[i] < 0) {
+                ctx.filters[i]->popStore(partial, a, v);
+            } else if (ctx.dormantAt[i] == int64_t(ctx.placedTotal)) {
+                // Vetoed at exactly this push: the filter contract
+                // still delivers the matching popStore, and the lane
+                // rejoins the walk at the next sibling.
+                ctx.filters[i]->popStore(partial, a, v);
+                ctx.dormantAt[i] = -1;
+            }
+        }
+        --ctx.placedTotal;
+        placed.pop_back();
+        rem.insert(rem.begin() + std::ptrdiff_t(k), v);
+    }
+}
+
+void
+CandidateEnumerator::searchCoherenceMulti(MultiCtx &ctx) const
+{
+    ctx.traces.clear();
+    ctx.addrs.clear();
+    ctx.storesByAddr.clear();
+    ctx.coOrder.clear();
+    ctx.placedTotal = 0;
+
+    collectCandidateEvents(ctx.exec, ctx.events);
+    for (const auto &te : ctx.exec)
+        ctx.traces.push_back(&te.trace);
+
+    for (size_t v = 0; v < ctx.events.size(); ++v)
+        if (ctx.events[v].isStore)
+            ctx.storesByAddr[ctx.events[v].addr].push_back(int(v));
+    for (auto &[a, stores] : ctx.storesByAddr) {
+        ctx.addrs.push_back(a);
+        ctx.coOrder[a]; // empty prefix
+        (void)stores;
+    }
+
+    ctx.suffixLeaves.assign(ctx.addrs.size() + 1, 1);
+    for (size_t i = ctx.addrs.size(); i-- > 0;) {
+        ctx.suffixLeaves[i] = satMul(
+            ctx.suffixLeaves[i + 1],
+            satFactorial(ctx.storesByAddr[ctx.addrs[i]].size()));
+    }
+
+    const CandidateExecution partial{ctx.events, ctx.coOrder,
+                                     ctx.traces, ctx.rfEpoch,
+                                     /*complete=*/false};
+    size_t live = 0;
+    for (size_t i = 0; i < ctx.filters.size(); ++i) {
+        if (ctx.filters[i]->beginRf(partial)) {
+            ctx.dormantAt[i] = -1;
+            ++live;
+        } else {
+            ctx.dormantAt[i] = 0; // out for this whole rf candidate
+            CheckerStats &lane = (*ctx.lanes)[i];
+            ++lane.rfPruned;
+            lane.subtreesSkipped =
+                satAdd(lane.subtreesSkipped, ctx.suffixLeaves[0]);
+        }
+    }
+    if (live == 0)
+        return;
+
+    ctx.remaining.resize(ctx.addrs.size());
+    for (size_t i = 0; i < ctx.addrs.size(); ++i)
+        ctx.remaining[i] = ctx.storesByAddr[ctx.addrs[i]];
+    descendCoherenceMulti(ctx, 0, partial);
+}
+
+void
+CandidateEnumerator::searchRfRangeMulti(MultiCtx &ctx) const
+{
+    const auto &choices = _builder.rfChoices();
+    const size_t nloads = choices.size();
+
+    std::vector<size_t> odo(nloads, 0);
+    std::vector<StoreId> rf(nloads, InitStore);
+    GAM_TRACE_SCOPE("enum.search");
+    for (;;) {
+        for (size_t i = 0; i < nloads; ++i)
+            rf[i] = choices[i][odo[i]];
+
+        ++ctx.walk.rfCandidates;
+        ++ctx.rfEpoch;
+        if (_builder.computeExecution(rf, ctx.exec)) {
+            ++ctx.walk.valueConsistent;
+            obs::TraceSpan coSpan("enum.co_search");
+            searchCoherenceMulti(ctx);
+        } else {
+            ++ctx.walk.valueCycles;
+        }
+
+        size_t pos = 0;
+        while (pos < nloads) {
+            if (++odo[pos] < choices[pos].size())
+                break;
+            odo[pos] = 0;
+            ++pos;
+        }
+        if (pos == nloads)
+            break;
+    }
+}
+
+std::vector<litmus::OutcomeSet>
+CandidateEnumerator::runMulti(const std::vector<FilterFactory> &factories,
+                              std::vector<CheckerStats> *laneStats)
+{
+    GAM_TRACE_SCOPE("enum.run");
+    _stats = CheckerStats{};
+    _stats.rfStaticSkipped = _builder.rfStaticSkipped();
+
+    std::vector<litmus::OutcomeSet> outcomes(factories.size());
+    if (factories.empty()) {
+        if (laneStats)
+            laneStats->clear();
+        return outcomes;
+    }
+
+    std::vector<std::unique_ptr<IncrementalFilter>> owned;
+    std::vector<IncrementalFilter *> filters;
+    for (const FilterFactory &f : factories) {
+        GAM_ASSERT(f != nullptr, "runMulti: null factory");
+        owned.push_back(f());
+        GAM_ASSERT(owned.back() != nullptr, "null incremental filter");
+        filters.push_back(owned.back().get());
+    }
+
+    std::vector<CheckerStats> lanes(factories.size());
+    MultiCtx ctx{
+        .filters = std::move(filters),
+        .outcomes = &outcomes,
+        .lanes = &lanes,
+        .dormantAt = std::vector<int64_t>(factories.size(), -1),
+        .test = _builder.test()};
+    searchRfRangeMulti(ctx);
+
+    // Each lane's counters are exactly what a solo serial run() with
+    // its filter would report: the walk counters are common to every
+    // lane by construction, the pruning counters were kept per lane.
+    for (CheckerStats &lane : lanes) {
+        lane.rfCandidates = ctx.walk.rfCandidates;
+        lane.valueConsistent = ctx.walk.valueConsistent;
+        lane.valueCycles = ctx.walk.valueCycles;
+        lane.rfStaticSkipped = _stats.rfStaticSkipped;
+    }
+
+    // stats() describes the pass itself: the one shared walk, plus
+    // every lane's pruning and acceptance totals.
+    _stats.rfCandidates = ctx.walk.rfCandidates;
+    _stats.valueConsistent = ctx.walk.valueConsistent;
+    _stats.valueCycles = ctx.walk.valueCycles;
+    _stats.coCandidates = ctx.walk.coCandidates;
+    for (const CheckerStats &lane : lanes) {
+        _stats.rfPruned += lane.rfPruned;
+        _stats.partialsPruned += lane.partialsPruned;
+        _stats.subtreesSkipped =
+            satAdd(_stats.subtreesSkipped, lane.subtreesSkipped);
+        _stats.accepted += lane.accepted;
+        _stats.maxBacktrackDepth = std::max(_stats.maxBacktrackDepth,
+                                            lane.maxBacktrackDepth);
+    }
+    reportEnumMetrics(_stats);
+
+    if (laneStats)
+        *laneStats = std::move(lanes);
+    return outcomes;
+}
+
 namespace
 {
 

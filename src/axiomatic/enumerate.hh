@@ -352,6 +352,27 @@ class CandidateEnumerator
      */
     litmus::OutcomeSet runAll(const CandidateFilter &accept);
 
+    /**
+     * Decide N filters over ONE shared walk.  The rf-candidate stream,
+     * the value fixpoint and the coherence DFS are filter-independent,
+     * so N models cost one walk plus N filter evaluations instead of N
+     * walks -- the core amortization of the batched decide pipeline.
+     *
+     * Each filter receives exactly the callback sequence a solo serial
+     * run() with it would have produced: a filter that vetoes a
+     * pushStore still gets the matching popStore, then sees nothing
+     * from the vetoed subtree (the walk continues there only for the
+     * filters that accepted), and rejoins at the next sibling.  The
+     * returned outcome sets are therefore identical to N run() calls,
+     * and @p laneStats (when given) receives each filter's
+     * solo-equivalent counters.  The pass is serial --
+     * Options::searchThreads is ignored -- which is the campaign's
+     * configuration (its parallelism lives across units).
+     */
+    std::vector<litmus::OutcomeSet>
+    runMulti(const std::vector<FilterFactory> &factories,
+             std::vector<CheckerStats> *laneStats = nullptr);
+
     /** Counters of the last run. */
     const CheckerStats &stats() const { return _stats; }
 
@@ -359,6 +380,7 @@ class CandidateEnumerator
 
   private:
     struct SearchCtx;
+    struct MultiCtx;
 
     /** Enumerate the rf maps extending @p prefix; one worker's share. */
     void searchRfRange(size_t prefixLoads, uint64_t prefixIndex,
@@ -372,6 +394,12 @@ class CandidateEnumerator
     /** Recursive coherence extension over ctx.addrs[ai..]. */
     void descendCoherence(SearchCtx &ctx, size_t ai,
                           const CandidateExecution &partial) const;
+
+    /** The multi-filter mirrors of the three functions above. */
+    void searchRfRangeMulti(MultiCtx &ctx) const;
+    void searchCoherenceMulti(MultiCtx &ctx) const;
+    void descendCoherenceMulti(MultiCtx &ctx, size_t ai,
+                               const CandidateExecution &partial) const;
 
     /** Record one accepted complete candidate's outcome. */
     void recordOutcome(SearchCtx &ctx) const;

@@ -1,5 +1,6 @@
 #include "campaign/driver.hh"
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstdio>
@@ -237,7 +238,7 @@ runCampaign(const CampaignOptions &options, DecisionStore *store,
     // ---- decide ---------------------------------------------------
     harness::DecisionCache cache(options.cacheEntries);
     harness::RunOptions run = options.run;
-    run.threads = 1; // parallelism lives across shards, not inside engines
+    run.threads = 1; // parallelism lives across units, not inside engines
 
     std::vector<ShardTally> tallies(shard_count);
     std::atomic<uint64_t> done{0};
@@ -249,87 +250,233 @@ runCampaign(const CampaignOptions &options, DecisionStore *store,
     obs::Histogram &shard_decisions =
         obs::metrics().histogram("campaign.shard.decisions");
 
+    // Tally one decision into its home shard and report whether the
+    // verify sampler picked it; shared by both pipelines (the caller
+    // holds the shard's lock on the batched path).
+    auto tallyDecision = [&](ShardTally &tally, size_t p,
+                             const Decision &d) {
+        PairTally &pt = tally.pairs[p];
+        pt.model = pairs[p].first;
+        pt.engine = pairs[p].second;
+        ++pt.decided;
+        ++tally.decisions;
+        if (d.allowed) {
+            ++pt.allowed;
+            ++tally.allowed;
+        }
+        if (d.storeHit) {
+            ++pt.storeHits;
+            ++tally.storeHits;
+            store_hits.fetch_add(1, std::memory_order_relaxed);
+        }
+        tally.cacheHits += d.cacheHit ? 1 : 0;
+        tally.prescreened +=
+            d.prescreened != harness::PrescreenKind::None ? 1 : 0;
+        // Mirrors decide()'s backend-offer condition: a fresh complete
+        // answer (engine or prescreen) was persisted; served answers
+        // never are.
+        tally.storeWrites +=
+            store && !d.cacheHit && !d.storeHit && d.complete ? 1 : 0;
+        done.fetch_add(1, std::memory_order_relaxed);
+        return options.verifySample != 0
+            && tally.decisions % options.verifySample == 0;
+    };
+    // Re-decide from scratch -- no cache, no store -- and hold the
+    // answer against the persisted witness.  Returns true on match.
+    auto verifyDecision = [&](const Query &q, Engine e,
+                              const Decision &d) {
+        Decision fresh = harness::decide(q, nullptr, nullptr);
+        bool ok = fresh.allowed == d.allowed;
+        if (store) {
+            auto rec = store->record(harness::queryKey(q, e));
+            ok = ok && rec && rec->allowed == fresh.allowed
+                && rec->outcomeHash
+                    == litmus::outcomeSetHash(fresh.outcomes)
+                && rec->outcomeCount == fresh.outcomes.size();
+        }
+        return ok;
+    };
+    const auto decide_start = std::chrono::steady_clock::now();
+    // A shard is complete once its last unit is tallied: make its
+    // records durable *before* the checkpoint marks it done (a crash
+    // in between re-decides the shard; the reverse order would skip
+    // units whose answers were never persisted), then sample the
+    // per-shard histograms exactly once.
+    auto completeShard = [&](unsigned s) {
+        if (store)
+            store->flush();
+        if (checkpoint)
+            checkpoint->markDone(s);
+        const double shard_seconds =
+            std::chrono::duration<double>(
+                std::chrono::steady_clock::now() - decide_start)
+                .count();
+        shard_wall_us.sample(uint64_t(shard_seconds * 1e6));
+        shard_decisions.sample(tallies[s].decisions);
+        shards_finished.fetch_add(1, std::memory_order_release);
+    };
+
+    for (unsigned s : todo)
+        tallies[s].pairs.resize(pairs.size());
+
     ThreadPool pool(options.threads);
-    for (unsigned s : todo) {
-        pool.submit([&, s] {
-            GAM_TRACE_SCOPE("campaign.shard");
-            const auto shard_start = std::chrono::steady_clock::now();
-            ShardTally &tally = tallies[s];
-            tally.pairs.resize(pairs.size());
-            for (size_t i = s; i < units.size(); i += shard_count) {
-                const CanonicalCycle &cycle = units[i];
-                auto test = litmus::testFromCycle(cycle.name, cycle.edges,
-                                                  cycle.numLocations);
-                for (size_t p = 0; p < pairs.size(); ++p) {
-                    const auto [m, e] = pairs[p];
-                    Query q;
-                    q.test = &*test;
-                    q.model = m;
-                    q.engine = selectFor(e);
-                    q.options = run;
-                    Decision d = harness::decide(q, &cache, store);
+    if (options.batching) {
+        // Work-stealing over units: workers pull fixed-size chunks of
+        // the flattened work list from a shared cursor and decide each
+        // chunk as one harness::decideBatch() call (every model/engine
+        // pair of every unit in the chunk), so per-query fixed costs
+        // amortize and a slow unit delays one worker, not a whole
+        // static shard.  Shards survive purely as checkpoint + tally
+        // accounting: unit i still belongs to shard i mod N, and a
+        // shard completes when its outstanding unit count hits zero.
+        auto work = std::make_shared<std::vector<size_t>>();
+        std::vector<uint64_t> outstanding(shard_count, 0);
+        for (size_t i = 0; i < units.size(); ++i) {
+            const unsigned s = unsigned(i % shard_count);
+            if (checkpoint && checkpoint->isDone(s))
+                continue;
+            work->push_back(i);
+            ++outstanding[s];
+        }
+        // Empty shards (more shards than units) have nothing to wait
+        // for: complete them up front, as the static loops did.
+        for (unsigned s : todo)
+            if (outstanding[s] == 0)
+                completeShard(s);
 
-                    PairTally &pt = tally.pairs[p];
-                    pt.model = m;
-                    pt.engine = e;
-                    ++pt.decided;
-                    ++tally.decisions;
-                    if (d.allowed) {
-                        ++pt.allowed;
-                        ++tally.allowed;
-                    }
-                    if (d.storeHit) {
-                        ++pt.storeHits;
-                        ++tally.storeHits;
-                        store_hits.fetch_add(1,
-                                             std::memory_order_relaxed);
-                    }
-                    tally.cacheHits += d.cacheHit ? 1 : 0;
-                    tally.prescreened +=
-                        d.prescreened != harness::PrescreenKind::None ? 1
-                                                                      : 0;
-                    // Mirrors decide()'s backend-offer condition: a
-                    // fresh complete answer (engine or prescreen) was
-                    // persisted; served answers never are.
-                    tally.storeWrites += store && !d.cacheHit
-                            && !d.storeHit && d.complete
-                        ? 1 : 0;
-                    done.fetch_add(1, std::memory_order_relaxed);
+        auto remaining =
+            std::make_shared<std::vector<std::atomic<uint64_t>>>(
+                shard_count);
+        for (unsigned s = 0; s < shard_count; ++s)
+            (*remaining)[s].store(outstanding[s],
+                                  std::memory_order_relaxed);
+        auto shard_mu =
+            std::make_shared<std::vector<std::mutex>>(shard_count);
+        auto cursor = std::make_shared<std::atomic<size_t>>(0);
 
-                    if (options.verifySample
-                        && tally.decisions % options.verifySample == 0) {
-                        // Re-decide from scratch -- no cache, no store
-                        // -- and hold the answer against the persisted
-                        // witness.
-                        Decision fresh =
-                            harness::decide(q, nullptr, nullptr);
-                        ++tally.verified;
-                        bool ok = fresh.allowed == d.allowed;
-                        if (store) {
-                            auto rec =
-                                store->record(harness::queryKey(q, e));
-                            ok = ok && rec && rec->allowed == fresh.allowed
-                                && rec->outcomeHash
-                                    == litmus::outcomeSetHash(
-                                        fresh.outcomes)
-                                && rec->outcomeCount
-                                    == fresh.outcomes.size();
+        // Chunk size trades steal frequency against batch
+        // amortization: 64 units x a typical 4-pair matrix is a
+        // 256-query batch, which keeps the batch's ppo-shape and
+        // prescreen memos hot across units (cycle tests share thread
+        // shapes heavily) and spreads BatchContext setup thin, while
+        // still leaving enough steals per real campaign to keep the
+        // tail balanced.
+        constexpr size_t ChunkUnits = 64;
+        const unsigned workers = std::max(
+            1u,
+            std::min(pool.threadCount(),
+                     unsigned((work->size() + ChunkUnits - 1)
+                              / ChunkUnits)));
+        for (unsigned w = 0; w < workers; ++w) {
+            pool.submit([&, work, remaining, shard_mu, cursor] {
+                GAM_TRACE_SCOPE("campaign.worker");
+                struct Sample
+                {
+                    Query query;
+                    Engine engine;
+                    Decision decision;
+                    unsigned shard;
+                };
+                for (;;) {
+                    const size_t begin = cursor->fetch_add(
+                        ChunkUnits, std::memory_order_relaxed);
+                    if (begin >= work->size())
+                        return;
+                    const size_t end = std::min(
+                        begin + ChunkUnits, work->size());
+
+                    std::vector<litmus::LitmusTest> tests;
+                    tests.reserve(end - begin);
+                    for (size_t w2 = begin; w2 < end; ++w2) {
+                        const CanonicalCycle &cycle =
+                            units[(*work)[w2]];
+                        auto test = litmus::testFromCycle(
+                            cycle.name, cycle.edges,
+                            cycle.numLocations);
+                        tests.push_back(std::move(*test));
+                    }
+                    std::vector<Query> batch;
+                    batch.reserve((end - begin) * pairs.size());
+                    for (size_t w2 = begin; w2 < end; ++w2) {
+                        for (const auto &[m, e] : pairs) {
+                            Query q;
+                            q.test = &tests[w2 - begin];
+                            q.model = m;
+                            q.engine = selectFor(e);
+                            q.options = run;
+                            batch.push_back(q);
                         }
+                    }
+                    const std::vector<Decision> decisions =
+                        harness::decideBatch(batch, &cache, store);
+
+                    // Tally under the home shard's lock; run the
+                    // sampled verification re-decides after releasing
+                    // it (they are full engine runs).
+                    std::vector<Sample> samples;
+                    size_t qi = 0;
+                    for (size_t w2 = begin; w2 < end; ++w2) {
+                        const unsigned s =
+                            unsigned((*work)[w2] % shard_count);
+                        {
+                            std::lock_guard<std::mutex> lock(
+                                (*shard_mu)[s]);
+                            for (size_t p = 0; p < pairs.size();
+                                 ++p, ++qi) {
+                                if (tallyDecision(tallies[s], p,
+                                                  decisions[qi]))
+                                    samples.push_back(
+                                        {batch[qi], pairs[p].second,
+                                         decisions[qi], s});
+                            }
+                        }
+                        if ((*remaining)[s].fetch_sub(
+                                1, std::memory_order_acq_rel) == 1)
+                            completeShard(s);
+                    }
+                    for (const Sample &sample : samples) {
+                        const bool ok = verifyDecision(
+                            sample.query, sample.engine,
+                            sample.decision);
+                        std::lock_guard<std::mutex> lock(
+                            (*shard_mu)[sample.shard]);
+                        ShardTally &tally = tallies[sample.shard];
+                        ++tally.verified;
                         if (!ok)
                             ++tally.verifyMismatches;
                     }
                 }
-            }
-            if (checkpoint)
-                checkpoint->markDone(s);
-            const double shard_seconds =
-                std::chrono::duration<double>(
-                    std::chrono::steady_clock::now() - shard_start)
-                    .count();
-            shard_wall_us.sample(uint64_t(shard_seconds * 1e6));
-            shard_decisions.sample(tally.decisions);
-            shards_finished.fetch_add(1, std::memory_order_release);
-        });
+            });
+        }
+    } else {
+        // The PR 8 pipeline: static unit -> shard assignment, one
+        // decide() per query.  Kept as the A/B baseline bench_campaign
+        // measures the batched pipeline against.
+        for (unsigned s : todo) {
+            pool.submit([&, s] {
+                GAM_TRACE_SCOPE("campaign.shard");
+                ShardTally &tally = tallies[s];
+                for (size_t i = s; i < units.size(); i += shard_count) {
+                    const CanonicalCycle &cycle = units[i];
+                    auto test = litmus::testFromCycle(
+                        cycle.name, cycle.edges, cycle.numLocations);
+                    for (size_t p = 0; p < pairs.size(); ++p) {
+                        Query q;
+                        q.test = &*test;
+                        q.model = pairs[p].first;
+                        q.engine = selectFor(pairs[p].second);
+                        q.options = run;
+                        Decision d = harness::decide(q, &cache, store);
+                        if (tallyDecision(tally, p, d)) {
+                            ++tally.verified;
+                            if (!verifyDecision(q, pairs[p].second, d))
+                                ++tally.verifyMismatches;
+                        }
+                    }
+                }
+                completeShard(s);
+            });
+        }
     }
 
     // Coordinate: poll for progress while the pool drains.
@@ -402,6 +549,19 @@ runCampaign(const CampaignOptions &options, DecisionStore *store,
             .inc(result.verifyMismatches);
         reg.counter("campaign.shards.done").inc(result.shardsDone);
         reg.counter("campaign.shards.resumed").inc(result.shardsResumed);
+        // The symmetry quotient's work ledger: how many realisable
+        // rotation-canonical cycles the Full form folded away, and
+        // what survived (campaign.units already counts post-dedupe).
+        reg.counter("campaign.symmetry.duplicates")
+            .inc(result.enumerate.symmetryDuplicates);
+        reg.counter("campaign.symmetry.emitted")
+            .inc(result.enumerate.emitted);
+        reg.gauge("campaign.symmetry.shrink")
+            .set(result.enumerate.emitted
+                     ? double(result.enumerate.emitted
+                              + result.enumerate.symmetryDuplicates)
+                         / double(result.enumerate.emitted)
+                     : 0.0);
         reg.gauge("campaign.wall_seconds").set(result.seconds);
         reg.gauge("campaign.decisions_per_second")
             .set(result.seconds > 0.0
@@ -430,9 +590,12 @@ formatCampaign(const CampaignResult &r)
     std::ostringstream os;
     os << "universe: " << r.enumerate.emitted << " canonical cycles ("
        << r.enumerate.rotationDuplicates << " rotation duplicates, "
-       << r.enumerate.unrealisable << " unrealisable), " << r.units
-       << " tests after deduping " << r.duplicateTests
-       << " repeated lowerings\n";
+       << r.enumerate.unrealisable << " unrealisable";
+    if (r.enumerate.symmetryDuplicates)
+        os << ", " << r.enumerate.symmetryDuplicates
+           << " symmetry duplicates";
+    os << "), " << r.units << " tests after deduping "
+       << r.duplicateTests << " repeated lowerings\n";
     os << "decisions: " << r.decisions << " across " << r.pairs
        << " model/engine pairs";
     if (r.skippedPairs)
@@ -515,6 +678,62 @@ formatStoreSummary(const DecisionStore &store,
                << " records, " << b.allowed << " allowed, "
                << b.prescreened << " prescreened\n";
         }
+    return os.str();
+}
+
+std::vector<Disagreement>
+disagreeingTests(const DecisionStore &store, ModelKind a, ModelKind b)
+{
+    struct Verdict
+    {
+        uint64_t key = ~0ull;
+        bool allowed = false;
+        bool present = false;
+    };
+    // Smallest-key record speaks for each (test, model) side.
+    std::unordered_map<uint64_t, std::pair<Verdict, Verdict>> byTest;
+    store.forEach([&](const StoreRecord &rec) {
+        if (rec.model != a && rec.model != b)
+            return;
+        auto &sides = byTest[rec.testFingerprint];
+        Verdict &v = rec.model == a ? sides.first : sides.second;
+        if (!v.present || rec.key < v.key)
+            v = {rec.key, rec.allowed, true};
+    });
+
+    std::vector<Disagreement> out;
+    for (const auto &[fp, sides] : byTest) {
+        const auto &[va, vb] = sides;
+        if (va.present && vb.present && va.allowed != vb.allowed)
+            out.push_back({fp, va.allowed, vb.allowed});
+    }
+    std::sort(out.begin(), out.end(),
+              [](const Disagreement &x, const Disagreement &y) {
+                  return x.testFingerprint < y.testFingerprint;
+              });
+    return out;
+}
+
+std::string
+formatDisagreements(const DecisionStore &store, ModelKind a, ModelKind b)
+{
+    const std::vector<Disagreement> list = disagreeingTests(store, a, b);
+    std::ostringstream os;
+    os << model::modelName(a) << " vs " << model::modelName(b) << ": "
+       << list.size() << " disagreeing tests\n";
+    constexpr size_t MaxListed = 20;
+    for (size_t i = 0; i < list.size() && i < MaxListed; ++i) {
+        const Disagreement &d = list[i];
+        char fp[17];
+        std::snprintf(fp, sizeof(fp), "%016llx",
+                      static_cast<unsigned long long>(d.testFingerprint));
+        os << "  test " << fp << ": " << model::modelName(a) << " "
+           << (d.aAllowed ? "allows" : "forbids") << ", "
+           << model::modelName(b) << " "
+           << (d.bAllowed ? "allows" : "forbids") << "\n";
+    }
+    if (list.size() > MaxListed)
+        os << "  ... and " << (list.size() - MaxListed) << " more\n";
     return os.str();
 }
 

@@ -83,6 +83,17 @@ struct CampaignOptions
     /** Engine knobs for every decision (threads forced to 1: the
      *  campaign parallelises across shards, not within engines). */
     harness::RunOptions run;
+    /**
+     * Decide through the batched pipeline (harness::decideBatch) with
+     * work-stealing unit assignment: workers pull fixed-size chunks of
+     * units from a shared cursor, so one slow unit no longer idles
+     * every other worker mapped to its shard.  False falls back to the
+     * static unit->shard loops with one decide() per query -- the PR 8
+     * pipeline, kept so bench_campaign can measure what batching buys.
+     * Tallies, checkpoint semantics and results are identical either
+     * way (campaign_test pins it).
+     */
+    bool batching = true;
 };
 
 /** One (model, engine) pair's outcome tallies. */
@@ -176,6 +187,32 @@ std::string
 formatStoreSummary(const DecisionStore &store,
                    std::optional<model::ModelKind> model = std::nullopt,
                    std::optional<bool> allowed = std::nullopt);
+
+/** One test two models decide differently (store-resident verdicts). */
+struct Disagreement
+{
+    /** litmus::fingerprint of the disagreeing test. */
+    uint64_t testFingerprint = 0;
+    bool aAllowed = false;
+    bool bAllowed = false;
+};
+
+/**
+ * Every test with persisted records under both @p a and @p b whose
+ * verdicts differ, sorted by fingerprint (deterministic).  When a
+ * model has several records for one test (multiple engines), the
+ * record with the smallest key speaks for it -- engines are
+ * differential-tested to agree, so any spread would itself be a bug
+ * the verify sampler flags.  The `campaign query --disagree` axis:
+ * where in the bounded universe do two models actually part ways?
+ */
+std::vector<Disagreement> disagreeingTests(const DecisionStore &store,
+                                           model::ModelKind a,
+                                           model::ModelKind b);
+
+/** Human-readable rendering of disagreeingTests(). */
+std::string formatDisagreements(const DecisionStore &store,
+                                model::ModelKind a, model::ModelKind b);
 
 } // namespace gam::campaign
 

@@ -4,6 +4,7 @@
 
 #include "base/hashing.hh"
 #include "base/logging.hh"
+#include "campaign/symmetry.hh"
 
 namespace gam::campaign
 {
@@ -441,6 +442,11 @@ class Enumerator
             ++stats.unrealisable;
             return;
         }
+        if (opt.canonical == CanonicalForm::Full
+            && !isFullCanonical(cycle.edges, cycle.numLocations, opt)) {
+            ++stats.symmetryDuplicates;
+            return;
+        }
         ++stats.emitted;
         if (!emit(cycle))
             stopped = true;
@@ -472,7 +478,8 @@ EnumerateOptions::fingerprint() const
     h.add(uint64_t(maxThreads));
     h.add(uint64_t(maxLocations));
     h.add((fences ? 1u : 0u) | (deps ? 2u : 0u) | (rmws ? 4u : 0u)
-          | (matchedFencesOnly ? 8u : 0u));
+          | (matchedFencesOnly ? 8u : 0u)
+          | (canonical == CanonicalForm::Full ? 16u : 0u));
     return h.digest();
 }
 

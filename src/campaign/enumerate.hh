@@ -70,6 +70,21 @@ struct CanonicalCycle
     std::string name;
 };
 
+/**
+ * Which canonical form the enumeration quotients by.
+ *
+ *   Rotation  the PR 8 form: least communication-ending rotation
+ *             under restricted-growth location labels.  One
+ *             representative per cycle-level isomorphism class.
+ *   Full      Rotation plus the verdict-preserving moves of
+ *             campaign/symmetry.hh: per-thread decoration
+ *             equivalence (equal ppo closures under the shipped pair
+ *             semantics) and critical-core contraction.  One
+ *             representative per class of tests no shipped model can
+ *             tell apart; shrinks the length-<=6 universe ~4.3x.
+ */
+enum class CanonicalForm : uint8_t { Rotation, Full };
+
 /** Bounds of one exhaustive enumeration. */
 struct EnumerateOptions
 {
@@ -93,6 +108,9 @@ struct EnumerateOptions
      */
     bool matchedFencesOnly = true;
 
+    /** Which symmetry quotient the emitted universe represents. */
+    CanonicalForm canonical = CanonicalForm::Rotation;
+
     /** 64-bit digest of every field (campaign config identity). */
     uint64_t fingerprint() const;
 };
@@ -107,6 +125,10 @@ struct EnumerateStats
     /** Canonical cycles litmus::testFromCycle() rejected (register or
      *  event-budget overflow in the lowering). */
     uint64_t unrealisable = 0;
+    /** CanonicalForm::Full only: realisable rotation-canonical cycles
+     *  rejected as non-canonical members of their verdict-equivalence
+     *  class (see campaign/symmetry.hh for the split). */
+    uint64_t symmetryDuplicates = 0;
 };
 
 /**

@@ -1,5 +1,6 @@
 #include "campaign/store.hh"
 
+#include <algorithm>
 #include <array>
 #include <filesystem>
 
@@ -118,7 +119,9 @@ writeHeader(std::FILE *f)
 
 } // namespace
 
-DecisionStore::DecisionStore(const std::string &path) : filePath(path)
+DecisionStore::DecisionStore(const std::string &path, StoreOptions opts)
+    : filePath(path), options(opts),
+      lastFlush(std::chrono::steady_clock::now())
 {
     namespace fs = std::filesystem;
 
@@ -139,10 +142,12 @@ DecisionStore::DecisionStore(const std::string &path) : filePath(path)
                 auto r = decodeRecord(buf);
                 if (!r)
                     break; // first corrupt record: the tail starts here
-                if (index.emplace(r->key, *r).second)
+                if (index.emplace(r->key, *r).second) {
                     ++counters.loaded;
-                else
+                    testIndex[r->testFingerprint].push_back(r->key);
+                } else {
                     ++counters.duplicates;
+                }
             }
         }
         std::fclose(in);
@@ -231,6 +236,7 @@ DecisionStore::store(uint64_t key, const harness::Query &query,
         ++counters.duplicates;
         return;
     }
+    testIndex[r.testFingerprint].push_back(key);
     append(r);
 }
 
@@ -242,11 +248,19 @@ DecisionStore::append(const StoreRecord &r)
     const size_t n = std::fwrite(buf, 1, RecordSize, log);
     GAM_ASSERT(n == RecordSize, "campaign store '%s': append failed",
                filePath.c_str());
-    // Per-record flush: a killed campaign loses at most the record
-    // being written (a torn tail the next open truncates), not a
-    // buffer full of finished work.
-    std::fflush(log);
     ++counters.appended;
+    // Group flush: fflush every K records or T ms instead of per
+    // record.  A kill between flushes loses at most one group of
+    // finished answers to the torn-tail truncation at the next open
+    // -- bounded, re-decidable work -- while a cold campaign stops
+    // paying one flush per decision.
+    ++pendingAppends;
+    const bool due = pendingAppends >= options.flushEveryRecords
+        || (options.flushIntervalMs != 0
+            && std::chrono::steady_clock::now() - lastFlush
+                >= std::chrono::milliseconds(options.flushIntervalMs));
+    if (due)
+        flushLocked();
 }
 
 std::optional<StoreRecord>
@@ -286,8 +300,89 @@ void
 DecisionStore::flush()
 {
     std::lock_guard<std::mutex> lock(mu);
+    flushLocked();
+}
+
+void
+DecisionStore::flushLocked()
+{
     if (log)
         std::fflush(log);
+    pendingAppends = 0;
+    lastFlush = std::chrono::steady_clock::now();
+}
+
+std::vector<StoreRecord>
+DecisionStore::recordsForTest(uint64_t testFingerprint) const
+{
+    std::lock_guard<std::mutex> lock(mu);
+    std::vector<StoreRecord> out;
+    auto it = testIndex.find(testFingerprint);
+    if (it == testIndex.end())
+        return out;
+    out.reserve(it->second.size());
+    for (uint64_t key : it->second)
+        out.push_back(index.at(key));
+    std::sort(out.begin(), out.end(),
+              [](const StoreRecord &a, const StoreRecord &b) {
+                  return a.key < b.key;
+              });
+    return out;
+}
+
+size_t
+DecisionStore::distinctTests() const
+{
+    std::lock_guard<std::mutex> lock(mu);
+    return testIndex.size();
+}
+
+CompactStats
+compactStores(const std::vector<std::string> &inputs,
+              const std::string &output)
+{
+    CompactStats stats;
+    std::unordered_map<uint64_t, StoreRecord> merged;
+    for (const std::string &in : inputs) {
+        GAM_ASSERT(in != output,
+                   "campaign compact: output '%s' is also an input",
+                   output.c_str());
+        DecisionStore store(in);
+        ++stats.inputs;
+        store.forEach([&](const StoreRecord &r) {
+            ++stats.scanned;
+            if (!merged.emplace(r.key, r).second)
+                ++stats.duplicates;
+        });
+    }
+
+    // Key order makes the output a pure function of the merged record
+    // set: compacting the same inputs twice yields identical bytes.
+    std::vector<const StoreRecord *> ordered;
+    ordered.reserve(merged.size());
+    for (const auto &[key, r] : merged)
+        ordered.push_back(&r);
+    std::sort(ordered.begin(), ordered.end(),
+              [](const StoreRecord *a, const StoreRecord *b) {
+                  return a->key < b->key;
+              });
+
+    std::FILE *out = std::fopen(output.c_str(), "wb");
+    GAM_ASSERT(out != nullptr, "campaign compact: cannot create '%s'",
+               output.c_str());
+    writeHeader(out);
+    for (const StoreRecord *r : ordered) {
+        unsigned char buf[RecordSize];
+        encodeRecord(*r, buf);
+        const size_t n = std::fwrite(buf, 1, RecordSize, out);
+        GAM_ASSERT(n == RecordSize,
+                   "campaign compact: short write to '%s'",
+                   output.c_str());
+    }
+    GAM_ASSERT(std::fflush(out) == 0 && std::fclose(out) == 0,
+               "campaign compact: cannot finish '%s'", output.c_str());
+    stats.merged = ordered.size();
+    return stats;
 }
 
 } // namespace gam::campaign

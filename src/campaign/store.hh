@@ -15,17 +15,23 @@
  * stored answer still matches the engines bit-for-bit.
  *
  * Crash safety is recovery-side, not write-side: appends are plain
- * buffered writes flushed per record, and opening a store validates
- * the log prefix record by record, truncating everything from the
- * first short or checksum-failed record onward (a torn tail from a
- * kill or power cut) instead of refusing the file.  Lost tail records
- * simply get re-decided and re-appended; every surviving record was
- * validated, so a load never serves corrupted bytes.
+ * buffered writes, group-flushed every K records or T milliseconds
+ * (StoreOptions; explicit flush() at shard boundaries), and opening a
+ * store validates the log prefix record by record, truncating
+ * everything from the first short or checksum-failed record onward (a
+ * torn tail from a kill or power cut) instead of refusing the file.
+ * Lost tail records simply get re-decided and re-appended; every
+ * surviving record was validated, so a load never serves corrupted
+ * bytes.  Group flushing only widens the at-risk tail from one record
+ * to one flush group -- the campaign driver still flushes before a
+ * checkpoint marks a shard done, so a resume never skips units whose
+ * answers were lost.
  */
 
 #ifndef GAM_CAMPAIGN_STORE_HH
 #define GAM_CAMPAIGN_STORE_HH
 
+#include <chrono>
 #include <cstdint>
 #include <cstdio>
 #include <functional>
@@ -33,6 +39,7 @@
 #include <optional>
 #include <string>
 #include <unordered_map>
+#include <vector>
 
 #include "harness/decision.hh"
 
@@ -74,6 +81,36 @@ struct StoreStats
     uint64_t duplicates = 0;
 };
 
+/** Write-side knobs of one DecisionStore. */
+struct StoreOptions
+{
+    /**
+     * Flush the append log after this many buffered records.  1
+     * reproduces the original per-record flush (bench_campaign's A/B
+     * baseline); the default trades at most one group of records --
+     * bounded work, always recoverable by re-deciding -- for an
+     * order-of-magnitude fewer flush syscalls on a cold campaign.
+     */
+    uint64_t flushEveryRecords = 256;
+    /** Also flush when this many milliseconds have passed since the
+     *  last one (0 disables the timer), so a slow trickle of appends
+     *  still reaches the disk promptly. */
+    uint64_t flushIntervalMs = 200;
+};
+
+/** Outcome of one compactStores() merge. */
+struct CompactStats
+{
+    /** Input files read. */
+    uint64_t inputs = 0;
+    /** Valid records scanned across all inputs. */
+    uint64_t scanned = 0;
+    /** Distinct keys written to the output. */
+    uint64_t merged = 0;
+    /** Records dropped as key duplicates (first input wins). */
+    uint64_t duplicates = 0;
+};
+
 /**
  * The append-log store.  Thread-safe: campaign workers call
  * load()/store() concurrently through decide().  One process owns a
@@ -87,7 +124,8 @@ class DecisionStore final : public harness::DecisionBackend
      * record and truncating any torn tail.  Asserts that an existing
      * non-empty file is actually a campaign store (magic + version).
      */
-    explicit DecisionStore(const std::string &path);
+    explicit DecisionStore(const std::string &path,
+                           StoreOptions options = {});
     ~DecisionStore() override;
 
     DecisionStore(const DecisionStore &) = delete;
@@ -113,25 +151,60 @@ class DecisionStore final : public harness::DecisionBackend
     /** Visit every resident record (order unspecified). */
     void forEach(const std::function<void(const StoreRecord &)> &fn) const;
 
+    /**
+     * Every resident record for @p testFingerprint, in key order
+     * (deterministic).  Served by the in-memory test-fingerprint index
+     * built at open and maintained per append -- the `campaign query
+     * --disagree` axis: one test's verdicts across models without a
+     * full log scan.
+     */
+    std::vector<StoreRecord> recordsForTest(uint64_t testFingerprint)
+        const;
+
+    /** Distinct test fingerprints resident. */
+    size_t distinctTests() const;
+
     /** Records resident (recovered + appended this session). */
     size_t size() const;
 
     StoreStats stats() const;
 
-    /** Push buffered appends to the OS (also done per append). */
+    /** Push buffered appends to the OS (group flushing defers this to
+     *  every K records / T ms; call at durability boundaries). */
     void flush();
 
     const std::string &path() const { return filePath; }
 
   private:
     void append(const StoreRecord &record);
+    void flushLocked();
 
     const std::string filePath;
+    const StoreOptions options;
     mutable std::mutex mu;
     std::unordered_map<uint64_t, StoreRecord> index;
+    /** testFingerprint -> keys of its records (insertion order). */
+    std::unordered_map<uint64_t, std::vector<uint64_t>> testIndex;
     std::FILE *log = nullptr;
     StoreStats counters;
+    /** Appends since the last flush, and when that flush happened. */
+    uint64_t pendingAppends = 0;
+    std::chrono::steady_clock::time_point lastFlush;
 };
+
+/**
+ * Merge every valid record of @p inputs into a fresh store file at
+ * @p output (overwritten), deduping by key -- the first input file
+ * containing a key wins, matching the store's own first-write-wins
+ * append rule.  Records are written in key order, so compacting the
+ * same inputs always produces a byte-identical file.  Each input is
+ * opened with full recovery, so compaction also heals torn tails.
+ * The `campaign compact` subcommand: shard-per-store campaigns and
+ * crashed runs leave multiple partial logs behind; one compacted
+ * store serves a resume with a single index.
+ */
+CompactStats compactStores(const std::vector<std::string> &inputs,
+                           const std::string &output);
 
 } // namespace gam::campaign
 

@@ -79,6 +79,18 @@ class CatEngine
     const CompiledPlan &plan();
 
     /**
+     * Adopt an already-compiled plan for this engine's model instead
+     * of compiling lazily.  The batched decide pipeline
+     * (harness::decideBatch) compiles each distinct model once per
+     * batch and shares the plan across every query in the (model,
+     * engine) group; compiling is by far the largest per-query fixed
+     * cost on small campaign tests.  @p plan must have been produced
+     * by compileCatModel() on this engine's model (the caller keys by
+     * CatModel::sourceHash).  No-op in Mode::Interpreted.
+     */
+    void usePlan(std::shared_ptr<const CompiledPlan> plan);
+
+    /**
      * The pre-incremental pipeline: full evaluation of every complete
      * candidate, no pruning.  The reference side of differential
      * tests and the pruning benchmarks; identical outcome set to

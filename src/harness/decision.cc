@@ -3,12 +3,16 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <map>
 #include <mutex>
+#include <numeric>
 #include <unordered_map>
+#include <utility>
 
 #include "analysis/prescreen.hh"
 #include "base/hashing.hh"
 #include "base/logging.hh"
+#include "cat/compile.hh"
 #include "cat/engine.hh"
 #include "obs/registry.hh"
 #include "obs/trace.hh"
@@ -164,8 +168,15 @@ globalDecisionCache()
 
 // ------------------------------------------------------------ decide
 
+namespace
+{
+
+/** queryKey() with the test fingerprint precomputed: the batched
+ *  pipeline hashes each distinct test once per batch, not once per
+ *  (model, engine) key derivation. */
 uint64_t
-queryKey(const Query &query, Engine engine)
+queryKeyHashed(uint64_t testFingerprint, const Query &query,
+               Engine engine)
 {
     // Canonicalize result-irrelevant knobs away before hashing.  Only
     // complete decisions are ever cached, and a complete outcome set
@@ -189,7 +200,7 @@ queryKey(const Query &query, Engine engine)
         canonical.axiomatic.enforceInstOrder = true;
 
     StateHasher h;
-    h.add(litmus::fingerprint(*query.test));
+    h.add(testFingerprint);
     h.add(uint64_t(query.model));
     h.add(uint64_t(engine));
     h.add(canonical.fingerprint());
@@ -201,6 +212,15 @@ queryKey(const Query &query, Engine engine)
         h.add(m.sourceHash);
     }
     return h.digest();
+}
+
+} // anonymous namespace
+
+uint64_t
+queryKey(const Query &query, Engine engine)
+{
+    return queryKeyHashed(litmus::fingerprint(*query.test), query,
+                          engine);
 }
 
 Engine
@@ -234,19 +254,134 @@ anyConditionMatch(const litmus::LitmusTest &test,
     return false;
 }
 
-void
-runAxiomatic(const Query &query, Decision &d)
+/** The arena / fused-group signature of a set of checker options:
+ *  everything a CandidateBuilder's static tables depend on. */
+uint64_t
+axOptionsKey(const axiomatic::Options &opts)
 {
-    // Seed undetermined-value (OOTA) candidates exactly as
-    // Checker::isAllowed() does, so OOTA-style queries are decided by
-    // the axioms rather than by omission.  Under every shipped model
-    // such candidates are rejected either way, so this does not
-    // change the outcome set.
+    StateHasher h;
+    h.add(opts.enforceInstOrder ? 1 : 0);
+    h.add(uint64_t(opts.searchThreads));
+    h.separator();
+    for (isa::Value v : opts.seedValues)
+        h.add(uint64_t(v));
+    return h.digest();
+}
+
+/**
+ * Per-batch shared state (one per decideBatch() call, single worker,
+ * no locking): the amortizable fixed costs of the decide pipeline.
+ * Every entry is keyed so that sharing can never change a result --
+ * test fingerprints by test identity, compiled plans by model content
+ * hash, candidate arenas by (test, seeded-options) identity, ppo
+ * results by everything preservedProgramOrder() reads.
+ */
+struct BatchContext
+{
+    /** litmus::fingerprint() per distinct test, hashed once. */
+    std::unordered_map<const litmus::LitmusTest *, uint64_t> testFps;
+    /** Compiled cat plan per CatModel::sourceHash. */
+    std::unordered_map<uint64_t,
+                       std::shared_ptr<const cat::CompiledPlan>>
+        plans;
+    /** CandidateBuilder arena per (test, options signature). */
+    std::map<std::pair<const litmus::LitmusTest *, uint64_t>,
+             std::unique_ptr<axiomatic::CandidateEnumerator>>
+        arenas;
+    /**
+     * Memoized ppo closures shared by every built-in filter lane of
+     * every fused enumeration in the batch (axiomatic::PpoCache): the
+     * same few (model, thread shape, rf) triples recur across rf
+     * candidates and across the batch's tests.
+     */
+    axiomatic::PpoCache ppoShapes;
+    /**
+     * One prescreen value fixpoint per test, shared across the
+     * batch's models (the fixpoint is model-independent; only the
+     * cheap ppo walk of screen() is per-model).
+     */
+    std::unordered_map<const litmus::LitmusTest *,
+                       std::unique_ptr<analysis::PrescreenAnalysis>>
+        prescreens;
+    /** Plans / arenas served from the batch instead of rebuilt. */
+    uint64_t planReuse = 0;
+    uint64_t arenaReuse = 0;
+
+    uint64_t
+    testFp(const litmus::LitmusTest &test)
+    {
+        auto [it, fresh] = testFps.try_emplace(&test, 0);
+        if (fresh)
+            it->second = litmus::fingerprint(test);
+        return it->second;
+    }
+
+    std::shared_ptr<const cat::CompiledPlan>
+    planFor(const cat::CatModel &model)
+    {
+        auto [it, fresh] = plans.try_emplace(model.sourceHash);
+        if (fresh)
+            it->second = cat::compileCatModel(model);
+        else
+            ++planReuse;
+        return it->second;
+    }
+
+    const analysis::PrescreenAnalysis &
+    prescreenFor(const litmus::LitmusTest &test)
+    {
+        auto [it, fresh] = prescreens.try_emplace(&test);
+        if (fresh) {
+            it->second =
+                std::make_unique<analysis::PrescreenAnalysis>(test);
+        }
+        return *it->second;
+    }
+
+    axiomatic::CandidateEnumerator &
+    arenaFor(const litmus::LitmusTest &test,
+             const axiomatic::Options &opts)
+    {
+        auto [it, fresh] =
+            arenas.try_emplace({&test, axOptionsKey(opts)}, nullptr);
+        if (fresh) {
+            it->second = std::make_unique<
+                axiomatic::CandidateEnumerator>(test, opts);
+        } else {
+            ++arenaReuse;
+        }
+        return *it->second;
+    }
+};
+
+/** The per-query seeded checker options runAxiomatic()/runCat()
+ *  share: OOTA candidates are seeded exactly as Checker::isAllowed()
+ *  does, so OOTA-style queries are decided by the axioms rather than
+ *  by omission.  Under every shipped model such candidates are
+ *  rejected either way, so this does not change the outcome set. */
+axiomatic::Options
+seededOptions(const Query &query)
+{
     axiomatic::Options opts = axiomatic::withConditionSeeds(
         *query.test, query.options.axiomatic);
     opts.searchThreads = query.options.threads;
+    return opts;
+}
+
+void
+runAxiomatic(const Query &query, Decision &d, BatchContext *batch)
+{
+    const axiomatic::Options opts = seededOptions(query);
     axiomatic::Checker checker(*query.test, query.model, opts);
-    d.outcomes = checker.enumerate();
+    if (batch) {
+        // One CandidateBuilder arena per test, shared across every
+        // model in the batch: static rf feasibility and the site
+        // tables depend only on (test, options).
+        d.outcomes =
+            checker.enumerateOn(batch->arenaFor(*query.test, opts));
+    } else {
+        d.outcomes = checker.enumerate();
+    }
     d.allowed = anyConditionMatch(*query.test, d.outcomes);
     d.statesVisited = checker.stats().coCandidates;
     d.enumStats = checker.stats();
@@ -254,20 +389,19 @@ runAxiomatic(const Query &query, Decision &d)
 }
 
 void
-runCat(const Query &query, Decision &d)
+runCat(const Query &query, Decision &d, BatchContext *batch)
 {
     const cat::CatModel &m = query.catModel
         ? *query.catModel : cat::builtinCatModel(query.model);
     // Seed OOTA candidates exactly as runAxiomatic() does: the two
     // engines share the candidate builder, so this keeps them
     // verdict-comparable query-for-query.
-    axiomatic::Options opts = axiomatic::withConditionSeeds(
-        *query.test, query.options.axiomatic);
-    opts.searchThreads = query.options.threads;
-    cat::CatEngine engine(*query.test, m, opts,
+    cat::CatEngine engine(*query.test, m, seededOptions(query),
                           query.options.catCompile
                               ? cat::CatEngine::Mode::Compiled
                               : cat::CatEngine::Mode::Interpreted);
+    if (batch && query.options.catCompile)
+        engine.usePlan(batch->planFor(m));
     d.outcomes = engine.enumerate();
     d.allowed = anyConditionMatch(*query.test, d.outcomes);
     d.statesVisited = engine.stats().coCandidates;
@@ -377,10 +511,103 @@ decideMetrics()
     return m;
 }
 
-} // namespace
+/**
+ * decideBatch()'s own registry metrics.  batch.queries counts queries
+ * routed through a batch; plan_reuse / arena_reuse count how often a
+ * compiled cat plan or a CandidateBuilder arena was served from the
+ * batch context instead of rebuilt; fused_groups / fused_queries
+ * count the fused enumeration passes and the axiomatic engine runs
+ * they absorbed (fused_queries / fused_groups is the fan-in the
+ * multi-filter walk buys -- the dominant batch amortization, which is
+ * also why arena_reuse is normally 0 now: one fused pass per arena).
+ */
+struct BatchMetrics
+{
+    obs::Counter &calls = obs::metrics().counter("decide.batch.calls");
+    obs::Counter &queries =
+        obs::metrics().counter("decide.batch.queries");
+    obs::Counter &groups =
+        obs::metrics().counter("decide.batch.groups");
+    obs::Counter &planReuse =
+        obs::metrics().counter("decide.batch.plan_reuse");
+    obs::Counter &arenaReuse =
+        obs::metrics().counter("decide.batch.arena_reuse");
+    obs::Counter &fusedGroups =
+        obs::metrics().counter("decide.batch.fused_groups");
+    obs::Counter &fusedQueries =
+        obs::metrics().counter("decide.batch.fused_queries");
+};
 
-Decision
-decide(const Query &query, DecisionCache *cache, DecisionBackend *backend)
+BatchMetrics &
+batchMetrics()
+{
+    static BatchMetrics m;
+    return m;
+}
+
+/**
+ * An axiomatic engine run decideQuery() deferred onto a fused
+ * enumeration pass: everything the finish phase needs to complete the
+ * request exactly as the inline pipeline would have.
+ */
+struct PendingEngine
+{
+    /** Input-order slot of the query (indexes the result vector). */
+    size_t slot = 0;
+    /** Filter lane inside the fused group (SC lane for delegators). */
+    size_t lane = 0;
+    /** The query's own cache/store key. */
+    uint64_t key = 0;
+    /** Key of the delegated-to SC query (delegateSc only). */
+    uint64_t innerKey = 0;
+    /** Pended at the ScDelegate prescreen, not at the engine switch. */
+    bool delegateSc = false;
+    /** Request arrival, so wall time covers the queueing too. */
+    std::chrono::steady_clock::time_point start;
+};
+
+/**
+ * The shared tail of every engine-produced decision -- inline or
+ * fused: terminal + completeness counters, wall time, span stamp,
+ * cache insert, store offer.  Exactly one terminal counter and one
+ * wall sample per request, whichever phase finishes it.
+ */
+void
+finishEngineDecision(const Query &query, Decision &d, uint64_t key,
+                     DecisionCache *cache, DecisionBackend *backend,
+                     std::chrono::steady_clock::time_point start,
+                     uint64_t spanId)
+{
+    DecideMetrics &m = decideMetrics();
+    m.engineCounter(d.engine).inc();
+    if (!d.complete)
+        m.incomplete.inc();
+    d.wallSeconds = std::chrono::duration<double>(
+                        std::chrono::steady_clock::now() - start)
+                        .count();
+    d.traceSpanId = spanId;
+    m.wallUs.sample(uint64_t(d.wallSeconds * 1e6));
+    if (cache)
+        cache->insert(key, d);
+    if (backend && d.complete) {
+        backend->store(key, query, d);
+        m.storeWrite.inc();
+    }
+}
+
+/**
+ * The decide() pipeline front: cache, store, prescreen, engine.  With
+ * @p pending non-null (the batched pipeline; @p batch must be set
+ * too), an axiomatic engine run is not executed but *pended*: the
+ * request and non-terminal counters have fired, @p pending describes
+ * the deferred run, and the caller owes the finish phase (a fused
+ * enumeration + finishEngineDecision()).  Returns the decision
+ * otherwise.
+ */
+std::optional<Decision>
+decideQuery(const Query &query, DecisionCache *cache,
+            DecisionBackend *backend, BatchContext *batch,
+            PendingEngine *pending)
 {
     GAM_ASSERT(query.test != nullptr, "decide: null test");
     const Engine engine = resolveEngine(query);
@@ -410,8 +637,11 @@ decide(const Query &query, DecisionCache *cache, DecisionBackend *backend)
         m.wallUs.sample(uint64_t(d.wallSeconds * 1e6));
     };
 
-    const uint64_t key =
-        (cache || backend) ? queryKey(query, engine) : 0;
+    const uint64_t key = (cache || backend)
+        ? queryKeyHashed(batch ? batch->testFp(*query.test)
+                               : litmus::fingerprint(*query.test),
+                         query, engine)
+        : 0;
     if (cache) {
         std::optional<Decision> hit;
         {
@@ -446,8 +676,9 @@ decide(const Query &query, DecisionCache *cache, DecisionBackend *backend)
 
     if (prescreenApplies(query)) {
         obs::TraceSpan prescreenSpan("decide.prescreen");
-        const analysis::PrescreenResult pre =
-            analysis::prescreen(*query.test, query.model);
+        const analysis::PrescreenResult pre = batch
+            ? batch->prescreenFor(*query.test).screen(query.model)
+            : analysis::prescreen(*query.test, query.model);
         if (pre.verdict == analysis::PrescreenVerdict::Forbidden) {
             // Sound for the verdict only: no outcomes are enumerated,
             // so the decision is never cached (a prescreen-off query
@@ -485,7 +716,22 @@ decide(const Query &query, DecisionCache *cache, DecisionBackend *backend)
                 : engine == Engine::Operational
                 ? EngineSelect::Operational
                 : EngineSelect::Cat;
-            Decision d = decide(sub, cache, backend);
+            if (pending && engine == Engine::Axiomatic) {
+                // Defer the delegation onto the fused pass's SC lane.
+                // The inner SC decision is its own request (terminal
+                // at finish time: the cache once an SC group member
+                // or earlier delegator published it, the store, or
+                // the lane itself), so count its arrival now.
+                m.requests.inc();
+                pending->key = key;
+                pending->innerKey = queryKeyHashed(
+                    batch->testFp(*query.test), sub, engine);
+                pending->delegateSc = true;
+                pending->start = start;
+                return std::nullopt;
+            }
+            Decision d =
+                *decideQuery(sub, cache, backend, batch, nullptr);
             d.engine = engine;
             d.cacheHit = false;
             d.prescreened = PrescreenKind::ScDelegate;
@@ -505,34 +751,251 @@ decide(const Query &query, DecisionCache *cache, DecisionBackend *backend)
         }
     }
 
+    if (pending && engine == Engine::Axiomatic) {
+        // Defer the enumeration onto the fused pass: the finish phase
+        // reads this model's filter lane and runs
+        // finishEngineDecision() with this request's key and start.
+        pending->key = key;
+        pending->delegateSc = false;
+        pending->start = start;
+        return std::nullopt;
+    }
+
     Decision d;
     d.engine = engine;
     {
         obs::TraceSpan engineSpan("decide.engine");
         switch (engine) {
           case Engine::Axiomatic:
-            runAxiomatic(query, d);
+            runAxiomatic(query, d, batch);
             break;
           case Engine::Operational:
             runOperational(query, d);
             break;
           case Engine::Cat:
-            runCat(query, d);
+            runCat(query, d, batch);
             break;
         }
     }
-    m.engineCounter(engine).inc();
-    if (!d.complete)
-        m.incomplete.inc();
-    stamp(d);
-
-    if (cache)
-        cache->insert(key, d);
-    if (backend && d.complete) {
-        backend->store(key, query, d);
-        m.storeWrite.inc();
-    }
+    finishEngineDecision(query, d, key, cache, backend, start,
+                         span.id());
     return d;
+}
+
+Decision
+decideImpl(const Query &query, DecisionCache *cache,
+           DecisionBackend *backend, BatchContext *batch)
+{
+    return *decideQuery(query, cache, backend, batch, nullptr);
+}
+
+} // anonymous namespace
+
+Decision
+decide(const Query &query, DecisionCache *cache, DecisionBackend *backend)
+{
+    return decideImpl(query, cache, backend, nullptr);
+}
+
+std::vector<Decision>
+decideBatch(const std::vector<Query> &queries, DecisionCache *cache,
+            DecisionBackend *backend)
+{
+    BatchMetrics &bm = batchMetrics();
+    bm.calls.inc();
+    bm.queries.inc(queries.size());
+
+    // Process grouped by (model, engine) -- stable, so queries inside
+    // a group keep their input order -- and write each decision back
+    // to its input slot.  Grouping keeps engine state hot; the batch
+    // context guarantees sharing is keyed by content, so the grouped
+    // order never changes a result.
+    std::vector<size_t> order(queries.size());
+    std::iota(order.begin(), order.end(), size_t(0));
+    std::stable_sort(order.begin(), order.end(),
+                     [&](size_t a, size_t b) {
+                         const auto ka = std::make_pair(
+                             uint64_t(queries[a].model),
+                             uint64_t(resolveEngine(queries[a])));
+                         const auto kb = std::make_pair(
+                             uint64_t(queries[b].model),
+                             uint64_t(resolveEngine(queries[b])));
+                         return ka < kb;
+                     });
+
+    uint64_t groups = 0;
+    std::optional<std::pair<uint64_t, uint64_t>> lastGroup;
+    for (size_t idx : order) {
+        const auto group =
+            std::make_pair(uint64_t(queries[idx].model),
+                           uint64_t(resolveEngine(queries[idx])));
+        if (!lastGroup || *lastGroup != group) {
+            ++groups;
+            lastGroup = group;
+        }
+    }
+
+    /** One fused enumeration: every pended axiomatic run against one
+     *  (test, checker options) pair, one filter lane per model. */
+    struct FusedGroup
+    {
+        const litmus::LitmusTest *test = nullptr;
+        axiomatic::Options opts;
+        std::vector<model::ModelKind> lanes;
+        std::vector<PendingEngine> members;
+
+        size_t
+        laneFor(model::ModelKind mdl)
+        {
+            for (size_t i = 0; i < lanes.size(); ++i)
+                if (lanes[i] == mdl)
+                    return i;
+            lanes.push_back(mdl);
+            return lanes.size() - 1;
+        }
+    };
+
+    BatchContext batch;
+    std::vector<Decision> out(queries.size());
+    std::vector<FusedGroup> fused;
+    std::map<std::pair<const litmus::LitmusTest *, uint64_t>, size_t>
+        fusedIndex;
+
+    // Front pass, in grouped order: resolve everything the cache, the
+    // store, the prescreen or a non-enumerating engine can answer;
+    // pend each axiomatic engine run onto its fused group.  SC==0
+    // sorts first, so a group's SC member always precedes the
+    // delegators that will want its decision.
+    for (size_t idx : order) {
+        const Query &q = queries[idx];
+        PendingEngine pend;
+        pend.slot = idx;
+        std::optional<Decision> d =
+            decideQuery(q, cache, backend, &batch, &pend);
+        if (d) {
+            out[idx] = *std::move(d);
+            continue;
+        }
+        const axiomatic::Options opts = seededOptions(q);
+        auto [it, fresh] = fusedIndex.try_emplace(
+            {q.test, axOptionsKey(opts)}, fused.size());
+        if (fresh) {
+            fused.emplace_back();
+            fused.back().test = q.test;
+            fused.back().opts = opts;
+        }
+        FusedGroup &g = fused[it->second];
+        pend.lane =
+            g.laneFor(pend.delegateSc ? ModelKind::SC : q.model);
+        g.members.push_back(pend);
+    }
+
+    // Fused pass: one shared enumeration per group -- the rf stream,
+    // value fixpoint and coherence walk run once, with one built-in
+    // filter lane per model -- then each pended request finishes from
+    // its lane exactly as its inline run would have.
+    DecideMetrics &m = decideMetrics();
+    for (FusedGroup &g : fused) {
+        bm.fusedGroups.inc();
+        bm.fusedQueries.inc(g.members.size());
+        axiomatic::CandidateEnumerator &arena =
+            batch.arenaFor(*g.test, g.opts);
+        std::vector<axiomatic::CheckerStats> laneStats;
+        std::vector<litmus::OutcomeSet> sets;
+        {
+            obs::TraceSpan engineSpan("decide.engine");
+            sets = axiomatic::enumerateModels(
+                arena, g.lanes, g.opts.enforceInstOrder, &laneStats,
+                &batch.ppoShapes);
+        }
+        auto laneDecision = [&](const FusedGroup &grp, size_t lane) {
+            Decision d;
+            d.engine = Engine::Axiomatic;
+            d.outcomes = sets[lane];
+            d.allowed = anyConditionMatch(*grp.test, d.outcomes);
+            d.statesVisited = laneStats[lane].coCandidates;
+            d.enumStats = laneStats[lane];
+            d.complete = true;
+            return d;
+        };
+        for (const PendingEngine &p : g.members) {
+            const Query &q = queries[p.slot];
+            if (!p.delegateSc) {
+                Decision d = laneDecision(g, p.lane);
+                obs::TraceSpan span("decide");
+                finishEngineDecision(q, d, p.key, cache, backend,
+                                     p.start, span.id());
+                out[p.slot] = std::move(d);
+                continue;
+            }
+            // A deferred ScDelegate: terminate the inner SC request
+            // first -- at the cache (the group's SC member or an
+            // earlier delegator published it), at the store, or from
+            // the SC lane -- then complete the delegation exactly as
+            // the inline prescreen path does.
+            std::optional<Decision> inner;
+            if (cache) {
+                obs::TraceSpan lookupSpan("decide.cache");
+                inner = cache->lookup(p.innerKey);
+                if (inner) {
+                    m.cacheHit.inc();
+                    inner->cacheHit = true;
+                } else {
+                    m.cacheMiss.inc();
+                }
+            }
+            if (!inner && backend) {
+                obs::TraceSpan loadSpan("decide.store");
+                inner = backend->load(p.innerKey);
+                if (inner) {
+                    m.storeHit.inc();
+                    inner->storeHit = true;
+                }
+            }
+            if (inner) {
+                m.wallUs.sample(uint64_t(
+                    std::chrono::duration<double>(
+                        std::chrono::steady_clock::now() - p.start)
+                        .count()
+                    * 1e6));
+            } else {
+                Decision d = laneDecision(g, p.lane);
+                Query sub = q;
+                sub.model = ModelKind::SC;
+                sub.options.prescreen = false;
+                sub.engine = EngineSelect::Axiomatic;
+                obs::TraceSpan innerSpan("decide");
+                finishEngineDecision(sub, d, p.innerKey, cache,
+                                     backend, p.start, innerSpan.id());
+                inner = std::move(d);
+            }
+            Decision d = *std::move(inner);
+            d.engine = Engine::Axiomatic;
+            d.cacheHit = false;
+            d.prescreened = PrescreenKind::ScDelegate;
+            m.scDelegate.inc();
+            obs::TraceSpan span("decide");
+            d.wallSeconds =
+                std::chrono::duration<double>(
+                    std::chrono::steady_clock::now() - p.start)
+                    .count();
+            d.traceSpanId = span.id();
+            m.wallUs.sample(uint64_t(d.wallSeconds * 1e6));
+            // Persist under the delegator's own key too, exactly as
+            // the inline path: only when the inner decision carries
+            // real outcomes (a store-served inner is verdict-only).
+            if (backend && !d.storeHit) {
+                backend->store(p.key, q, d);
+                m.storeWrite.inc();
+            }
+            out[p.slot] = std::move(d);
+        }
+    }
+
+    bm.groups.inc(groups);
+    bm.planReuse.inc(batch.planReuse);
+    bm.arenaReuse.inc(batch.arenaReuse);
+    return out;
 }
 
 } // namespace gam::harness

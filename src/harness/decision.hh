@@ -32,6 +32,7 @@
 #include <memory>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "axiomatic/checker.hh"
 #include "litmus/outcome.hh"
@@ -373,6 +374,42 @@ model::Engine resolveEngine(const Query &query);
 Decision decide(const Query &query,
                 DecisionCache *cache = &globalDecisionCache(),
                 DecisionBackend *backend = nullptr);
+
+/**
+ * Decide a batch of queries through the same pipeline as decide(),
+ * amortizing per-query fixed costs across the batch:
+ *
+ *  - axiomatic engine runs are *fused*: every query that reaches the
+ *    axiomatic engine against the same (test, checker options) pair
+ *    is deferred, and one shared enumeration pass decides them all
+ *    (axiomatic::enumerateModels) -- the rf-candidate stream, the
+ *    value fixpoint and the coherence walk run once, with one filter
+ *    lane per model.  SC-delegated queries join the pass's SC lane.
+ *    The fused pass is serial (RunOptions::threads is ignored for
+ *    these queries) and one preservedProgramOrder() memo is shared
+ *    across the whole batch;
+ *  - each distinct cat model is compiled once per batch and the plan
+ *    shared by every query in its group (CatEngine::usePlan);
+ *  - each distinct test gets one CandidateBuilder arena
+ *    and one litmus::fingerprint() hash, reused by every key
+ *    computation.
+ *
+ * Results are returned in input order, and every query decides
+ * exactly as the equivalent decide() call would -- same verdict, same
+ * outcome set, same per-model enumeration counters, same cache/store/
+ * prescreen interactions (decision_batch_test pins the equivalence).
+ * One caveat: duplicate identical queries *within one batch* each run
+ * the (shared) engine pass instead of the second hitting the cache,
+ * so each lands on an engine terminal counter; verdicts and persisted
+ * records are unaffected.  The per-request decide.* metrics otherwise
+ * fire as usual; decide.batch.* counts the batch calls, grouped
+ * queries, fused passes and their fan-in, and how often a plan or
+ * builder arena was served from the batch instead of rebuilt.
+ */
+std::vector<Decision>
+decideBatch(const std::vector<Query> &queries,
+            DecisionCache *cache = &globalDecisionCache(),
+            DecisionBackend *backend = nullptr);
 
 } // namespace gam::harness
 

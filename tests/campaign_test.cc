@@ -8,9 +8,13 @@
 
 #include <gtest/gtest.h>
 
+#include <sys/wait.h>
+#include <unistd.h>
+
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
+#include <iterator>
 #include <vector>
 
 #include "campaign/driver.hh"
@@ -638,6 +642,281 @@ TEST(CampaignDriver, FormatsSummaries)
     const std::string filtered = formatStoreSummary(
         store, ModelKind::GAM, true);
     EXPECT_NE(filtered.find("matching"), std::string::npos);
+}
+
+// --------------------------------------- batched pipeline & buffering
+
+TEST(CampaignDriver, LegacyPipelineMatchesTheBatchedOne)
+{
+    // batching=false is the PR 8 static-shard decide() pipeline, kept
+    // for A/B benchmarking; both pipelines must produce identical
+    // results and identical stores.
+    ScratchFile batched_file("gam_campaign_pipeline_batched.bin");
+    ScratchFile legacy_file("gam_campaign_pipeline_legacy.bin");
+
+    CampaignOptions opt = smallCampaign();
+    opt.verifySample = 5;
+
+    DecisionStore batched_store(batched_file.str());
+    opt.batching = true;
+    const auto batched = runCampaign(opt, &batched_store);
+
+    DecisionStore legacy_store(legacy_file.str());
+    opt.batching = false;
+    const auto legacy = runCampaign(opt, &legacy_store);
+
+    EXPECT_EQ(batched.units, legacy.units);
+    EXPECT_EQ(batched.decisions, legacy.decisions);
+    EXPECT_EQ(batched.allowed, legacy.allowed);
+    EXPECT_EQ(batched.storeWrites, legacy.storeWrites);
+    EXPECT_EQ(batched.shardsDone, legacy.shardsDone);
+    EXPECT_EQ(batched.verifyMismatches, 0u);
+    EXPECT_EQ(legacy.verifyMismatches, 0u);
+    ASSERT_EQ(batched.tallies.size(), legacy.tallies.size());
+    for (size_t i = 0; i < batched.tallies.size(); ++i) {
+        EXPECT_EQ(batched.tallies[i].decided, legacy.tallies[i].decided);
+        EXPECT_EQ(batched.tallies[i].allowed, legacy.tallies[i].allowed);
+    }
+    // Record-for-record identical persistence: same keys, same
+    // verdicts, same outcome witnesses.
+    EXPECT_EQ(batched_store.size(), legacy_store.size());
+    batched_store.forEach([&](const StoreRecord &r) {
+        const auto other = legacy_store.record(r.key);
+        ASSERT_TRUE(other.has_value()) << r.key;
+        EXPECT_EQ(other->allowed, r.allowed) << r.key;
+        EXPECT_EQ(other->outcomeHash, r.outcomeHash) << r.key;
+        EXPECT_EQ(other->outcomeCount, r.outcomeCount) << r.key;
+    });
+}
+
+TEST(CampaignDriver, MidShardStoreCoverageKeepsTheReconciliation)
+{
+    // A store covering a *prefix* of every shard's units (a previous
+    // run killed mid-campaign): the next run mixes store hits and
+    // fresh decisions within one shard, and the tallies must still
+    // reconcile exactly.
+    ScratchFile store_file("gam_campaign_midshard.bin");
+    DecisionStore store(store_file.str());
+
+    CampaignOptions opt = smallCampaign();
+    CampaignOptions prefix = opt;
+    prefix.limit = 10;
+    runCampaign(prefix, &store);
+
+    const auto full = runCampaign(opt, &store);
+    EXPECT_GT(full.storeHits, 0u);
+    EXPECT_LT(full.storeHits, full.decisions);
+    EXPECT_GT(full.storeWrites, 0u);
+    EXPECT_EQ(full.decisions,
+              full.storeWrites + full.cacheHits + full.storeHits);
+    EXPECT_EQ(full.metrics.counter("campaign.decisions"),
+              full.decisions);
+    EXPECT_EQ(full.metrics.counter("campaign.store.hit"),
+              full.storeHits);
+    EXPECT_EQ(full.metrics.counter("campaign.store.write"),
+              full.storeWrites);
+    EXPECT_EQ(full.metrics.histograms.at("campaign.shard.decisions").sum,
+              full.decisions);
+}
+
+TEST(CampaignDriver, CheckpointedShardsSurviveAnAbruptExit)
+{
+    // The driver must flush the store *before* the checkpoint marks a
+    // shard done: a child process decides the campaign with a store
+    // that only flushes at explicit durability points, then dies via
+    // _exit -- no destructors, stdio buffers dropped.  Everything the
+    // checkpoint claims done must nonetheless be on disk.
+    ScratchFile store_file("gam_campaign_kill.bin");
+    ScratchFile ckpt_file("gam_campaign_kill.ckpt");
+
+    CampaignOptions opt = smallCampaign();
+    opt.checkpointPath = ckpt_file.str();
+
+    const auto reference = runCampaign(opt, nullptr);
+    ASSERT_GT(reference.decisions, 0u);
+    fs::remove(ckpt_file.str());
+
+    const pid_t pid = fork();
+    ASSERT_NE(pid, -1);
+    if (pid == 0) {
+        StoreOptions lazy;
+        lazy.flushEveryRecords = 1u << 30;
+        lazy.flushIntervalMs = 0;
+        DecisionStore child_store(store_file.str(), lazy);
+        runCampaign(opt, &child_store);
+        _exit(0);
+    }
+    int status = 0;
+    ASSERT_EQ(waitpid(pid, &status, 0), pid);
+    ASSERT_TRUE(WIFEXITED(status));
+    ASSERT_EQ(WEXITSTATUS(status), 0);
+
+    DecisionStore store(store_file.str());
+    EXPECT_EQ(store.stats().droppedBytes, 0u);
+    EXPECT_GE(store.size(), reference.decisions);
+
+    opt.resume = true;
+    opt.verifySample = 5;
+    const auto resumed = runCampaign(opt, &store);
+    EXPECT_EQ(resumed.shardsResumed, opt.shards);
+    EXPECT_EQ(resumed.decisions, 0u);
+    EXPECT_EQ(resumed.verifyMismatches, 0u);
+    EXPECT_EQ(resumed.decisions,
+              resumed.storeWrites + resumed.cacheHits
+                  + resumed.storeHits);
+}
+
+TEST(CampaignStore, BufferedAppendsAreReadableBeforeTheyAreDurable)
+{
+    ScratchFile store_file("gam_campaign_buffered.bin");
+    StoreOptions lazy;
+    lazy.flushEveryRecords = 1u << 30;
+    lazy.flushIntervalMs = 0;
+
+    harness::Query q;
+    q.test = &litmus::testByName("mp");
+    q.model = ModelKind::GAM;
+    harness::Decision d;
+    d.allowed = true;
+    d.complete = true;
+
+    DecisionStore store(store_file.str(), lazy);
+    store.store(42, q, d);
+    // Read-your-writes from the in-memory index, while the record
+    // still sits in the stdio buffer (only the header is on disk).
+    const auto loaded = store.load(42);
+    ASSERT_TRUE(loaded.has_value());
+    EXPECT_TRUE(loaded->allowed);
+    EXPECT_EQ(fs::file_size(store_file.str()), 16u);
+    store.flush();
+    EXPECT_EQ(fs::file_size(store_file.str()), 16u + 40u);
+}
+
+// ---------------------------------------------- compaction & queries
+
+/** A store record crafted by hand (key chosen by the test). */
+void
+craftRecord(DecisionStore &store, uint64_t key, bool allowed)
+{
+    harness::Query q;
+    q.test = &litmus::testByName("mp");
+    q.model = ModelKind::GAM;
+    harness::Decision d;
+    d.allowed = allowed;
+    d.complete = true;
+    store.store(key, q, d);
+}
+
+std::string
+fileBytes(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    return std::string(std::istreambuf_iterator<char>(in),
+                       std::istreambuf_iterator<char>());
+}
+
+TEST(CampaignStore, CompactMergesFirstInputWinsDeterministically)
+{
+    ScratchFile a_file("gam_campaign_compact_a.bin");
+    ScratchFile b_file("gam_campaign_compact_b.bin");
+    ScratchFile out1_file("gam_campaign_compact_out1.bin");
+    ScratchFile out2_file("gam_campaign_compact_out2.bin");
+
+    {
+        DecisionStore a(a_file.str());
+        craftRecord(a, 7, true);
+        craftRecord(a, 42, true);
+        DecisionStore b(b_file.str());
+        craftRecord(b, 42, false); // conflicting verdict: a's wins
+        craftRecord(b, 9, false);
+    }
+
+    const CompactStats stats = compactStores(
+        {a_file.str(), b_file.str()}, out1_file.str());
+    EXPECT_EQ(stats.inputs, 2u);
+    EXPECT_EQ(stats.scanned, 4u);
+    EXPECT_EQ(stats.merged, 3u);
+    EXPECT_EQ(stats.duplicates, 1u);
+
+    DecisionStore merged(out1_file.str());
+    EXPECT_EQ(merged.size(), 3u);
+    EXPECT_TRUE(merged.record(42)->allowed);  // first input won
+    EXPECT_TRUE(merged.record(7)->allowed);
+    EXPECT_FALSE(merged.record(9)->allowed);
+
+    // Same inputs, byte-identical output.
+    compactStores({a_file.str(), b_file.str()}, out2_file.str());
+    EXPECT_EQ(fileBytes(out1_file.str()), fileBytes(out2_file.str()));
+
+    // Swapped input order: b's verdict for the contested key wins.
+    compactStores({b_file.str(), a_file.str()}, out2_file.str());
+    DecisionStore swapped(out2_file.str());
+    EXPECT_FALSE(swapped.record(42)->allowed);
+}
+
+TEST(CampaignStore, TestIndexServesRecordsInKeyOrder)
+{
+    ScratchFile store_file("gam_campaign_testindex.bin");
+    DecisionStore store(store_file.str());
+    craftRecord(store, 30, true);
+    craftRecord(store, 10, false);
+    craftRecord(store, 20, true);
+
+    const uint64_t fp = litmus::fingerprint(litmus::testByName("mp"));
+    EXPECT_EQ(store.distinctTests(), 1u);
+    const auto records = store.recordsForTest(fp);
+    ASSERT_EQ(records.size(), 3u);
+    EXPECT_EQ(records[0].key, 10u);
+    EXPECT_EQ(records[1].key, 20u);
+    EXPECT_EQ(records[2].key, 30u);
+    EXPECT_TRUE(store.recordsForTest(fp + 1).empty());
+}
+
+TEST(CampaignDriver, DisagreePinsGamAgainstGam0)
+{
+    // Where GAM and GAM0 part ways on the symmetry-reduced length-<=4
+    // universe: exactly 11 tests, every one allowed by GAM0 (no
+    // load-load ordering without a dependency) and forbidden by GAM.
+    ScratchFile store_file("gam_campaign_disagree.bin");
+    DecisionStore store(store_file.str());
+
+    CampaignOptions opt = smallCampaign();
+    opt.enumerate.maxLen = 4;
+    opt.enumerate.canonical = CanonicalForm::Full;
+    runCampaign(opt, &store);
+
+    const auto disagreements =
+        disagreeingTests(store, ModelKind::GAM, ModelKind::GAM0);
+    EXPECT_EQ(disagreements.size(), 11u);
+    for (size_t i = 0; i < disagreements.size(); ++i) {
+        EXPECT_FALSE(disagreements[i].aAllowed) << i;
+        EXPECT_TRUE(disagreements[i].bAllowed) << i;
+        if (i > 0) {
+            EXPECT_LT(disagreements[i - 1].testFingerprint,
+                      disagreements[i].testFingerprint);
+        }
+    }
+
+    // Swapping the arguments mirrors the sides.
+    const auto mirrored =
+        disagreeingTests(store, ModelKind::GAM0, ModelKind::GAM);
+    ASSERT_EQ(mirrored.size(), disagreements.size());
+    for (size_t i = 0; i < mirrored.size(); ++i) {
+        EXPECT_EQ(mirrored[i].testFingerprint,
+                  disagreements[i].testFingerprint);
+        EXPECT_TRUE(mirrored[i].aAllowed);
+        EXPECT_FALSE(mirrored[i].bAllowed);
+    }
+
+    // A model with no records never disagrees.
+    EXPECT_TRUE(disagreeingTests(store, ModelKind::GAM, ModelKind::ARM)
+                    .empty());
+
+    const std::string text =
+        formatDisagreements(store, ModelKind::GAM, ModelKind::GAM0);
+    EXPECT_NE(text.find("GAM vs GAM0: 11 disagreeing tests"),
+              std::string::npos);
+    EXPECT_NE(text.find("GAM forbids"), std::string::npos);
 }
 
 } // namespace

@@ -1,0 +1,238 @@
+/**
+ * Tests for the batched decision pipeline (harness::decideBatch):
+ * query-for-query equivalence with decide() across every builtin test,
+ * model and enumeration engine, identical cache and backend
+ * interactions, and the batch amortization counters
+ * (decide.batch.plan_reuse / fused_groups / fused_queries).
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "harness/decision.hh"
+#include "litmus/outcome.hh"
+#include "litmus/suite.hh"
+#include "model/engine.hh"
+#include "obs/registry.hh"
+
+namespace gam::harness
+{
+namespace
+{
+
+using model::Engine;
+using model::ModelKind;
+
+constexpr ModelKind enumerableModels[] = {
+    ModelKind::SC,   ModelKind::TSO, ModelKind::GAM0,
+    ModelKind::GAM,  ModelKind::ARM, ModelKind::PerLocSC,
+};
+
+Query
+queryFor(const litmus::LitmusTest &test, ModelKind model,
+         EngineSelect engine)
+{
+    Query q;
+    q.test = &test;
+    q.model = model;
+    q.engine = engine;
+    return q;
+}
+
+/** Every (builtin test, model, engine) query the batch pipeline can
+ *  decide, in an order that interleaves models and engines -- the
+ *  grouping inside decideBatch must not leak into the results.
+ *  @p tests must outlive the queries (they point into it). */
+std::vector<Query>
+allEnumerationQueries(const std::vector<litmus::LitmusTest> &tests)
+{
+    std::vector<Query> queries;
+    for (const auto &test : tests) {
+        for (ModelKind model : enumerableModels) {
+            queries.push_back(
+                queryFor(test, model, EngineSelect::Axiomatic));
+            if (model::supportsEngine(model, Engine::Cat))
+                queries.push_back(
+                    queryFor(test, model, EngineSelect::Cat));
+        }
+    }
+    return queries;
+}
+
+void
+expectSameDecision(const Decision &batch, const Decision &one,
+                   const Query &query, size_t index)
+{
+    const std::string what = std::string(query.test->name) + " under "
+        + model::modelName(query.model) + " #" + std::to_string(index);
+    EXPECT_EQ(batch.allowed, one.allowed) << what;
+    EXPECT_EQ(batch.engine, one.engine) << what;
+    EXPECT_EQ(batch.complete, one.complete) << what;
+    EXPECT_EQ(batch.prescreened, one.prescreened) << what;
+    EXPECT_EQ(batch.outcomes.size(), one.outcomes.size()) << what;
+    EXPECT_EQ(litmus::outcomeSetHash(batch.outcomes),
+              litmus::outcomeSetHash(one.outcomes))
+        << what;
+    EXPECT_EQ(batch.catCompiled, one.catCompiled) << what;
+}
+
+TEST(DecideBatch, MatchesDecideQueryForQueryOnAllBuiltins)
+{
+    const std::vector<litmus::LitmusTest> tests = litmus::allTests();
+    const std::vector<Query> queries = allEnumerationQueries(tests);
+    ASSERT_FALSE(queries.empty());
+
+    DecisionCache batchCache(1 << 16);
+    const std::vector<Decision> batched =
+        decideBatch(queries, &batchCache);
+    ASSERT_EQ(batched.size(), queries.size());
+
+    DecisionCache oneCache(1 << 16);
+    for (size_t i = 0; i < queries.size(); ++i) {
+        const Decision one = decide(queries[i], &oneCache);
+        expectSameDecision(batched[i], one, queries[i], i);
+    }
+}
+
+TEST(DecideBatch, SecondBatchServesFromTheSharedCache)
+{
+    const auto &mp = litmus::testByName("mp");
+    const auto &sb = litmus::testByName("dekker");
+    std::vector<Query> queries = {
+        queryFor(mp, ModelKind::GAM, EngineSelect::Axiomatic),
+        queryFor(sb, ModelKind::TSO, EngineSelect::Axiomatic),
+        queryFor(mp, ModelKind::SC, EngineSelect::Cat),
+    };
+
+    DecisionCache cache(1 << 12);
+    const auto cold = decideBatch(queries, &cache);
+    const auto warm = decideBatch(queries, &cache);
+    ASSERT_EQ(cold.size(), warm.size());
+    for (size_t i = 0; i < cold.size(); ++i) {
+        EXPECT_FALSE(cold[i].cacheHit) << i;
+        EXPECT_TRUE(warm[i].cacheHit) << i;
+        expectSameDecision(warm[i], cold[i], queries[i], i);
+    }
+}
+
+/** A trivial in-memory DecisionBackend: what the campaign store does,
+ *  without the file. */
+class MapBackend final : public DecisionBackend
+{
+  public:
+    std::optional<Decision> load(uint64_t key) override
+    {
+        auto it = records.find(key);
+        if (it == records.end())
+            return std::nullopt;
+        Decision d;
+        d.allowed = it->second;
+        d.complete = true;
+        d.storeHit = true;
+        return d;
+    }
+
+    void store(uint64_t key, const Query &,
+               const Decision &decision) override
+    {
+        records.emplace(key, decision.allowed);
+    }
+
+    std::map<uint64_t, bool> records;
+};
+
+TEST(DecideBatch, BackendInteractionsMatchDecide)
+{
+    std::vector<Query> queries;
+    for (const char *name : {"mp", "dekker", "lb", "iriw"})
+        for (ModelKind model : {ModelKind::TSO, ModelKind::GAM})
+            queries.push_back(queryFor(litmus::testByName(name), model,
+                                       EngineSelect::Axiomatic));
+
+    // Cold batch offers every fresh decision to the backend...
+    MapBackend viaBatch;
+    {
+        DecisionCache cache(1 << 12);
+        const auto cold = decideBatch(queries, &cache, &viaBatch);
+        // Every query persisted, plus one inner SC record per
+        // SC-delegated query -- exactly what a decide() loop offers.
+        EXPECT_GE(viaBatch.records.size(), queries.size());
+        for (const Decision &d : cold)
+            EXPECT_FALSE(d.storeHit);
+    }
+    // ...exactly as a decide() loop would (same keys, same verdicts)...
+    MapBackend viaLoop;
+    {
+        DecisionCache cache(1 << 12);
+        for (const Query &q : queries)
+            decide(q, &cache, &viaLoop);
+    }
+    EXPECT_EQ(viaBatch.records, viaLoop.records);
+
+    // ...and a cold-cache re-batch serves verdict-only store hits.
+    DecisionCache fresh(1 << 12);
+    const auto warm = decideBatch(queries, &fresh, &viaBatch);
+    for (size_t i = 0; i < warm.size(); ++i) {
+        EXPECT_TRUE(warm[i].storeHit) << i;
+        EXPECT_EQ(warm[i].allowed,
+                  viaBatch.records.at(queryKey(
+                      queries[i], resolveEngine(queries[i]))))
+            << i;
+        EXPECT_TRUE(warm[i].outcomes.empty()) << i;
+    }
+}
+
+TEST(DecideBatch, ReusesPlansAndFusesArenasWithinABatch)
+{
+    // Two cat models over two tests: each model's plan compiles once
+    // and serves its second query.  Two axiomatic models over the same
+    // tests: each test's queries fuse into ONE enumeration pass with
+    // one filter lane per model, so the arena is built once per test
+    // and never *re*-used (fused_queries / fused_groups is the
+    // amortization instead).
+    const auto &mp = litmus::testByName("mp");
+    const auto &sb = litmus::testByName("dekker");
+    std::vector<Query> queries = {
+        queryFor(mp, ModelKind::GAM, EngineSelect::Cat),
+        queryFor(sb, ModelKind::GAM, EngineSelect::Cat),
+        queryFor(mp, ModelKind::GAM0, EngineSelect::Cat),
+        queryFor(sb, ModelKind::GAM0, EngineSelect::Cat),
+        queryFor(mp, ModelKind::GAM, EngineSelect::Axiomatic),
+        queryFor(sb, ModelKind::GAM, EngineSelect::Axiomatic),
+        queryFor(mp, ModelKind::GAM0, EngineSelect::Axiomatic),
+        queryFor(sb, ModelKind::GAM0, EngineSelect::Axiomatic),
+    };
+
+    const obs::MetricSnapshot before = obs::metrics().snapshot();
+    DecisionCache cache(1 << 12);
+    decideBatch(queries, &cache);
+    const obs::MetricSnapshot delta =
+        obs::metrics().snapshot().delta(before);
+
+    EXPECT_EQ(delta.counter("decide.batch.calls"), 1u);
+    EXPECT_EQ(delta.counter("decide.batch.queries"), queries.size());
+    // Four (model, engine) groups, whatever order the sort puts them
+    // in.
+    EXPECT_EQ(delta.counter("decide.batch.groups"), 4u);
+    // GAM.cat and GAM0.cat each compile once and reuse once.
+    EXPECT_EQ(delta.counter("decide.batch.plan_reuse"), 2u);
+    // mp and sb each run ONE fused enumeration deciding both
+    // axiomatic models (plus any SC-delegation lane), so the arena is
+    // built exactly once per test -- nothing left to reuse.
+    EXPECT_EQ(delta.counter("decide.batch.fused_groups"), 2u);
+    EXPECT_EQ(delta.counter("decide.batch.fused_queries"), 4u);
+    EXPECT_EQ(delta.counter("decide.batch.arena_reuse"), 0u);
+}
+
+TEST(DecideBatch, EmptyBatchIsANoOp)
+{
+    DecisionCache cache(1 << 8);
+    EXPECT_TRUE(decideBatch({}, &cache).empty());
+}
+
+} // namespace
+} // namespace gam::harness

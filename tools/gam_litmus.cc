@@ -45,24 +45,30 @@
  *
  *   gam-litmus campaign run [--max-cycle-len N] [--min-cycle-len N]
  *                           [--models A,B,..] [--engines A,B,..]
+ *                           [--canonical rotation|full]
  *                           [--shards N] [--threads N] [--limit N]
  *                           [--store FILE] [--checkpoint FILE]
  *                           [--resume] [--verify N]
  *                           [--min-store-hit-rate P] [--quiet]
  *                           [--no-fences] [--no-deps] [--no-rmws]
+ *                           [--no-batching]
  *                           [--metrics FILE] [--trace FILE]
  *       Decide the exhaustive canonical test universe up to the given
- *       cycle length under every requested (model, engine) pair,
- *       sharded over a thread pool.  --store appends every decision
- *       to a crash-safe persistent store consulted before the
- *       engines; --resume skips shards the checkpoint (FILE.ckpt by
- *       default) records as finished; --verify N re-decides every Nth
- *       decision from scratch and compares it against the store
- *       (exit 1 on any mismatch); --min-store-hit-rate P exits 1 when
- *       fewer than P percent of decisions were served by the store.
- *       The run's registry delta is written as gam-metrics-v1 JSON to
- *       --metrics (campaign_metrics.json by default); --trace exports
- *       the run's spans as Chrome trace_event JSON.
+ *       cycle length under every requested (model, engine) pair, with
+ *       batched decides work-stolen over a thread pool.  --canonical
+ *       full shrinks the universe by the symmetry quotient
+ *       (campaign/symmetry.hh) before deciding; --no-batching falls
+ *       back to the one-decide-per-query pipeline.  --store appends
+ *       every decision to a crash-safe persistent store consulted
+ *       before the engines; --resume skips shards the checkpoint
+ *       (FILE.ckpt by default) records as finished; --verify N
+ *       re-decides every Nth decision from scratch and compares it
+ *       against the store (exit 1 on any mismatch);
+ *       --min-store-hit-rate P exits 1 when fewer than P percent of
+ *       decisions were served by the store.  The run's registry delta
+ *       is written as gam-metrics-v1 JSON to --metrics
+ *       (campaign_metrics.json by default); --trace exports the run's
+ *       spans as Chrome trace_event JSON.
  *
  *   gam-litmus campaign status --store FILE [--json]
  *       Summarise a store: records and distinct tests per
@@ -70,7 +76,15 @@
  *
  *   gam-litmus campaign query --store FILE [--model M]
  *                             [--allowed|--forbidden]
- *       The status summary restricted to matching records.
+ *                             [--disagree MODEL_A MODEL_B]
+ *       The status summary restricted to matching records; with
+ *       --disagree, the tests both models have persisted verdicts for
+ *       that they decide differently.
+ *
+ *   gam-litmus campaign compact --output FILE INPUT...
+ *       Merge store files into one fresh log, deduping by query key
+ *       (first input wins) and healing torn tails; records are
+ *       written in key order so the output is reproducible.
  *
  *   gam-litmus model list
  *       List the cat models shipped with the library.
@@ -943,10 +957,29 @@ cmdCampaignRun(int argc, char **argv)
             options.enumerate.rmws = false;
             continue;
         }
+        if (arg == "--no-batching") {
+            options.batching = false;
+            continue;
+        }
         const char *value = flagValue(argc, argv, i, arg.c_str());
         if (!value)
             return 2;
-        if (arg == "--models") {
+        if (arg == "--canonical") {
+            const std::string form = value;
+            if (form == "rotation") {
+                options.enumerate.canonical =
+                    campaign::CanonicalForm::Rotation;
+            } else if (form == "full") {
+                options.enumerate.canonical =
+                    campaign::CanonicalForm::Full;
+            } else {
+                std::fprintf(stderr,
+                             "gam-litmus: --canonical wants 'rotation' "
+                             "or 'full', got '%s'\n",
+                             value);
+                return 2;
+            }
+        } else if (arg == "--models") {
             auto models = parseModelList(value);
             if (!models)
                 return 2;
@@ -1103,10 +1136,28 @@ cmdCampaignStatus(int argc, char **argv, bool query)
     std::string store_path;
     std::optional<ModelKind> model_filter;
     std::optional<bool> allowed_filter;
+    std::optional<std::pair<ModelKind, ModelKind>> disagree;
     bool json = false;
 
     for (int i = 0; i < argc; ++i) {
         const std::string arg = argv[i];
+        if (query && arg == "--disagree") {
+            const char *a = flagValue(argc, argv, i, "--disagree");
+            const char *b = a ? flagValue(argc, argv, i, "--disagree")
+                              : nullptr;
+            if (!a || !b)
+                return 2;
+            auto ka = model::modelFromName(a);
+            auto kb = model::modelFromName(b);
+            if (!ka || !kb) {
+                std::fprintf(stderr, "gam-litmus: unknown model '%s'\n",
+                             !ka ? a : b);
+                listModels();
+                return 2;
+            }
+            disagree = {{*ka, *kb}};
+            continue;
+        }
         if (query && arg == "--allowed") {
             allowed_filter = true;
             continue;
@@ -1147,6 +1198,21 @@ cmdCampaignStatus(int argc, char **argv, bool query)
     }
     campaign::DecisionStore store(store_path);
     const auto s = store.stats();
+    if (disagree) {
+        const auto [a, b] = *disagree;
+        if (json) {
+            // Count-only JSON view: enough for CI gates to pin the
+            // GAM-vs-GAM0 disagreement count without parsing text.
+            obs::MetricRegistry reg;
+            const auto list = campaign::disagreeingTests(store, a, b);
+            reg.counter("store.disagree.tests").inc(list.size());
+            std::printf("%s", reg.snapshot().toJson().c_str());
+            return 0;
+        }
+        std::printf("%s",
+                    campaign::formatDisagreements(store, a, b).c_str());
+        return 0;
+    }
     if (json) {
         // The machine-readable twin of the text summary: a local
         // registry (not the process-wide one) holding per-(model,
@@ -1189,11 +1255,50 @@ cmdCampaignStatus(int argc, char **argv, bool query)
 }
 
 int
+cmdCampaignCompact(int argc, char **argv)
+{
+    std::string output;
+    std::vector<std::string> inputs;
+    for (int i = 0; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--output" || arg == "-o") {
+            const char *value = flagValue(argc, argv, i, arg.c_str());
+            if (!value)
+                return 2;
+            output = value;
+        } else if (arg.rfind("--", 0) == 0) {
+            std::fprintf(stderr,
+                         "gam-litmus: unknown campaign compact option "
+                         "'%s'\n",
+                         arg.c_str());
+            return 2;
+        } else {
+            inputs.push_back(arg);
+        }
+    }
+    if (output.empty() || inputs.empty()) {
+        std::fprintf(stderr,
+                     "gam-litmus: campaign compact --output FILE "
+                     "INPUT...\n");
+        return 2;
+    }
+    const campaign::CompactStats stats =
+        campaign::compactStores(inputs, output);
+    std::printf("compacted %llu inputs: %llu records scanned, %llu "
+                "merged, %llu duplicates dropped -> %s\n",
+                (unsigned long long)stats.inputs,
+                (unsigned long long)stats.scanned,
+                (unsigned long long)stats.merged,
+                (unsigned long long)stats.duplicates, output.c_str());
+    return 0;
+}
+
+int
 cmdCampaign(int argc, char **argv)
 {
     if (argc < 1) {
         std::fprintf(stderr, "gam-litmus: campaign needs a subcommand "
-                             "(run, status, query)\n");
+                             "(run, status, query, compact)\n");
         return 2;
     }
     const std::string sub = argv[0];
@@ -1203,8 +1308,10 @@ cmdCampaign(int argc, char **argv)
         return cmdCampaignStatus(argc - 1, argv + 1, false);
     if (sub == "query")
         return cmdCampaignStatus(argc - 1, argv + 1, true);
+    if (sub == "compact")
+        return cmdCampaignCompact(argc - 1, argv + 1);
     std::fprintf(stderr, "gam-litmus: unknown campaign subcommand '%s' "
-                         "(expected run, status or query)\n",
+                         "(expected run, status, query or compact)\n",
                  sub.c_str());
     return 2;
 }
